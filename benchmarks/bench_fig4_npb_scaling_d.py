@@ -1,0 +1,42 @@
+"""Bench F4 — regenerate Figure 4: NPB class D scaling on the SS.
+
+Prints total and per-processor Mop/s over the processor sweep.  The
+paper's point: class D is big enough that "perfect scaling would be a
+straight horizontal line" — per-proc rates stay near-flat out to 256.
+"""
+
+from repro.analysis import format_table
+from repro.nas import space_simulator_npb_model
+
+BENCHES = ("BT", "SP", "LU", "CG", "FT")
+PROCS = (16, 32, 64, 121, 256)
+
+
+def _build():
+    ss = space_simulator_npb_model()
+    total = {b: [ss.mops(b, "D", p) for p in PROCS] for b in BENCHES}
+    per = {b: [ss.mops_per_proc(b, "D", p) for p in PROCS] for b in BENCHES}
+    return total, per
+
+
+def test_fig4_scaling_class_d(benchmark):
+    total, per = benchmark(_build)
+    print()
+    print(format_table(
+        ["procs"] + list(BENCHES),
+        [[p] + [total[b][i] for b in BENCHES] for i, p in enumerate(PROCS)],
+        "Figure 4 (left): class D total Mop/s",
+    ))
+    print(format_table(
+        ["procs"] + list(BENCHES),
+        [[p] + [per[b][i] for b in BENCHES] for i, p in enumerate(PROCS)],
+        "Figure 4 (right): class D per-processor Mop/s",
+    ))
+    for b in ("BT", "LU"):
+        # Near-flat per-proc line: 256-proc rate within 35% of 16-proc.
+        assert per[b][-1] > 0.65 * per[b][0], b
+    # SP sags more — the paper's own Table 4 has it at 114.6 Mop/s per
+    # processor at D/256, ~0.6 of its small-count rate.
+    assert per["SP"][-1] > 0.5 * per["SP"][0]
+    for b in ("BT", "SP", "LU"):
+        assert total[b][-1] > total[b][0]  # totals keep growing

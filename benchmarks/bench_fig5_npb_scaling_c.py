@@ -1,0 +1,39 @@
+"""Bench F5 — regenerate Figure 5: NPB class C scaling on the SS.
+
+Class C is smaller, so scaling sags at high processor counts — except
+LU, whose per-processor rate *rises* around 64 processors when the
+local planes drop into L2 ("likely due to the problem being divided
+into enough pieces that it fits into L2 cache"), the figure's
+signature feature.
+"""
+
+from repro.analysis import format_table
+from repro.nas import space_simulator_npb_model
+
+BENCHES = ("BT", "SP", "LU", "CG", "FT", "IS")
+PROCS = (1, 4, 16, 64, 256)
+
+
+def _build():
+    ss = space_simulator_npb_model()
+    per = {b: [ss.mops_per_proc(b, "C", p) for p in PROCS] for b in BENCHES}
+    return per
+
+
+def test_fig5_scaling_class_c(benchmark):
+    per = benchmark(_build)
+    print()
+    print(format_table(
+        ["procs"] + list(BENCHES),
+        [[p] + [per[b][i] for b in BENCHES] for i, p in enumerate(PROCS)],
+        "Figure 5: class C per-processor Mop/s",
+    ))
+    lu = per["LU"]
+    # The LU feature: higher per-proc rate at 64 than at 1.
+    assert lu[PROCS.index(64)] > lu[0]
+    # And class C scaling is worse than class D at 256 procs.
+    ss = space_simulator_npb_model()
+    for b in ("BT", "LU"):
+        eff_c = per[b][-1] / per[b][PROCS.index(16)]
+        eff_d = ss.mops_per_proc(b, "D", 256) / ss.mops_per_proc(b, "D", 16)
+        assert eff_d > eff_c, b

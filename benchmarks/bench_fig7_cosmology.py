@@ -1,0 +1,73 @@
+"""Bench F7 — regenerate Figure 7 / Section 4.3: the cosmology run.
+
+Two halves:
+
+1. **Real run, scaled down** — a 125 Mpc/h LCDM box (the figure's
+   size) evolved from a = 0.1 to z = 0.3 with the PM comoving
+   integrator; halos are found with FoF and clustering measured with
+   the two-point correlation function — the data products behind the
+   figure's density image.
+2. **Run model at paper scale** — the 134-million-particle, 700-step,
+   250-processor production run: 10^16 flops in ~24 hours (112
+   Gflop/s), 1.5 TB written, 417 MB/s average and ~7 GB/s peak I/O.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.cosmology import (
+    LCDM,
+    PAPER_RUN,
+    ComovingSimulation,
+    correlation_function,
+    friends_of_friends,
+    zeldovich_ics,
+)
+
+
+def _build():
+    a_final = 1.0 / 1.3  # z = 0.3, the figure's epoch
+    ics = zeldovich_ics(n_side=20, box_mpc_h=125.0, a_start=0.1, cosmology=LCDM,
+                        seed=7, k_cut_fraction=0.8)
+    sim = ComovingSimulation(ics)
+    rms0 = sim.density_rms()
+    sim.run_to(a_final, dlna=0.05)
+    rms1 = sim.density_rms()
+    halos = friends_of_friends(sim.positions, min_members=8)
+    edges = np.array([0.02, 0.05, 0.1, 0.2, 0.35, 0.5])
+    centers, xi = correlation_function(sim.positions, edges)
+    return sim, rms0, rms1, halos, centers, xi
+
+
+def test_fig7_cosmology(benchmark):
+    sim, rms0, rms1, halos, centers, xi = benchmark.pedantic(_build, rounds=1, iterations=1)
+    print()
+    print(f"box evolved to a = {sim.a:.3f} (z = {1/sim.a - 1:.2f}; paper figure: z = 0.3, "
+          f"{LCDM.lookback_gyr(0.3):.1f} Gyr lookback)")
+    print(f"density contrast rms: {rms0:.3f} -> {rms1:.3f} "
+          f"(structure formed: x{rms1/rms0:.1f})")
+    print(f"FoF halos (>= 8 particles): {halos.n_halos}; "
+          f"largest {halos.halos[0].n_members if halos.n_halos else 0} particles")
+    print(format_table(
+        ["r (box units)", "xi(r)"],
+        [[c, x] for c, x in zip(centers, xi)],
+        "Two-point correlation function at z = 0.3",
+    ))
+    print()
+    model = PAPER_RUN
+    print(format_table(
+        ["quantity", "paper", "model"],
+        [
+            ["total flops", 1e16, model.total_flops],
+            ["wall hours", 24.0, model.wall_seconds / 3600.0],
+            ["sustained Gflop/s", 112.0, model.achieved_gflops],
+            ["avg I/O Mbyte/s", 417.0, model.average_io_bytes_s / 1e6],
+            ["peak I/O Gbyte/s", 7.0, model.peak_io_bytes_s / 1e9],
+        ],
+        "Section 4.3 production-run model (134M particles, 250 procs)",
+    ))
+    assert rms1 > 4.0 * rms0          # structure grew into the nonlinear regime
+    assert halos.n_halos >= 3          # halos formed
+    assert xi[0] > xi[1] > abs(xi[-1])  # clustering declines with scale
+    assert xi[0] > 0.6                 # strongly clustered at small separations
+    assert abs(model.achieved_gflops - 112.0) / 112.0 < 0.15

@@ -1,0 +1,60 @@
+"""Bench S21 — regenerate the Section 2.1 failure statistics.
+
+Monte-Carlo replays of the cluster's first nine months against the
+paper's observed counts (install defects and service failures per
+component), plus the SMART-prediction claim and node availability.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.cluster import (
+    INSTALL_DEFECTS,
+    SERVICE_FAILURES_9MO,
+    SS_COMPONENTS,
+    FailureModel,
+)
+
+
+def _build(trials=400):
+    model = FailureModel()
+    sims = [model.simulate(seed=s) for s in range(trials)]
+    mean_install = {
+        c.kind: float(np.mean([s.install_defects[c.kind] for s in sims])) for c in SS_COMPONENTS
+    }
+    mean_service = {
+        c.kind: float(np.mean([s.service_failures[c.kind] for s in sims])) for c in SS_COMPONENTS
+    }
+    smart = sum(s.smart_predicted for s in sims) / max(
+        sum(s.service_failures["disk drive"] for s in sims), 1
+    )
+    avail = float(np.mean([s.availability for s in sims]))
+    return model, mean_install, mean_service, smart, avail
+
+
+def test_s21_reliability(benchmark):
+    model, mean_install, mean_service, smart, avail = benchmark.pedantic(
+        _build, rounds=1, iterations=1
+    )
+    print()
+    rows = [
+        [c.kind, INSTALL_DEFECTS[c.kind], mean_install[c.kind],
+         SERVICE_FAILURES_9MO[c.kind], mean_service[c.kind],
+         c.mtbf_hours / 8766.0 if np.isfinite(c.mtbf_hours) else float("inf")]
+        for c in SS_COMPONENTS
+    ]
+    print(format_table(
+        ["component", "install (paper)", "install (MC)", "9-mo (paper)", "9-mo (MC)", "MTBF years"],
+        rows, "Section 2.1: component failures, 294-node cluster",
+    ))
+    print(f"SMART-predicted fraction of disk failures: {smart:.2f} (paper: 'a majority')")
+    print(f"mean node availability over 9 months: {avail:.4f}")
+    for c in SS_COMPONENTS:
+        assert abs(mean_install[c.kind] - INSTALL_DEFECTS[c.kind]) <= max(
+            1.0, 0.3 * INSTALL_DEFECTS[c.kind]
+        ), c.kind
+        assert abs(mean_service[c.kind] - SERVICE_FAILURES_9MO[c.kind]) <= max(
+            1.0, 0.3 * SERVICE_FAILURES_9MO[c.kind]
+        ), c.kind
+    assert smart > 0.5
+    assert avail > 0.995

@@ -1,0 +1,24 @@
+"""Bench T7 — regenerate Table 7: the Loki bill of materials (Sept 1996)."""
+
+from repro.analysis import format_table
+from repro.cluster import LOKI_BOM
+
+
+def _build():
+    rows = [
+        [item.quantity, item.unit_price if item.unit_price is not None else "", item.total, item.description]
+        for item in LOKI_BOM.items
+    ]
+    rows.append(["", "", LOKI_BOM.total_cost,
+                 f"Total  (${LOKI_BOM.cost_per_node:.0f}/node, "
+                 f"{LOKI_BOM.peak_mflops_per_node:.0f} Mflop/s peak/node)"])
+    return rows
+
+
+def test_table7_loki(benchmark):
+    rows = benchmark(_build)
+    print()
+    print(format_table(["Qty", "Price", "Ext.", "Description"], rows,
+                       "Table 7: Loki architecture and price (September 1996)"))
+    assert LOKI_BOM.total_cost == 51_379.0
+    assert round(LOKI_BOM.cost_per_node) == 3211

@@ -1,0 +1,79 @@
+"""The machine itself: procurement, power, reliability, economics.
+
+Walks through everything Section 2 and Section 5 report about the
+Space Simulator as a physical artifact: the bill of materials, the
+power/cooling envelope, a Monte-Carlo replay of nine months of
+component failures, the TOP500 placement, and the Moore's-law
+price/performance ledger against Loki.
+
+Run:  python examples/cluster_report.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.cluster import (
+    LOKI_BOM,
+    NBODY_LOKI_VS_SS,
+    SPACE_SIMULATOR_BOM,
+    SPACE_SIMULATOR_POWER,
+    SS_COMPONENTS,
+    TOP500_JUN2003,
+    TOP500_NOV2002,
+    FailureModel,
+    disk_dollars_per_gb,
+    estimate_rank,
+    npb_improvement_ratios,
+    price_per_mflops_cents,
+    ram_dollars_per_mb,
+)
+
+
+def main() -> None:
+    bom = SPACE_SIMULATOR_BOM
+    print("=" * 70)
+    print("THE SPACE SIMULATOR — cluster report")
+    print("=" * 70)
+    print(f"\n{bom.n_nodes} nodes, ${bom.total_cost:,.0f} total "
+          f"(${bom.cost_per_node:,.0f}/node, {100 * bom.network_fraction:.0f}% network)")
+    print(f"peak: {bom.peak_gflops:,.1f} Gflop/s "
+          f"({bom.peak_mflops_per_node / 1000:.2f} Gflop/s per node)")
+
+    print("\n-- power budget -----------------------------------------------")
+    p = SPACE_SIMULATOR_POWER
+    print(f"draw: {p.total_watts / 1000:.1f} kW against the {p.cooling_limit_watts / 1000:.0f} kW "
+          f"cooling limit (headroom {p.cooling_headroom_watts / 1000:.1f} kW)")
+    print(f"power strips: {p.nodes_per_strip()} nodes per 15 A strip, "
+          f"{p.strips_needed()} strips")
+
+    print("\n-- nine months of failures (Monte-Carlo vs observed) -----------")
+    model = FailureModel()
+    sims = [model.simulate(seed=s) for s in range(200)]
+    rows = []
+    for comp in SS_COMPONENTS:
+        mc = float(np.mean([s.service_failures[comp.kind] for s in sims]))
+        rows.append([comp.kind, comp.service_failures, f"{mc:.1f}",
+                     f"{comp.mtbf_hours / 8766:.0f}" if np.isfinite(comp.mtbf_hours) else "inf"])
+    print(format_table(["component", "observed", "simulated", "MTBF (years)"], rows))
+    print(f"expected node availability: {model.expected_availability():.4f}")
+
+    print("\n-- TOP500 placement ---------------------------------------------")
+    print(f"Nov 2002 list at 665.1 Gflop/s: rank #{estimate_rank(665.1, TOP500_NOV2002)}")
+    print(f"Jun 2003 list at 757.1 Gflop/s: rank #{estimate_rank(757.1, TOP500_JUN2003)}")
+    print(f"price/performance: {price_per_mflops_cents():.1f} cents per Mflop/s "
+          f"— the first TOP500 machine under $1")
+
+    print("\n-- six years after Loki (Moore's law says 16x) -------------------")
+    print(f"disk:   ${disk_dollars_per_gb(LOKI_BOM):.0f}/GB -> "
+          f"${disk_dollars_per_gb(SPACE_SIMULATOR_BOM):.2f}/GB")
+    print(f"memory: ${ram_dollars_per_mb(LOKI_BOM):.2f}/MB -> "
+          f"${ram_dollars_per_mb(SPACE_SIMULATOR_BOM):.2f}/MB")
+    print("NPB class B (16 procs):",
+          ", ".join(f"{b} {r:.1f}x" for b, r in npb_improvement_ratios().items()))
+    c = NBODY_LOKI_VS_SS
+    print(f"N-body: {c.performance_ratio:.0f}x measured vs "
+          f"{c.predicted_ratio():.0f}x Moore-predicted")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Dissipationless dark-halo collapse (Section 4.1, reference [18]).
+
+The galactic-dynamics application of the treecode: a cold, slowly
+rotating, quadrupolar-perturbed sphere collapses violently, relaxes
+toward virial equilibrium, and settles into a centrally concentrated
+triaxial halo whose angular momentum aligns with its minor axis — the
+result of Warren, Quinn, Salmon & Zurek (1992), whose simulations this
+code lineage was built for.
+
+Run:  python examples/dark_halo_collapse.py
+"""
+
+import numpy as np
+
+from repro.core import nbody_simulate
+from repro.galaxy import (
+    axis_ratios,
+    cold_collapse_ics,
+    density_profile,
+    half_mass_radius,
+    spin_alignment,
+    virial_ratio,
+)
+
+
+def main() -> None:
+    n = 400
+    pos, vel, masses = cold_collapse_ics(n, spin=0.2, perturbation=0.25, seed=18)
+    print(f"cold collapse: N = {n}, spin parameter 0.2, quadrupole perturbation 0.25")
+    print(f"initial virial ratio 2T/|W| = {virial_ratio(pos, vel, masses):.3f} (cold)")
+    print(f"initial half-mass radius    = {half_mass_radius(pos, masses):.3f}\n")
+
+    integ = nbody_simulate(pos, vel, masses, dt=0.02, n_steps=0, theta=0.7, eps=0.05)
+    print("   t     2T/|W|   r_half")
+    for epoch in range(6):
+        integ.run(0.02, 25)
+        q = virial_ratio(integ.positions, integ.velocities, masses)
+        rh = half_mass_radius(integ.positions, masses)
+        print(f"  {integ.time:4.1f}   {q:6.3f}   {rh:6.3f}")
+
+    print("\nfinal density profile (initial uniform value: 0.239):")
+    centers, rho = density_profile(integ.positions, masses, n_bins=8)
+    for c, r in zip(centers, rho):
+        if r > 0:
+            print(f"  r = {c:6.3f}   rho = {r:8.3f}")
+
+    ba, ca, _ = axis_ratios(integ.positions, masses)
+    align = spin_alignment(integ.positions, integ.velocities, masses)
+    print(f"\nhalo shape: b/a = {ba:.2f}, c/a = {ca:.2f} (triaxial)")
+    print(f"spin-minor-axis alignment |cos| = {align:.2f} "
+          f"(ref [18]: J aligns with the minor axis)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Quickstart: hashed oct-tree gravity in five minutes.
+
+Builds a Plummer-sphere star cluster, computes gravitational
+accelerations with the hashed oct-tree at several opening angles,
+checks them against direct O(N^2) summation, and integrates a few
+leapfrog steps with an energy audit — the minimal tour of the public
+API (build_tree / tree_accelerations / direct_accelerations /
+LeapfrogIntegrator).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    LeapfrogIntegrator,
+    direct_accelerations,
+    total_energy,
+    tree_accelerations,
+)
+
+
+def plummer_sphere(n: int, seed: int = 42) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Positions, velocities, masses of an isotropic Plummer model."""
+    rng = np.random.default_rng(seed)
+    u = rng.random(n)
+    r = 1.0 / np.sqrt(u ** (-2.0 / 3.0) - 1.0)
+    r = np.clip(r, None, 8.0)
+    direction = rng.standard_normal((n, 3))
+    direction /= np.linalg.norm(direction, axis=1, keepdims=True)
+    pos = r[:, None] * direction
+    # Cold-ish start: small isotropic velocities.
+    vel = 0.1 * rng.standard_normal((n, 3))
+    masses = np.full(n, 1.0 / n)
+    vel -= (masses[:, None] * vel).sum(axis=0) / masses.sum()
+    return pos, vel, masses
+
+
+def main() -> None:
+    n = 2000
+    eps = 0.05
+    pos, vel, masses = plummer_sphere(n)
+    print(f"Plummer sphere: N = {n}, softening eps = {eps}")
+
+    print("\n-- force accuracy vs direct summation ------------------------")
+    exact = direct_accelerations(pos, masses, eps=eps)
+    for theta in (1.0, 0.8, 0.6, 0.4):
+        approx = tree_accelerations(pos, masses, theta=theta, eps=eps)
+        err = np.linalg.norm(approx.accelerations - exact.accelerations, axis=1)
+        rel = err / np.linalg.norm(exact.accelerations, axis=1)
+        total = approx.counts.p2p + approx.counts.p2c
+        frac = total / (n * (n - 1))
+        print(
+            f"theta={theta:.1f}: median rel err {np.median(rel):.2e}, "
+            f"99th pct {np.percentile(rel, 99):.2e}, "
+            f"interactions {100 * frac:.1f}% of N^2"
+        )
+
+    print("\n-- a few dynamical steps with an energy audit -----------------")
+    ke0, pe0, e0 = total_energy(pos, vel, masses, eps=eps)
+    print(f"t=0.00  KE={ke0:+.4f}  PE={pe0:+.4f}  E={e0:+.5f}")
+
+    def accel(x: np.ndarray) -> np.ndarray:
+        return tree_accelerations(x, masses, theta=0.6, eps=eps).accelerations
+
+    integ = LeapfrogIntegrator(accel, pos.copy(), vel.copy(), masses)
+    dt = 0.02
+    for step in range(1, 11):
+        integ.step(dt)
+        if step % 5 == 0:
+            ke, pe, e = total_energy(integ.positions, integ.velocities, masses, eps=eps)
+            print(f"t={integ.time:.2f}  KE={ke:+.4f}  PE={pe:+.4f}  E={e:+.5f} "
+                  f"(drift {abs((e - e0) / e0):.2e})")
+    print("\nDone.  See examples/cosmology_box.py and "
+          "examples/supernova_collapse.py for the paper's applications.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Rotating core-collapse supernova (Section 4.4 / Figure 8).
+
+Builds a rotating n=3 polytropic stellar core, removes part of its
+pressure support (the collapse trigger), and evolves it with the full
+coupled stack: tree gravity + SPH + the stiffening nuclear equation of
+state + gray flux-limited-diffusion neutrino transport.  The core
+collapses, bounces at nuclear density, and the angular-momentum
+distribution develops the strong pole-equator asymmetry of Figure 8.
+
+Run:  python examples/supernova_collapse.py
+"""
+
+import numpy as np
+
+from repro.sph import (
+    CollapseConfig,
+    CollapseSimulation,
+    add_rotation,
+    angular_momentum_by_angle,
+    cone_vs_equator_angular_momentum,
+    polytrope_particles,
+)
+
+
+def main() -> None:
+    n = 400
+    pos, masses, u = polytrope_particles(n, seed=11)
+    vel = add_rotation(pos, omega0=0.45, r0=0.25)
+    cfg = CollapseConfig()
+    print(f"rotating n=3 polytrope: {n} SPH particles, "
+          f"Omega_0 = 0.45, nuclear density = {cfg.eos.rho_nuc} (code units)")
+    print(f"pressure deficit triggering collapse: {cfg.pressure_deficit:.0%}\n")
+
+    sim = CollapseSimulation(pos, vel, masses, u, cfg)
+    print("  step     t      rho_max   L_nu")
+    bounce_step = None
+    for step in range(1, 201):
+        sim.step()
+        if step % 20 == 0 or (bounce_step is None and sim.history.bounced(cfg.eos.rho_nuc)):
+            h = sim.history
+            print(f"  {step:4d}  {sim.time:6.3f}  {h.central_density[-1]:9.2f}  "
+                  f"{h.neutrino_luminosity[-1]:.2e}")
+        if bounce_step is None and sim.history.bounced(cfg.eos.rho_nuc):
+            bounce_step = step
+            print(f"  >>> core bounce at t = {sim.time:.3f} "
+                  f"(peak density {sim.history.max_density:.1f})")
+        if bounce_step is not None and step > bounce_step + 15:
+            break
+
+    print("\nangular momentum vs polar angle (Figure 8 diagnostic):")
+    centers, j = angular_momentum_by_angle(sim.positions, sim.velocities, masses)
+    jmax = max(j.max(), 1e-30)
+    for c, val in zip(centers, j):
+        bar = "#" * int(40 * val / jmax)
+        print(f"  {c:5.1f} deg  {val:.3e}  {bar}")
+    l_cone, l_eq = cone_vs_equator_angular_momentum(sim.positions, sim.velocities, masses)
+    print(f"\ntotal |L_z|: 15-degree polar cone = {l_cone:.3e}, "
+          f"equatorial band = {l_eq:.3e}")
+    print(f"equator/pole ratio: {l_eq / max(l_cone, 1e-30):.0f}x "
+          f"(paper: about two orders of magnitude)")
+
+
+if __name__ == "__main__":
+    main()

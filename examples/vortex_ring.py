@@ -1,0 +1,47 @@
+"""A self-propagating vortex ring on the tree (Section 4.1, ref [9]).
+
+The "generic design" in action: the same hashed oct-tree that computes
+gravity evaluates regularized Biot-Savart induction for vortex
+particles.  A discretized vortex ring translates along its axis at
+close to Kelvin's classical speed while conserving circulation and
+impulse.
+
+Run:  python examples/vortex_ring.py
+"""
+
+import numpy as np
+
+from repro.vortex import (
+    ring_centroid,
+    ring_radius,
+    ring_speed_kelvin,
+    vortex_ring,
+)
+
+
+def main() -> None:
+    gamma, radius, core = 1.0, 1.0, 0.1
+    ring = vortex_ring(96, gamma=gamma, radius=radius, sigma=core)
+    kelvin = ring_speed_kelvin(gamma, radius, core)
+    print(f"vortex ring: Gamma = {gamma}, R = {radius}, core = {core}, "
+          f"{ring.n_particles} particles")
+    print(f"Kelvin's thin-ring speed: U = {kelvin:.4f}\n")
+    print(f"total circulation (closed loop): {np.abs(ring.total_circulation).max():.2e}")
+    print(f"linear impulse I_z = {ring.linear_impulse[2]:.4f} "
+          f"(analytic: {gamma * np.pi * radius**2:.4f})\n")
+
+    dt = 0.1
+    z_prev = ring_centroid(ring)[2]
+    print("    t      z       R      measured U")
+    print(f"  0.00  {z_prev:6.3f}  {ring_radius(ring):6.3f}        -")
+    for step in range(1, 9):
+        ring.step(dt, theta=0.4)
+        z = ring_centroid(ring)[2]
+        print(f"  {step * dt:4.2f}  {z:6.3f}  {ring_radius(ring):6.3f}   {(z - z_prev) / dt:9.4f}")
+        z_prev = z
+    print(f"\nKelvin prediction {kelvin:.4f}; the discrete algebraic-core ring "
+          "travels a bit slower, as expected.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment has no network and no ``wheel`` package, so
+``pip install -e .`` cannot build the editable wheel modern pip wants.
+``python setup.py develop`` (or ``pip install -e . --no-build-isolation``
+on hosts that do have wheel) installs the package; all metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,13 @@
+"""Reporting helpers and the experiment registry."""
+
+from .experiments import EXPERIMENTS, Experiment, by_id
+from .tables import comparison_rows, format_comparison, format_table
+
+__all__ = [
+    "format_table",
+    "format_comparison",
+    "comparison_rows",
+    "Experiment",
+    "EXPERIMENTS",
+    "by_id",
+]

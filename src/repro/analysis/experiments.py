@@ -1,0 +1,106 @@
+"""Registry of reproduced experiments.
+
+One entry per paper table/figure/section result, tying the experiment
+id used throughout DESIGN.md and EXPERIMENTS.md to the modules that
+implement it and the benchmark that regenerates it.  Tests assert the
+registry covers every evaluation artifact of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Experiment", "EXPERIMENTS", "by_id"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    id: str
+    artifact: str
+    description: str
+    modules: tuple[str, ...]
+    bench: str
+
+
+EXPERIMENTS: tuple[Experiment, ...] = (
+    Experiment(
+        "T1", "Table 1", "Space Simulator bill of materials ($483,855; $1646/node)",
+        ("repro.cluster.bom",), "benchmarks/bench_table1_bom.py",
+    ),
+    Experiment(
+        "F2", "Figure 2", "NetPIPE bandwidth vs message size, five stacks (TCP 779 Mbit/s)",
+        ("repro.network.stacks", "repro.network.netpipe"), "benchmarks/bench_fig2_netpipe.py",
+    ),
+    Experiment(
+        "S31", "Section 3.1", "Switch backplane: 6000 Mbit/s cross-module; 8 Gbit trunk limit",
+        ("repro.network.switch", "repro.network.topology"), "benchmarks/bench_s31_backplane.py",
+    ),
+    Experiment(
+        "T2", "Table 2", "STREAM/NPB/SPEC/Linpack under four BIOS clock configurations",
+        ("repro.machine.clocking", "repro.stream", "repro.nas", "repro.spec", "repro.linpack"),
+        "benchmarks/bench_table2_clocking.py",
+    ),
+    Experiment(
+        "F3", "Figure 3", "Cluster Linpack: 665.1 (mpich) -> 757.1 Gflop/s (LAM); 63.9 c/Mflops",
+        ("repro.linpack.model", "repro.cluster.top500"), "benchmarks/bench_fig3_linpack.py",
+    ),
+    Experiment(
+        "T3", "Table 3", "64-processor class C NPB vs ASCI Q",
+        ("repro.nas.perf",), "benchmarks/bench_table3_npb_c64.py",
+    ),
+    Experiment(
+        "T4", "Table 4", "256-processor class D NPB vs ASCI Q",
+        ("repro.nas.perf",), "benchmarks/bench_table4_npb_d256.py",
+    ),
+    Experiment(
+        "F4", "Figure 4", "NPB class D scaling on the Space Simulator",
+        ("repro.nas.perf",), "benchmarks/bench_fig4_npb_scaling_d.py",
+    ),
+    Experiment(
+        "F5", "Figure 5", "NPB class C scaling incl. the LU L2 super-linearity",
+        ("repro.nas.perf",), "benchmarks/bench_fig5_npb_scaling_c.py",
+    ),
+    Experiment(
+        "T5", "Table 5", "Gravity micro-kernel, libm vs Karp, eleven processors",
+        ("repro.core.kernels", "repro.machine.specs"), "benchmarks/bench_table5_gravity_kernel.py",
+    ),
+    Experiment(
+        "T6", "Table 6", "Historical treecode performance 1993-2003",
+        ("repro.core.parallel", "repro.machine.specs"), "benchmarks/bench_table6_treecode_history.py",
+    ),
+    Experiment(
+        "F6", "Figure 6", "Morton load-balancing curve and 2-D tree",
+        ("repro.core.keys", "repro.core.domain", "repro.core.tree"), "benchmarks/bench_fig6_morton.py",
+    ),
+    Experiment(
+        "F7", "Figure 7 / S4.3", "Cosmology run: box realization + 134M-particle run model",
+        ("repro.cosmology",), "benchmarks/bench_fig7_cosmology.py",
+    ),
+    Experiment(
+        "F8", "Figure 8 / S4.4", "Rotating core collapse: equator/pole angular momentum",
+        ("repro.sph",), "benchmarks/bench_fig8_supernova.py",
+    ),
+    Experiment(
+        "T7", "Table 7", "Loki bill of materials ($51,379)",
+        ("repro.cluster.bom",), "benchmarks/bench_table7_loki.py",
+    ),
+    Experiment(
+        "S21", "Section 2.1", "Component failure statistics, nine months, 294 nodes",
+        ("repro.cluster.reliability",), "benchmarks/bench_s21_reliability.py",
+    ),
+    Experiment(
+        "S35", "Section 3.5", "SPEC CPU2000 price/performance ($1.20 per SPECfp)",
+        ("repro.spec", "repro.cluster.bom"), "benchmarks/bench_s35_spec.py",
+    ),
+    Experiment(
+        "S5", "Section 5", "Moore's-law price/performance analysis Loki -> SS",
+        ("repro.cluster.moore",), "benchmarks/bench_s5_moore.py",
+    ),
+)
+
+
+def by_id(experiment_id: str) -> Experiment:
+    for e in EXPERIMENTS:
+        if e.id == experiment_id:
+            return e
+    raise KeyError(f"unknown experiment {experiment_id!r}")

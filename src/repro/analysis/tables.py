@@ -1,0 +1,68 @@
+"""ASCII table rendering for the benchmark harness.
+
+Every bench regenerates a paper table/figure as rows of numbers; these
+helpers print them in an aligned, diff-friendly layout and compute the
+paper-vs-model comparison columns recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "comparison_rows", "format_comparison"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 10000 or abs(value) < 0.01:
+            return f"{value:.4g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
+    """Render rows under headers with right-aligned numeric columns."""
+    str_rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def comparison_rows(
+    labels: Sequence[str], paper: Sequence[float], measured: Sequence[float]
+) -> list[list[Any]]:
+    """Rows of (label, paper, ours, ratio) for EXPERIMENTS.md tables."""
+    if not (len(labels) == len(paper) == len(measured)):
+        raise ValueError("labels, paper, measured must have matching lengths")
+    rows = []
+    for label, p, m in zip(labels, paper, measured):
+        ratio = m / p if p else float("inf")
+        rows.append([label, p, m, ratio])
+    return rows
+
+
+def format_comparison(
+    labels: Sequence[str],
+    paper: Sequence[float],
+    measured: Sequence[float],
+    title: str = "",
+    value_name: str = "value",
+) -> str:
+    """The standard paper-vs-reproduction table."""
+    rows = comparison_rows(labels, paper, measured)
+    return format_table(
+        ["item", f"paper {value_name}", f"ours {value_name}", "ours/paper"], rows, title
+    )

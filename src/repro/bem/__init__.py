@@ -1,0 +1,23 @@
+"""Boundary integral methods on the tree (Section 4.1).
+
+Exterior Laplace solver via a single-layer potential with
+tree-accelerated matrix-free matvecs — the fourth of the paper's
+"generic design" application modules (N-body, SPH, vortex particles,
+boundary integrals).
+"""
+
+from .laplace import (
+    PanelSurface,
+    exterior_potential,
+    single_layer_matvec,
+    solve_dirichlet,
+    sphere_panels,
+)
+
+__all__ = [
+    "PanelSurface",
+    "sphere_panels",
+    "single_layer_matvec",
+    "solve_dirichlet",
+    "exterior_potential",
+]

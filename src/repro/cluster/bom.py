@@ -1,0 +1,129 @@
+"""Bills of materials: the Space Simulator (Table 1) and Loki (Table 7).
+
+Every line item as printed in the paper, with the derived quantities
+the text quotes: $1646 per node average ($728 of it network), 5.06
+Gflop/s peak per node, $483,855 total; Loki's $3211 per node at 200
+Mflop/s peak.  The BOM layer feeds the price/performance analyses
+(TOP500 ranking, SPECfp $/unit, the Section 5 Moore's-law comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LineItem", "BillOfMaterials", "SPACE_SIMULATOR_BOM", "LOKI_BOM"]
+
+
+@dataclass(frozen=True)
+class LineItem:
+    """One row of a procurement table."""
+
+    quantity: int
+    unit_price: float | None  # None when the paper prints only a total
+    description: str
+    total: float
+    category: str  # node | network | infrastructure
+
+    def __post_init__(self) -> None:
+        if self.quantity < 0 or self.total < 0:
+            raise ValueError("negative quantities/prices are not a thing")
+        if self.unit_price is not None and abs(self.quantity * self.unit_price - self.total) > 1.0:
+            raise ValueError(
+                f"{self.description}: qty x unit != total "
+                f"({self.quantity} x {self.unit_price} != {self.total})"
+            )
+
+
+@dataclass(frozen=True)
+class BillOfMaterials:
+    """A complete cluster procurement."""
+
+    name: str
+    date: str
+    items: tuple[LineItem, ...]
+    n_nodes: int
+    peak_mflops_per_node: float
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1 or self.peak_mflops_per_node <= 0:
+            raise ValueError("invalid BOM header")
+
+    @property
+    def total_cost(self) -> float:
+        return sum(item.total for item in self.items)
+
+    @property
+    def cost_per_node(self) -> float:
+        return self.total_cost / self.n_nodes
+
+    @property
+    def network_cost(self) -> float:
+        return sum(i.total for i in self.items if i.category == "network")
+
+    @property
+    def network_cost_per_node(self) -> float:
+        return self.network_cost / self.n_nodes
+
+    @property
+    def network_fraction(self) -> float:
+        return self.network_cost / self.total_cost
+
+    @property
+    def peak_gflops(self) -> float:
+        return self.n_nodes * self.peak_mflops_per_node / 1000.0
+
+    def dollars_per_peak_mflops(self) -> float:
+        return self.total_cost / (self.peak_gflops * 1000.0)
+
+    def dollars_per_measured_mflops(self, measured_gflops: float) -> float:
+        if measured_gflops <= 0:
+            raise ValueError("measured performance must be positive")
+        return self.total_cost / (measured_gflops * 1000.0)
+
+    def category_totals(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for item in self.items:
+            out[item.category] = out.get(item.category, 0.0) + item.total
+        return out
+
+
+#: Table 1 as printed (September 2002 prices).
+SPACE_SIMULATOR_BOM = BillOfMaterials(
+    name="Space Simulator",
+    date="2002-09",
+    n_nodes=294,
+    peak_mflops_per_node=5060.0,
+    items=(
+        LineItem(294, 280.0, "Shuttle SS51G mini system (bare)", 82_320.0, "node"),
+        LineItem(294, 254.0, "Intel P4/2.53GHz, 533MHz FSB, 512k cache", 74_676.0, "node"),
+        LineItem(588, 118.0, "512Mb DDR333 SDRAM (1024Mb per node)", 69_384.0, "node"),
+        LineItem(294, 95.0, "3com 3c996B-T Gigabit Ethernet PCI card", 27_930.0, "network"),
+        LineItem(294, 83.0, "Maxtor 4K080H4 80Gb 5400rpm Hard Disk", 24_402.0, "node"),
+        LineItem(294, 35.0, "Assembly Labor/Extended Warranty", 10_290.0, "node"),
+        LineItem(1, None, "Cat6 Ethernet cables", 4_000.0, "network"),
+        LineItem(1, None, "Wire shelving/switch rack", 3_300.0, "infrastructure"),
+        LineItem(1, None, "Power strips", 1_378.0, "infrastructure"),
+        LineItem(1, None, "Foundry FastIron 1500+800, 304 Gigabit ports", 186_175.0, "network"),
+    ),
+)
+
+#: Table 7 as printed (September 1996 prices).
+LOKI_BOM = BillOfMaterials(
+    name="Loki",
+    date="1996-09",
+    n_nodes=16,
+    peak_mflops_per_node=200.0,
+    items=(
+        LineItem(16, 595.0, "Intel Pentium Pro 200 Mhz CPU/256k cache", 9_520.0, "node"),
+        LineItem(16, 15.0, "Heat Sink and Fan", 240.0, "node"),
+        LineItem(16, 295.0, "Intel VS440FX (Venus) motherboard", 4_720.0, "node"),
+        LineItem(64, 235.0, "8x36 60ns parity FPM SIMMS (128 Mb per node)", 15_040.0, "node"),
+        LineItem(16, 359.0, "Quantum Fireball 3240 Mbyte IDE Hard Drive", 5_744.0, "node"),
+        LineItem(16, 85.0, "D-Link DFE-500TX 100 Mb Fast Ethernet PCI Card", 1_360.0, "network"),
+        LineItem(16, 129.0, "SMC EtherPower 10/100 Fast Ethernet PCI Card", 2_064.0, "network"),
+        LineItem(16, 59.0, "S3 Trio-64 1Mb PCI Video Card", 944.0, "node"),
+        LineItem(16, 119.0, "ATX Case", 1_904.0, "node"),
+        LineItem(2, 4794.0, "3Com SuperStack II Switch 3000, 8-port Fast Ethernet", 9_588.0, "network"),
+        LineItem(1, None, "Ethernet cables", 255.0, "network"),
+    ),
+)

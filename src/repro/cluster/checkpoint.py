@@ -1,0 +1,127 @@
+"""Checkpoint/restart economics for long cluster runs.
+
+Section 4.4's production runs take "roughly 4 months" at 32 processors
+and Section 2.1 documents real failure rates; surviving such runs
+requires checkpointing, and the checkpoint cadence is a genuine design
+decision on a machine with the paper's disk bandwidth.  This module
+provides the standard analysis:
+
+* :func:`young_interval` — Young's optimal checkpoint interval
+  ``sqrt(2 * dump_cost * MTBF)``;
+* :func:`expected_runtime` — expected completion time of a run with
+  exponential failures, checkpoint dumps, and restart/rework costs;
+* :func:`job_mtbf_hours` — system MTBF seen by a job on ``n`` of the
+  cluster's nodes, derived from the Section 2.1 component rates;
+* :class:`CheckpointPlan` — everything assembled for a given job,
+  including the dump cost implied by the node's local-disk bandwidth
+  (the paper's parallel-local-I/O strategy makes dumps cheap, which is
+  why a 24-hour 250-processor run was feasible in one piece).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..machine.node import NodeSpec, SPACE_SIMULATOR_NODE
+from .reliability import SS_COMPONENTS, ComponentPopulation
+
+__all__ = ["job_mtbf_hours", "young_interval", "expected_runtime", "CheckpointPlan"]
+
+
+def job_mtbf_hours(
+    n_nodes: int, components: tuple[ComponentPopulation, ...] = SS_COMPONENTS
+) -> float:
+    """MTBF experienced by a job spanning ``n_nodes`` nodes.
+
+    Sums the per-node failure rates of every component class (scaled
+    by count-per-node on the 294-node reference cluster) and inverts.
+    """
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be >= 1")
+    per_node_rate = 0.0
+    for comp in components:
+        per_unit = comp.failures_per_hour
+        units_per_node = comp.count / 294.0
+        per_node_rate += per_unit * units_per_node
+    if per_node_rate == 0:
+        return math.inf
+    return 1.0 / (per_node_rate * n_nodes)
+
+
+def young_interval(dump_hours: float, mtbf_hours: float) -> float:
+    """Young's first-order optimal checkpoint interval."""
+    if dump_hours <= 0 or mtbf_hours <= 0:
+        raise ValueError("dump cost and MTBF must be positive")
+    return math.sqrt(2.0 * dump_hours * mtbf_hours)
+
+
+def expected_runtime(
+    work_hours: float,
+    dump_hours: float,
+    mtbf_hours: float,
+    interval_hours: float | None = None,
+    restart_hours: float = 0.5,
+) -> float:
+    """Expected wall time of a checkpointed run under random failures.
+
+    The standard first-order model: each interval of useful work ``tau``
+    costs ``tau + dump``; a failure (rate ``1/M``) loses on average half
+    an interval plus the restart.  Expected time
+    ``= work * (1 + dump/tau) * (1 + (tau/2 + restart)/M)``.
+    """
+    if work_hours <= 0:
+        raise ValueError("work_hours must be positive")
+    if restart_hours < 0:
+        raise ValueError("restart_hours must be non-negative")
+    tau = young_interval(dump_hours, mtbf_hours) if interval_hours is None else interval_hours
+    if tau <= 0:
+        raise ValueError("checkpoint interval must be positive")
+    overhead = 1.0 + dump_hours / tau
+    failure_tax = 1.0 + (tau / 2.0 + restart_hours) / mtbf_hours
+    return work_hours * overhead * failure_tax
+
+
+@dataclass(frozen=True)
+class CheckpointPlan:
+    """Checkpoint strategy for a specific job on the cluster."""
+
+    n_nodes: int
+    work_hours: float
+    state_bytes_per_node: float
+    node: NodeSpec = SPACE_SIMULATOR_NODE
+    restart_hours: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1 or self.work_hours <= 0 or self.state_bytes_per_node <= 0:
+            raise ValueError("invalid checkpoint plan")
+
+    @property
+    def dump_hours(self) -> float:
+        """Checkpoint cost with the paper's parallel-local-disk I/O."""
+        seconds = self.node.disk.write_time_s(self.state_bytes_per_node / 1e6)
+        return seconds / 3600.0
+
+    @property
+    def mtbf_hours(self) -> float:
+        return job_mtbf_hours(self.n_nodes)
+
+    @property
+    def optimal_interval_hours(self) -> float:
+        return young_interval(self.dump_hours, self.mtbf_hours)
+
+    @property
+    def expected_wall_hours(self) -> float:
+        return expected_runtime(
+            self.work_hours, self.dump_hours, self.mtbf_hours,
+            self.optimal_interval_hours, self.restart_hours,
+        )
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Fractional time lost to dumps, rework, and restarts."""
+        return self.expected_wall_hours / self.work_hours - 1.0
+
+    @property
+    def expected_failures(self) -> float:
+        return self.expected_wall_hours / self.mtbf_hours

@@ -1,0 +1,114 @@
+"""TOP500 ranking context and the price/performance milestone (Fig 3).
+
+Figure 3's claims: 665.1 Gflop/s ranked #85 on the 20th list (November
+2002); the improved 757.1 Gflop/s ranked #88 on the 21st list (June
+2003) and *would have* ranked #69 on the 20th; and the machine is "the
+first example of a machine in the TOP500 with price/performance of
+better than 1 dollar per Mflop/s" — 63.9 cents.
+
+A sparse anchor table of each list (entries the community record
+preserves, including the thresholds around the Space Simulator's
+positions) supports rank interpolation, and the price/performance
+arithmetic is computed from the Table 1 BOM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .bom import SPACE_SIMULATOR_BOM
+
+__all__ = [
+    "Top500Anchor",
+    "TOP500_NOV2002",
+    "TOP500_JUN2003",
+    "estimate_rank",
+    "price_per_mflops_cents",
+    "SS_LINPACK_NOV2002",
+    "SS_LINPACK_APR2003",
+]
+
+SS_LINPACK_NOV2002 = 665.1
+SS_LINPACK_APR2003 = 757.1
+
+
+@dataclass(frozen=True)
+class Top500Anchor:
+    """One (rank, Rmax) point of a TOP500 list."""
+
+    rank: int
+    gflops: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.rank < 1 or self.gflops <= 0:
+            raise ValueError("invalid anchor")
+
+
+#: 20th list (November 2002), sparse anchors.  The Space Simulator's
+#: own position pins rank 85; the #69 threshold is fixed by the paper's
+#: "would have ranked #69" statement about 757.1 Gflop/s.
+TOP500_NOV2002: tuple[Top500Anchor, ...] = (
+    Top500Anchor(1, 35_860.0, "Earth Simulator"),
+    Top500Anchor(2, 7_727.0, "ASCI Q (1st segment)"),
+    Top500Anchor(5, 5_694.0, "ASCI White"),
+    Top500Anchor(10, 3_241.0),
+    Top500Anchor(25, 1_603.0),
+    Top500Anchor(50, 996.9),
+    Top500Anchor(69, 755.0),
+    Top500Anchor(85, 665.1, "Space Simulator"),
+    Top500Anchor(100, 590.0),
+    Top500Anchor(250, 322.0),
+    Top500Anchor(500, 195.8),
+)
+
+#: 21st list (June 2003), sparse anchors; SS at #88 with 757.1.
+TOP500_JUN2003: tuple[Top500Anchor, ...] = (
+    Top500Anchor(1, 35_860.0, "Earth Simulator"),
+    Top500Anchor(2, 13_880.0, "ASCI Q"),
+    Top500Anchor(10, 3_337.0),
+    Top500Anchor(25, 2_004.0),
+    Top500Anchor(50, 1_166.0),
+    Top500Anchor(88, 757.1, "Space Simulator"),
+    Top500Anchor(100, 713.3),
+    Top500Anchor(250, 403.6),
+    Top500Anchor(500, 245.1),
+)
+
+
+def estimate_rank(gflops: float, anchors: tuple[Top500Anchor, ...] = TOP500_NOV2002) -> int:
+    """Interpolated list rank for a Linpack result.
+
+    Log-linear interpolation between the bracketing anchors (TOP500
+    Rmax versus rank is close to a power law through the mid-list).
+    Results above the #1 anchor rank 1; below the #500 anchor, past
+    the end of the list (501).
+    """
+    import math
+
+    if gflops <= 0:
+        raise ValueError("gflops must be positive")
+    ordered = sorted(anchors, key=lambda a: a.rank)
+    if gflops >= ordered[0].gflops:
+        return 1
+    if gflops < ordered[-1].gflops:
+        return ordered[-1].rank + 1
+    for hi, lo in zip(ordered, ordered[1:]):
+        if lo.gflops <= gflops <= hi.gflops:
+            if hi.gflops == lo.gflops:
+                return lo.rank
+            frac = (math.log(hi.gflops) - math.log(gflops)) / (
+                math.log(hi.gflops) - math.log(lo.gflops)
+            )
+            return round(hi.rank + frac * (lo.rank - hi.rank))
+    raise AssertionError("unreachable")
+
+
+def price_per_mflops_cents(
+    gflops: float = SS_LINPACK_APR2003, cost: float | None = None
+) -> float:
+    """Cents per Linpack Mflop/s (the paper's 63.9 headline)."""
+    if gflops <= 0:
+        raise ValueError("gflops must be positive")
+    cost = SPACE_SIMULATOR_BOM.total_cost if cost is None else cost
+    return 100.0 * cost / (gflops * 1000.0)

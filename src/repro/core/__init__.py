@@ -1,0 +1,147 @@
+"""The Hashed Oct-Tree (HOT) N-body library — the paper's flagship code.
+
+Public surface:
+
+* key arithmetic (:mod:`~repro.core.keys`) — Morton keys with the
+  Warren–Salmon placeholder-bit convention;
+* :class:`~repro.core.hashtable.KeyHashTable` — the key -> cell map that
+  names the method;
+* :func:`~repro.core.tree.build_tree` /
+  :func:`~repro.core.gravity.tree_accelerations` — serial treecode;
+* :func:`~repro.core.gravity.direct_accelerations` — O(N^2) reference;
+* MACs (:mod:`~repro.core.mac`), micro-kernels
+  (:mod:`~repro.core.kernels`, the Table 5 benchmark), domain
+  decomposition (:mod:`~repro.core.domain`, Figure 6), leapfrog
+  integration (:mod:`~repro.core.integrator`);
+* the SimMPI parallel treecode with asynchronous batched messages
+  (:mod:`~repro.core.abm`, :mod:`~repro.core.parallel`, Table 6).
+"""
+
+from .abm import ABMChannel
+from .cellserver import (
+    CellRecord,
+    CellServer,
+    combine_records,
+    cover_interval,
+    key_interval,
+    shift_quadrupole,
+)
+from .domain import (
+    DomainDecomposition,
+    decompose,
+    morton_traversal_order_2d,
+    sample_splitters,
+    split_weighted,
+)
+from .gravity import (
+    GravityResult,
+    direct_accelerations,
+    total_energy,
+    tree_accelerations,
+)
+from .hashtable import KeyHashTable
+from .hilbert import (
+    axes_to_hilbert,
+    hilbert_keys_from_positions,
+    hilbert_to_axes,
+)
+from .integrator import LeapfrogIntegrator, StepStats, nbody_simulate
+from .kernels import (
+    KernelTiming,
+    interaction_kernel,
+    measure_kernel_mflops,
+    reciprocal_sqrt_karp,
+    reciprocal_sqrt_libm,
+)
+from .keys import (
+    KEY_BITS,
+    MAX_LEVEL,
+    ROOT_KEY,
+    BoundingBox,
+    ancestor_at_level,
+    cell_center_and_size,
+    child_keys,
+    key_level,
+    key_level_2d,
+    keys_from_positions,
+    keys_from_positions_2d,
+    octant_of,
+    parent_key,
+    positions_from_keys,
+)
+from .mac import AbsoluteErrorMAC, OpeningAngleMAC
+from .outofcore import (
+    OutOfCoreParticles,
+    OutOfCoreResult,
+    out_of_core_accelerations,
+)
+from .snapshot import Snapshot, SnapshotError, read_snapshot, write_snapshot
+from .parallel import (
+    ParallelConfig,
+    ParallelGravityResult,
+    parallel_tree_accelerations,
+)
+from .traversal import InteractionCounts, TraversalResult, compute_forces
+from .tree import Tree, build_tree
+
+__all__ = [
+    "KEY_BITS",
+    "MAX_LEVEL",
+    "ROOT_KEY",
+    "BoundingBox",
+    "keys_from_positions",
+    "positions_from_keys",
+    "keys_from_positions_2d",
+    "key_level",
+    "key_level_2d",
+    "parent_key",
+    "child_keys",
+    "ancestor_at_level",
+    "octant_of",
+    "cell_center_and_size",
+    "KeyHashTable",
+    "Tree",
+    "build_tree",
+    "OpeningAngleMAC",
+    "AbsoluteErrorMAC",
+    "InteractionCounts",
+    "TraversalResult",
+    "compute_forces",
+    "GravityResult",
+    "direct_accelerations",
+    "tree_accelerations",
+    "total_energy",
+    "reciprocal_sqrt_libm",
+    "reciprocal_sqrt_karp",
+    "interaction_kernel",
+    "KernelTiming",
+    "measure_kernel_mflops",
+    "split_weighted",
+    "decompose",
+    "DomainDecomposition",
+    "sample_splitters",
+    "morton_traversal_order_2d",
+    "LeapfrogIntegrator",
+    "StepStats",
+    "nbody_simulate",
+    "ABMChannel",
+    "CellRecord",
+    "CellServer",
+    "cover_interval",
+    "key_interval",
+    "shift_quadrupole",
+    "combine_records",
+    "ParallelConfig",
+    "ParallelGravityResult",
+    "parallel_tree_accelerations",
+    "OutOfCoreParticles",
+    "OutOfCoreResult",
+    "out_of_core_accelerations",
+    "hilbert_keys_from_positions",
+    "axes_to_hilbert",
+    "hilbert_to_axes",
+    "Snapshot",
+    "SnapshotError",
+    "read_snapshot",
+    "write_snapshot",
+]

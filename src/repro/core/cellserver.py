@@ -1,0 +1,272 @@
+"""Serving cell data out of the global key namespace.
+
+In the hashed oct-tree, any processor can name any cell of the global
+tree by its Morton key.  A processor that *owns* a contiguous key range
+can answer queries about every cell whose key interval lies inside that
+range — mass, center of mass, quadrupole, children, or (for leaves) the
+particles themselves.  :class:`CellServer` implements that service with
+prefix sums over the Morton-sorted local particles: any cell is a
+contiguous run, so its record is O(log N) searchsorted plus O(1)
+arithmetic, with no explicit tree stored at all.
+
+This is the data-plane half of the paper's "request and receive data
+from other processors using the global key name space"; the control
+plane (batching, deferral) lives in :mod:`repro.core.abm` and
+:mod:`repro.core.parallel`.
+
+Also here: :func:`cover_interval`, the minimal aligned-cell cover of a
+key interval, which yields each processor's **branch cells** (the
+coarsest cells fully owned by one processor), and
+:func:`shift_quadrupole`, the parallel-axis combination used to
+aggregate branch multipoles into the shared top of the tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .keys import KEY_BITS, MAX_LEVEL, BoundingBox, cell_center_and_size, key_level
+
+__all__ = [
+    "CellRecord",
+    "CellServer",
+    "cover_interval",
+    "key_interval",
+    "shift_quadrupole",
+    "combine_records",
+]
+
+_PLACEHOLDER = 1 << (3 * KEY_BITS)
+
+
+def key_interval(key: int) -> tuple[int, int]:
+    """Particle-key interval [lo, hi) covered by a cell key."""
+    level = key_level(key)
+    width = 3 * (MAX_LEVEL - level)
+    body = (key - (1 << (3 * level))) << width
+    return body + _PLACEHOLDER, body + (1 << width) + _PLACEHOLDER
+
+
+def cover_interval(lo: int, hi: int) -> list[int]:
+    """Minimal set of aligned cell keys exactly covering [lo, hi).
+
+    ``lo``/``hi`` are particle-level keys (placeholder bit set); the
+    result is ordered by key interval.  This is the branch-cell
+    computation: applied to a processor's key range it yields the
+    coarsest cells that are entirely local to that processor.
+    """
+    if not (_PLACEHOLDER <= lo <= hi <= 2 * _PLACEHOLDER):
+        raise ValueError("interval must lie in particle-key space")
+    cells: list[int] = []
+    cur = lo - _PLACEHOLDER
+    end = hi - _PLACEHOLDER
+    while cur < end:
+        step = 1
+        # Grow the block while it stays aligned and inside the interval.
+        while cur % (step * 8) == 0 and cur + step * 8 <= end and step * 8 <= 8**MAX_LEVEL:
+            step *= 8
+        level = MAX_LEVEL
+        s = step
+        while s > 1:
+            s //= 8
+            level -= 1
+        cells.append((cur // step) + (1 << (3 * level)))
+        cur += step
+    return cells
+
+
+def shift_quadrupole(quad: np.ndarray, mass: float, d: np.ndarray) -> np.ndarray:
+    """Parallel-axis shift of a packed traceless quadrupole.
+
+    Moving the expansion center by ``-d`` (child COM minus parent COM)
+    adds ``m (3 d d^T - |d|^2 I)``; the result stays traceless.
+    """
+    d2 = float(d @ d)
+    out = quad.copy()
+    out[0] += mass * (3.0 * d[0] * d[0] - d2)
+    out[1] += mass * (3.0 * d[1] * d[1] - d2)
+    out[2] += mass * (3.0 * d[2] * d[2] - d2)
+    out[3] += mass * 3.0 * d[0] * d[1]
+    out[4] += mass * 3.0 * d[0] * d[2]
+    out[5] += mass * 3.0 * d[1] * d[2]
+    return out
+
+
+@dataclass
+class CellRecord:
+    """Everything a remote traversal needs to know about one cell."""
+
+    key: int
+    count: int
+    mass: float
+    com: np.ndarray  # (3,)
+    quad: np.ndarray  # (6,) packed traceless
+    bmax: float
+    is_leaf: bool
+    children: tuple[int, ...] = ()  # child keys (internal cells only)
+    # Leaf payload (filled when served with particles).
+    positions: np.ndarray | None = None
+    masses: np.ndarray | None = None
+
+
+def combine_records(key: int, children: list[CellRecord]) -> CellRecord:
+    """Aggregate child records into their parent's record.
+
+    Used to build the shared top of the global tree from the gathered
+    branch cells of all processors.
+    """
+    if not children:
+        raise ValueError("cannot combine zero children")
+    mass = sum(c.mass for c in children)
+    count = sum(c.count for c in children)
+    if mass > 0:
+        com = sum(c.mass * c.com for c in children) / mass
+    else:
+        com = children[0].com.copy()
+    quad = np.zeros(6)
+    bmax = 0.0
+    for c in children:
+        d = c.com - com
+        quad += shift_quadrupole(c.quad, c.mass, d)
+        bmax = max(bmax, float(np.linalg.norm(d)) + c.bmax)
+    return CellRecord(
+        key=key,
+        count=count,
+        mass=mass,
+        com=np.asarray(com, dtype=np.float64),
+        quad=quad,
+        bmax=bmax,
+        is_leaf=False,
+        children=tuple(sorted(c.key for c in children)),
+    )
+
+
+class CellServer:
+    """Answers cell queries for one processor's Morton-sorted particles.
+
+    Parameters
+    ----------
+    keys, positions, masses:
+        The local particle set, already sorted by ``keys``.
+    box:
+        The *global* bounding box (all processors must agree on it, or
+        keys would not form a common namespace).
+    bucket_size:
+        Cells with at most this many particles are leaves.  Because the
+        rule depends only on global cell content, every processor
+        derives the same virtual global tree.
+    """
+
+    def __init__(
+        self,
+        keys: np.ndarray,
+        positions: np.ndarray,
+        masses: np.ndarray,
+        box: BoundingBox,
+        bucket_size: int = 32,
+    ):
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        if keys.size > 1 and np.any(keys[1:] < keys[:-1]):
+            raise ValueError("keys must be sorted")
+        if bucket_size < 1:
+            raise ValueError("bucket_size must be >= 1")
+        self.keys = keys
+        self.positions = np.ascontiguousarray(positions, dtype=np.float64)
+        self.masses = np.ascontiguousarray(masses, dtype=np.float64)
+        self.box = box
+        self.bucket_size = bucket_size
+        n = keys.shape[0]
+        self._cm = np.zeros(n + 1)
+        np.cumsum(self.masses, out=self._cm[1:])
+        self._cmx = np.zeros((n + 1, 3))
+        np.cumsum(self.masses[:, None] * self.positions, axis=0, out=self._cmx[1:])
+        second = np.empty((n, 6))
+        p = self.positions
+        second[:, 0] = self.masses * p[:, 0] * p[:, 0]
+        second[:, 1] = self.masses * p[:, 1] * p[:, 1]
+        second[:, 2] = self.masses * p[:, 2] * p[:, 2]
+        second[:, 3] = self.masses * p[:, 0] * p[:, 1]
+        second[:, 4] = self.masses * p[:, 0] * p[:, 2]
+        second[:, 5] = self.masses * p[:, 1] * p[:, 2]
+        self._cs = np.zeros((n + 1, 6))
+        np.cumsum(second, axis=0, out=self._cs[1:])
+
+    @property
+    def n_particles(self) -> int:
+        return self.keys.shape[0]
+
+    def run_of(self, key: int) -> tuple[int, int]:
+        """Local particle run [s, e) of a cell key."""
+        lo, hi = key_interval(key)
+        s = int(np.searchsorted(self.keys, np.uint64(lo), side="left"))
+        e = int(np.searchsorted(self.keys, np.uint64(hi - 1), side="right"))
+        return s, e
+
+    def record(self, key: int, *, with_particles: bool | None = None) -> CellRecord:
+        """Full cell record; empty cells yield ``count == 0`` records.
+
+        ``with_particles`` defaults to "yes if leaf" (what a remote
+        requester needs); pass False to suppress the payload.
+        """
+        s, e = self.run_of(key)
+        count = e - s
+        level = key_level(key)
+        if count == 0:
+            return CellRecord(key, 0, 0.0, np.zeros(3), np.zeros(6), 0.0, True)
+        mass = float(self._cm[e] - self._cm[s])
+        mx = self._cmx[e] - self._cmx[s]
+        raw2 = self._cs[e] - self._cs[s]
+        com = mx / mass if mass > 0 else self.positions[s].copy()
+        quad = np.empty(6)
+        quad[0] = raw2[0] - mass * com[0] * com[0]
+        quad[1] = raw2[1] - mass * com[1] * com[1]
+        quad[2] = raw2[2] - mass * com[2] * com[2]
+        quad[3] = raw2[3] - mass * com[0] * com[1]
+        quad[4] = raw2[4] - mass * com[0] * com[2]
+        quad[5] = raw2[5] - mass * com[1] * com[2]
+        trace = quad[0] + quad[1] + quad[2]
+        quad[:3] = 3.0 * quad[:3] - trace
+        quad[3:] *= 3.0
+        center, size = cell_center_and_size(key, self.box)
+        bmax = float(np.sqrt(3.0) / 2.0 * size + np.linalg.norm(com - center))
+        is_leaf = count <= self.bucket_size or level >= MAX_LEVEL
+        children: tuple[int, ...] = ()
+        if not is_leaf:
+            kids = []
+            for octant in range(8):
+                ck = (key << 3) | octant
+                cs_, ce_ = self.run_of(ck)
+                if ce_ > cs_:
+                    kids.append(ck)
+            children = tuple(kids)
+        rec = CellRecord(key, count, mass, com, quad, bmax, is_leaf, children)
+        if with_particles is None:
+            with_particles = is_leaf
+        if with_particles and is_leaf:
+            rec.positions = self.positions[s:e].copy()
+            rec.masses = self.masses[s:e].copy()
+        return rec
+
+    def leaf_groups(self, branch_keys: list[int]) -> list[tuple[int, int, int]]:
+        """Virtual-tree leaves under the given branch cells.
+
+        Returns ``(key, start, end)`` runs covering every local
+        particle exactly once — the sink groups of the parallel
+        traversal.
+        """
+        groups: list[tuple[int, int, int]] = []
+        stack = list(branch_keys)
+        while stack:
+            key = stack.pop()
+            s, e = self.run_of(key)
+            if e == s:
+                continue
+            if e - s <= self.bucket_size or key_level(key) >= MAX_LEVEL:
+                groups.append((key, s, e))
+                continue
+            for octant in range(8):
+                stack.append((key << 3) | octant)
+        groups.sort(key=lambda g: g[1])
+        return groups

@@ -1,0 +1,162 @@
+"""Work-weighted domain decomposition along the Morton curve.
+
+Section 4.2: *"The domain decomposition is obtained by splitting this
+list into N_p (number of processors) pieces … practically identical to
+a parallel sorting algorithm, with the modification that the amount of
+data that ends up in each processor is weighted by the work associated
+with each item."*
+
+:func:`split_weighted` performs the serial splitting primitive —
+choosing key-space boundaries so each piece carries an equal share of
+the total work — and :func:`decompose` applies it to particle sets.
+:func:`sample_splitters` is the sampling step of the parallel sort the
+parallel treecode runs over SimMPI.  :func:`morton_traversal_order_2d`
+produces the self-similar load-balancing curve of Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .keys import BoundingBox, keys_from_positions, keys_from_positions_2d
+
+__all__ = [
+    "split_weighted",
+    "DomainDecomposition",
+    "decompose",
+    "sample_splitters",
+    "morton_traversal_order_2d",
+]
+
+
+def split_weighted(work: np.ndarray, n_pieces: int) -> np.ndarray:
+    """Boundaries splitting a work array into balanced contiguous runs.
+
+    Returns ``n_pieces + 1`` indices ``b`` with ``b[0] == 0`` and
+    ``b[-1] == len(work)``; piece ``p`` is ``[b[p], b[p+1])``.  The cut
+    points are where cumulative work crosses equal shares, so no piece
+    exceeds the ideal share by more than one item's work.
+    """
+    work = np.asarray(work, dtype=np.float64)
+    if work.ndim != 1:
+        raise ValueError("work must be 1-D")
+    if np.any(work < 0):
+        raise ValueError("work must be non-negative")
+    if n_pieces < 1:
+        raise ValueError("n_pieces must be >= 1")
+    total = work.sum()
+    if total == 0:
+        # Degenerate: balance by count instead.
+        return np.linspace(0, work.size, n_pieces + 1).astype(np.int64)
+    cum = np.concatenate([[0.0], np.cumsum(work)])
+    targets = total * np.arange(1, n_pieces) / n_pieces
+    # Nearest-rounding of each boundary: cut where cumulative work is
+    # closest to the target share, so no piece misses its share by more
+    # than one item's work.
+    hi = np.searchsorted(cum, targets, side="left")
+    hi = np.clip(hi, 1, work.size)
+    lo = hi - 1
+    pick_lo = np.abs(cum[lo] - targets) <= np.abs(cum[hi] - targets)
+    inner = np.where(pick_lo, lo, hi)
+    bounds = np.concatenate([[0], inner, [work.size]]).astype(np.int64)
+    return np.maximum.accumulate(bounds)
+
+
+@dataclass
+class DomainDecomposition:
+    """Result of splitting a particle set across processors."""
+
+    boundaries: np.ndarray  # (P+1,) indices into the Morton-sorted arrays
+    order: np.ndarray  # Morton sort permutation of the input
+    keys: np.ndarray  # sorted keys
+    work: np.ndarray  # sorted per-particle work
+
+    @property
+    def n_pieces(self) -> int:
+        return self.boundaries.size - 1
+
+    def owner_of(self, sorted_index: np.ndarray | int) -> np.ndarray | int:
+        """Which piece a Morton-sorted particle index belongs to."""
+        return np.searchsorted(self.boundaries, sorted_index, side="right") - 1
+
+    def piece(self, p: int) -> slice:
+        if not 0 <= p < self.n_pieces:
+            raise ValueError(f"piece {p} out of range")
+        return slice(int(self.boundaries[p]), int(self.boundaries[p + 1]))
+
+    def counts(self) -> np.ndarray:
+        return np.diff(self.boundaries)
+
+    def work_shares(self) -> np.ndarray:
+        """Per-piece work divided by the ideal equal share."""
+        cum = np.concatenate([[0.0], np.cumsum(self.work)])
+        per = cum[self.boundaries[1:]] - cum[self.boundaries[:-1]]
+        total = self.work.sum()
+        if total == 0:
+            return np.ones(self.n_pieces)
+        return per / (total / self.n_pieces)
+
+
+def decompose(
+    positions: np.ndarray,
+    work: np.ndarray | None = None,
+    *,
+    n_pieces: int,
+    box: BoundingBox | None = None,
+) -> DomainDecomposition:
+    """Morton-sort particles and split them into work-balanced pieces.
+
+    ``work`` defaults to uniform (pure count balancing); in production
+    runs the treecode feeds back the previous step's interaction counts,
+    as the original HOT code does.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    n = positions.shape[0]
+    if work is None:
+        work = np.ones(n)
+    else:
+        work = np.asarray(work, dtype=np.float64)
+        if work.shape != (n,):
+            raise ValueError("work must have shape (N,)")
+    keys = keys_from_positions(positions, box)
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    sorted_work = work[order]
+    boundaries = split_weighted(sorted_work, n_pieces)
+    return DomainDecomposition(boundaries, order, sorted_keys, sorted_work)
+
+
+def sample_splitters(
+    local_keys: np.ndarray,
+    local_work: np.ndarray,
+    n_pieces: int,
+    oversample: int = 32,
+    seed: int = 0,
+) -> np.ndarray:
+    """Candidate splitter keys from a local sample (parallel-sort step).
+
+    Each rank calls this on its local data; gathering and merging the
+    samples, then splitting the merged sample with
+    :func:`split_weighted`, yields global splitter keys without moving
+    the full particle set — the classic sample-sort construction.
+    """
+    local_keys = np.asarray(local_keys, dtype=np.uint64)
+    if local_keys.size == 0:
+        return np.empty(0, dtype=np.uint64)
+    rng = np.random.default_rng(seed)
+    k = min(local_keys.size, n_pieces * oversample)
+    idx = rng.choice(local_keys.size, size=k, replace=False)
+    return np.sort(local_keys[idx])
+
+
+def morton_traversal_order_2d(positions: np.ndarray, box: BoundingBox | None = None) -> np.ndarray:
+    """Indices ordering 2-D points along the self-similar Morton curve.
+
+    Connecting the points in this order draws the left panel of
+    Figure 6; splitting the order into equal-work runs shows the
+    processor domains.
+    """
+    keys = keys_from_positions_2d(positions, box)
+    return np.argsort(keys, kind="stable")

@@ -1,0 +1,167 @@
+"""The key -> cell hash table that gives the Hashed Oct-Tree its name.
+
+Section 4.2: *"A hash table is used in order to translate the key into
+a pointer to the location where the cell data are stored.  This level
+of indirection through a hash table can also be used to catch accesses
+to non-local data, and allows us to request and receive data from other
+processors using the global key name space."*
+
+:class:`KeyHashTable` is an open-addressing (linear probing) table over
+NumPy arrays, with batch insert/lookup vectorized across probe rounds —
+a faithful stand-in for the C original's performance structure.  Lookup
+of an absent key is not an error: it returns a miss mask, which is
+exactly the "catch" mechanism the parallel traversal uses to detect
+that a cell lives on another processor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KeyHashTable"]
+
+_U = np.uint64
+
+#: Fibonacci-style 64-bit multiplicative hashing constant.
+_HASH_MULT = _U(0x9E3779B97F4A7C15)
+
+#: Sentinel for an empty slot (no valid Morton key is 0: all carry the
+#: placeholder bit).
+_EMPTY = _U(0)
+
+
+class KeyHashTable:
+    """Open-addressing hash map from uint64 Morton keys to int64 values.
+
+    Grows automatically past ``max_load`` occupancy.  Duplicate inserts
+    overwrite (last write wins), matching the treecode's use where a
+    cell's slot is updated as data arrives from remote processors.
+    """
+
+    def __init__(self, capacity: int = 1024, max_load: float = 0.65):
+        if capacity < 8:
+            capacity = 8
+        if not 0.1 <= max_load <= 0.9:
+            raise ValueError(f"max_load must be in [0.1, 0.9], got {max_load}")
+        self._bits = max(3, int(np.ceil(np.log2(capacity))))
+        self.max_load = max_load
+        self._alloc(self._bits)
+
+    def _alloc(self, bits: int) -> None:
+        self._bits = bits
+        size = 1 << bits
+        self._keys = np.zeros(size, dtype=np.uint64)
+        self._values = np.zeros(size, dtype=np.int64)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def capacity(self) -> int:
+        return self._keys.shape[0]
+
+    @property
+    def load_factor(self) -> float:
+        return self._count / self.capacity
+
+    def _slots(self, keys: np.ndarray) -> np.ndarray:
+        shift = _U(64 - self._bits)
+        return ((keys * _HASH_MULT) >> shift).astype(np.int64)
+
+    def insert(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Insert (or overwrite) a batch of key -> value mappings."""
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        values = np.ascontiguousarray(values, dtype=np.int64)
+        if keys.shape != values.shape or keys.ndim != 1:
+            raise ValueError("keys and values must be matching 1-D arrays")
+        if keys.size == 0:
+            return
+        if np.any(keys == _EMPTY):
+            raise ValueError("key 0 is reserved (Morton keys always carry the placeholder bit)")
+        # A batch may itself contain duplicate keys; keep the last
+        # occurrence to preserve overwrite semantics.
+        _, last_idx = np.unique(keys[::-1], return_index=True)
+        keep = np.sort(keys.size - 1 - last_idx)
+        keys, values = keys[keep], values[keep]
+        while (self._count + keys.size) / self.capacity > self.max_load:
+            self._grow()
+        self._insert_unique(keys, values)
+
+    def _grow(self) -> None:
+        old_keys, old_values = self._keys, self._values
+        live = old_keys != _EMPTY
+        self._alloc(self._bits + 1)
+        self._insert_unique(old_keys[live], old_values[live])
+
+    def _insert_unique(self, keys: np.ndarray, values: np.ndarray) -> None:
+        slots = self._slots(keys)
+        pending = np.arange(keys.size)
+        mask = np.int64(self.capacity - 1)
+        while pending.size:
+            s = slots[pending]
+            slot_keys = self._keys[s]
+            empty = slot_keys == _EMPTY
+            match = slot_keys == keys[pending]
+            placeable = empty | match
+            if np.any(placeable):
+                idx = pending[placeable]
+                target = s[placeable]
+                # Two distinct new keys can hash to the same empty slot in
+                # the same round; keep the first of each target slot and
+                # retry the rest next round.
+                uniq_target, first = np.unique(target, return_index=True)
+                chosen = idx[first]
+                was_empty = self._keys[uniq_target] == _EMPTY
+                self._keys[uniq_target] = keys[chosen]
+                self._values[uniq_target] = values[chosen]
+                self._count += int(was_empty.sum())
+                placed = np.zeros(pending.size, dtype=bool)
+                placeable_idx = np.flatnonzero(placeable)
+                placed[placeable_idx[first]] = True
+                pending = pending[~placed]
+            slots[pending] = (slots[pending] + 1) & mask
+
+    def lookup(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Batch lookup: ``(values, found)`` arrays.
+
+        ``values[i]`` is meaningful only where ``found[i]``; misses are
+        the non-local-data signal in the parallel traversal.
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        if keys.ndim != 1:
+            raise ValueError("keys must be a 1-D array")
+        values = np.zeros(keys.shape, dtype=np.int64)
+        found = np.zeros(keys.shape, dtype=bool)
+        if keys.size == 0:
+            return values, found
+        slots = self._slots(keys)
+        pending = np.arange(keys.size)
+        mask = np.int64(self.capacity - 1)
+        # Linear probing terminates at an empty slot: the key is absent.
+        for _ in range(self.capacity):
+            if pending.size == 0:
+                break
+            s = slots[pending]
+            slot_keys = self._keys[s]
+            hit = slot_keys == keys[pending]
+            miss = slot_keys == _EMPTY
+            values[pending[hit]] = self._values[s[hit]]
+            found[pending[hit]] = True
+            pending = pending[~(hit | miss)]
+            slots[pending] = (slots[pending] + 1) & mask
+        return values, found
+
+    def get(self, key: int, default: int | None = None) -> int | None:
+        """Scalar convenience lookup."""
+        values, found = self.lookup(np.array([key], dtype=np.uint64))
+        if found[0]:
+            return int(values[0])
+        return default
+
+    def __contains__(self, key: int) -> bool:
+        return self.get(key) is not None
+
+    def keys(self) -> np.ndarray:
+        """All stored keys (unordered)."""
+        return self._keys[self._keys != _EMPTY].copy()

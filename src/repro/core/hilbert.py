@@ -1,0 +1,164 @@
+"""Hilbert-curve keys: the locality ablation for Morton ordering.
+
+Section 4.2 chooses Morton ordering because it "maps the points in
+3-dimensional space to a 1-dimensional list, while maintaining as much
+spatial locality as possible" — with the advantage that parent/child
+keys are pure bit arithmetic.  The Hilbert curve is the classic
+alternative: *strictly better* locality (consecutive curve cells are
+always face-adjacent; Morton takes long diagonal jumps between octant
+blocks) at the cost of more expensive key computation and no simple
+parent arithmetic.
+
+This module implements 3-D Hilbert indices with Skilling's
+transpose algorithm (vectorized over particle arrays), plus the
+locality metrics the ablation bench uses to quantify the tradeoff —
+curve jump lengths and the domain-decomposition surface area that
+drives parallel communication volume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .keys import KEY_BITS, BoundingBox, _dilate3, _quantize
+
+__all__ = [
+    "hilbert_keys_from_positions",
+    "axes_to_hilbert",
+    "hilbert_to_axes",
+    "curve_jump_stats",
+    "decomposition_surface",
+]
+
+_U = np.uint64
+
+
+def axes_to_hilbert(coords: np.ndarray, bits: int = KEY_BITS) -> np.ndarray:
+    """Hilbert indices for integer coordinate triples (Skilling 2004).
+
+    ``coords`` is (N, 3) with entries in ``[0, 2**bits)``; the result is
+    uint64 Hilbert indices in ``[0, 8**bits)``.
+    """
+    coords = np.asarray(coords)
+    if coords.ndim != 2 or coords.shape[1] != 3:
+        raise ValueError("coords must be (N, 3)")
+    if bits < 1 or 3 * bits > 63:
+        raise ValueError("bits must be in [1, 21]")
+    if coords.min() < 0 or coords.max() >= (1 << bits):
+        raise ValueError("coordinates out of range for the bit depth")
+    x = [coords[:, i].astype(np.uint64).copy() for i in range(3)]
+
+    # Inverse-undo pass (Skilling's AxesToTranspose).
+    q = _U(1 << (bits - 1))
+    while q > _U(1):
+        p = q - _U(1)
+        for i in range(3):
+            hi = (x[i] & q) != 0
+            # Where the bit is set: invert x[0]'s low bits; otherwise
+            # exchange low bits of x[0] and x[i].
+            x[0] = np.where(hi, x[0] ^ p, x[0])
+            t = (x[0] ^ x[i]) & p
+            x[0] = np.where(hi, x[0], x[0] ^ t)
+            x[i] = np.where(hi, x[i], x[i] ^ t)
+        q >>= _U(1)
+
+    # Gray-code the transpose.
+    for i in range(1, 3):
+        x[i] ^= x[i - 1]
+    t = np.zeros_like(x[0])
+    q = _U(1 << (bits - 1))
+    while q > _U(1):
+        t = np.where((x[2] & q) != 0, t ^ (q - _U(1)), t)
+        q >>= _U(1)
+    for i in range(3):
+        x[i] ^= t
+
+    # Interleave the transpose: within each 3-bit group (MSB first)
+    # the order is x[0], x[1], x[2].
+    return (_dilate3(x[0]) << _U(2)) | (_dilate3(x[1]) << _U(1)) | _dilate3(x[2])
+
+
+def hilbert_to_axes(indices: np.ndarray, bits: int = KEY_BITS) -> np.ndarray:
+    """Inverse of :func:`axes_to_hilbert` (Skilling's TransposeToAxes)."""
+    indices = np.asarray(indices, dtype=np.uint64)
+    if bits < 1 or 3 * bits > 63:
+        raise ValueError("bits must be in [1, 21]")
+    from .keys import _undilate3
+
+    x = [
+        _undilate3(indices >> _U(2)),
+        _undilate3(indices >> _U(1)),
+        _undilate3(indices),
+    ]
+    n = _U(1 << bits)
+
+    # Gray decode.
+    t = x[2] >> _U(1)
+    for i in range(2, 0, -1):
+        x[i] ^= x[i - 1]
+    x[0] ^= t
+
+    # Undo excess work.
+    q = _U(2)
+    while q != n:
+        p = q - _U(1)
+        for i in range(2, -1, -1):
+            hi = (x[i] & q) != 0
+            x[0] = np.where(hi, x[0] ^ p, x[0])
+            tt = (x[0] ^ x[i]) & p
+            x[0] = np.where(hi, x[0], x[0] ^ tt)
+            x[i] = np.where(hi, x[i], x[i] ^ tt)
+        q <<= _U(1)
+    return np.stack(x, axis=1)
+
+
+def hilbert_keys_from_positions(
+    positions: np.ndarray, box: BoundingBox | None = None, bits: int = KEY_BITS
+) -> np.ndarray:
+    """Hilbert indices for positions (analogous to keys_from_positions).
+
+    Note these are plain curve indices (no placeholder bit): Hilbert
+    indices do not support the Morton parent/child arithmetic, which is
+    exactly the tradeoff the paper's choice reflects.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    if positions.ndim != 2 or positions.shape[1] != 3:
+        raise ValueError("positions must be (N, 3)")
+    if box is None:
+        box = BoundingBox.from_points(positions)
+    q = _quantize(positions, box, bits)
+    return axes_to_hilbert(q.astype(np.int64), bits)
+
+
+def curve_jump_stats(positions: np.ndarray, order: np.ndarray) -> tuple[float, float]:
+    """(median, max) spatial jump between curve-consecutive points."""
+    curve = positions[order]
+    jumps = np.linalg.norm(np.diff(curve, axis=0), axis=1)
+    return float(np.median(jumps)), float(jumps.max())
+
+
+def decomposition_surface(
+    positions: np.ndarray, order: np.ndarray, n_pieces: int, radius: float
+) -> int:
+    """Neighbor pairs split across domain boundaries (comm-volume proxy).
+
+    Splits the ordered particle list into equal pieces and counts pairs
+    closer than ``radius`` whose members land in different pieces —
+    proportional to the halo-exchange volume a parallel code pays.
+    """
+    if n_pieces < 2:
+        raise ValueError("need at least 2 pieces")
+    n = positions.shape[0]
+    owner = np.empty(n, dtype=np.int64)
+    bounds = np.linspace(0, n, n_pieces + 1).astype(np.int64)
+    for p in range(n_pieces):
+        owner[order[bounds[p] : bounds[p + 1]]] = p
+    count = 0
+    r2 = radius * radius
+    for lo in range(0, n, 1024):
+        hi = min(lo + 1024, n)
+        d = positions[lo:hi, None, :] - positions[None, :, :]
+        close = (d**2).sum(axis=2) <= r2
+        cross = owner[lo:hi, None] != owner[None, :]
+        count += int((close & cross).sum())
+    return count // 2

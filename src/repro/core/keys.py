@@ -1,0 +1,277 @@
+"""Morton (Z-order) key arithmetic — the heart of the hashed oct-tree.
+
+Section 4.2: *"we assign a Key to each particle, which is based on
+Morton ordering.  This maps the points in 3-dimensional space to a
+1-dimensional list, while maintaining as much spatial locality as
+possible … The Morton ordered key labeling scheme implicitly defines
+the topology of the tree, and makes it possible to easily compute the
+key of a parent, daughter, or boundary cell for a given key."*
+
+Keys follow the Warren–Salmon convention: coordinates are quantized to
+``KEY_BITS`` (21) bits per dimension, bit-interleaved (x in the least
+significant position), and prefixed with a **placeholder bit** one
+position above the coordinate bits.  The placeholder makes every key's
+tree level self-describing and makes the root key ``1``:
+
+* particle key: placeholder at bit 63, level 21;
+* a cell's parent is ``key >> 3``;
+* a cell's eight daughters are ``key << 3 | octant``;
+* a key's level is ``(bit_length(key) - 1) // 3``.
+
+All hot paths are vectorized over ``uint64`` arrays; scalar helpers for
+single keys accept/return Python ints.  A 2-D variant (quadtree keys,
+``KEY_BITS_2D`` = 31 bits per dimension) supports the Figure 6
+load-balancing curve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "KEY_BITS",
+    "MAX_LEVEL",
+    "ROOT_KEY",
+    "KEY_BITS_2D",
+    "MAX_LEVEL_2D",
+    "keys_from_positions",
+    "positions_from_keys",
+    "key_level",
+    "parent_key",
+    "child_keys",
+    "ancestor_at_level",
+    "octant_of",
+    "cell_center_and_size",
+    "keys_from_positions_2d",
+    "key_level_2d",
+    "BoundingBox",
+]
+
+#: Bits per dimension for 3-D keys (63 coordinate bits + placeholder).
+KEY_BITS = 21
+#: Deepest 3-D tree level addressable by a key.
+MAX_LEVEL = KEY_BITS
+#: The root cell's key (just the placeholder bit).
+ROOT_KEY = 1
+
+#: Bits per dimension for 2-D keys (62 coordinate bits + placeholder).
+KEY_BITS_2D = 31
+MAX_LEVEL_2D = KEY_BITS_2D
+
+_U = np.uint64
+
+
+class BoundingBox:
+    """Cubical key-space domain: the root cell in world coordinates.
+
+    Morton quantization requires a common cube.  ``from_points`` pads
+    the tight bounding box slightly so no particle lands exactly on the
+    upper boundary (which would quantize out of range).
+    """
+
+    __slots__ = ("corner", "size")
+
+    def __init__(self, corner: np.ndarray, size: float):
+        corner = np.asarray(corner, dtype=np.float64)
+        if corner.ndim != 1:
+            raise ValueError("corner must be a 1-D coordinate")
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        self.corner = corner
+        self.size = float(size)
+
+    @classmethod
+    def from_points(cls, positions: np.ndarray, pad: float = 1e-6) -> "BoundingBox":
+        positions = np.asarray(positions, dtype=np.float64)
+        if positions.ndim != 2 or positions.shape[0] == 0:
+            raise ValueError("positions must be a non-empty (N, dim) array")
+        lo = positions.min(axis=0)
+        hi = positions.max(axis=0)
+        span = float((hi - lo).max())
+        if span == 0.0:
+            span = 1.0
+        size = span * (1.0 + 2.0 * pad)
+        corner = lo - span * pad
+        return cls(corner, size)
+
+    def __repr__(self) -> str:
+        return f"BoundingBox(corner={self.corner.tolist()}, size={self.size})"
+
+
+def _dilate3(x: np.ndarray) -> np.ndarray:
+    """Spread the low 21 bits of each element 3 positions apart."""
+    x = x.astype(np.uint64)
+    x = (x | (x << _U(32))) & _U(0x1F00000000FFFF)
+    x = (x | (x << _U(16))) & _U(0x1F0000FF0000FF)
+    x = (x | (x << _U(8))) & _U(0x100F00F00F00F00F)
+    x = (x | (x << _U(4))) & _U(0x10C30C30C30C30C3)
+    x = (x | (x << _U(2))) & _U(0x1249249249249249)
+    return x
+
+
+def _undilate3(x: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_dilate3`."""
+    x = x & _U(0x1249249249249249)
+    x = (x | (x >> _U(2))) & _U(0x10C30C30C30C30C3)
+    x = (x | (x >> _U(4))) & _U(0x100F00F00F00F00F)
+    x = (x | (x >> _U(8))) & _U(0x1F0000FF0000FF)
+    x = (x | (x >> _U(16))) & _U(0x1F00000000FFFF)
+    x = (x | (x >> _U(32))) & _U(0x1FFFFF)
+    return x
+
+
+def _dilate2(x: np.ndarray) -> np.ndarray:
+    """Spread the low 31 bits of each element 2 positions apart."""
+    x = x.astype(np.uint64)
+    x = (x | (x << _U(16))) & _U(0x0000FFFF0000FFFF)
+    x = (x | (x << _U(8))) & _U(0x00FF00FF00FF00FF)
+    x = (x | (x << _U(4))) & _U(0x0F0F0F0F0F0F0F0F)
+    x = (x | (x << _U(2))) & _U(0x3333333333333333)
+    x = (x | (x << _U(1))) & _U(0x5555555555555555)
+    return x
+
+
+def _quantize(positions: np.ndarray, box: BoundingBox, bits: int) -> np.ndarray:
+    scale = (1 << bits) / box.size
+    cells = np.floor((positions - box.corner) * scale).astype(np.int64)
+    if cells.min() < 0 or cells.max() >= (1 << bits):
+        raise ValueError("positions fall outside the bounding box")
+    return cells.astype(np.uint64)
+
+
+def keys_from_positions(positions: np.ndarray, box: BoundingBox | None = None) -> np.ndarray:
+    """Full-depth Morton keys (uint64) for an ``(N, 3)`` position array."""
+    positions = np.asarray(positions, dtype=np.float64)
+    if positions.ndim != 2 or positions.shape[1] != 3:
+        raise ValueError("positions must have shape (N, 3)")
+    if box is None:
+        box = BoundingBox.from_points(positions)
+    q = _quantize(positions, box, KEY_BITS)
+    keys = _dilate3(q[:, 0]) | (_dilate3(q[:, 1]) << _U(1)) | (_dilate3(q[:, 2]) << _U(2))
+    return keys | _U(1 << (3 * KEY_BITS))
+
+
+def positions_from_keys(keys: np.ndarray, box: BoundingBox) -> np.ndarray:
+    """Cell-corner positions of full-depth keys (inverse quantization).
+
+    Returns the lower corner of each key's depth-21 cell; the maximum
+    round-trip error versus the original position is one cell size,
+    ``box.size / 2**21``.
+    """
+    keys = np.asarray(keys, dtype=np.uint64)
+    body = keys & _U((1 << (3 * KEY_BITS)) - 1)
+    ix = _undilate3(body)
+    iy = _undilate3(body >> _U(1))
+    iz = _undilate3(body >> _U(2))
+    cell = box.size / (1 << KEY_BITS)
+    out = np.empty((keys.shape[0], 3), dtype=np.float64)
+    out[:, 0] = ix.astype(np.float64) * cell + box.corner[0]
+    out[:, 1] = iy.astype(np.float64) * cell + box.corner[1]
+    out[:, 2] = iz.astype(np.float64) * cell + box.corner[2]
+    return out
+
+
+def key_level(keys: np.ndarray | int) -> np.ndarray | int:
+    """Tree level encoded by the placeholder bit position.
+
+    Root (key 1) is level 0; particle keys are level ``MAX_LEVEL``.
+    """
+    if isinstance(keys, (int, np.integer)):
+        k = int(keys)
+        if k < 1:
+            raise ValueError(f"invalid key {k}")
+        return (k.bit_length() - 1) // 3
+    keys = np.asarray(keys, dtype=np.uint64)
+    if keys.size and keys.min() < 1:
+        raise ValueError("keys must be >= 1 (placeholder bit required)")
+    level = np.zeros(keys.shape, dtype=np.int64)
+    for lvl in range(1, MAX_LEVEL + 1):
+        level += (keys >= _U(1 << (3 * lvl))).astype(np.int64)
+    return level
+
+
+def parent_key(keys: np.ndarray | int) -> np.ndarray | int:
+    """Key of the containing cell one level up (``key >> 3``)."""
+    if isinstance(keys, (int, np.integer)):
+        k = int(keys)
+        if k <= 1:
+            raise ValueError("the root key has no parent")
+        return k >> 3
+    keys = np.asarray(keys, dtype=np.uint64)
+    if keys.size and keys.min() <= 1:
+        raise ValueError("the root key has no parent")
+    return keys >> _U(3)
+
+
+def child_keys(key: int) -> np.ndarray:
+    """The eight daughter keys of ``key``, octant order 0..7."""
+    key = int(key)
+    if key_level(key) >= MAX_LEVEL:
+        raise ValueError("cannot descend below the deepest level")
+    return (_U(key) << _U(3)) | np.arange(8, dtype=np.uint64)
+
+
+def ancestor_at_level(keys: np.ndarray | int, level: int) -> np.ndarray | int:
+    """The enclosing cell key at the given (shallower) level."""
+    if isinstance(keys, (int, np.integer)):
+        own = key_level(keys)
+        if level > own or level < 0:
+            raise ValueError(f"level {level} is not an ancestor level of a level-{own} key")
+        return int(keys) >> (3 * (own - level))
+    keys = np.asarray(keys, dtype=np.uint64)
+    own = key_level(keys)
+    if np.any(own < level) or level < 0:
+        raise ValueError("requested level deeper than some keys")
+    shift = (3 * (own - level)).astype(np.uint64)
+    return keys >> shift
+
+
+def octant_of(keys: np.ndarray | int) -> np.ndarray | int:
+    """Which daughter of its parent a key is (its low 3 bits)."""
+    if isinstance(keys, (int, np.integer)):
+        return int(keys) & 7
+    return np.asarray(keys, dtype=np.uint64) & _U(7)
+
+
+def cell_center_and_size(key: int, box: BoundingBox) -> tuple[np.ndarray, float]:
+    """World-space center and edge length of a cell key."""
+    level = key_level(key)
+    body = key & ((1 << (3 * level)) - 1)
+    # Undilate at this level: shift body up to full depth alignment.
+    shift = 3 * (KEY_BITS - level)
+    arr = np.array([body << shift], dtype=np.uint64)
+    ix = int(_undilate3(arr)[0]) >> (KEY_BITS - level)
+    iy = int(_undilate3(arr >> _U(1))[0]) >> (KEY_BITS - level)
+    iz = int(_undilate3(arr >> _U(2))[0]) >> (KEY_BITS - level)
+    size = box.size / (1 << level)
+    center = box.corner + (np.array([ix, iy, iz], dtype=np.float64) + 0.5) * size
+    return center, size
+
+
+# -- 2-D (quadtree) keys for the Figure 6 demonstration ------------------
+
+
+def keys_from_positions_2d(positions: np.ndarray, box: BoundingBox | None = None) -> np.ndarray:
+    """Full-depth 2-D Morton keys for an ``(N, 2)`` position array."""
+    positions = np.asarray(positions, dtype=np.float64)
+    if positions.ndim != 2 or positions.shape[1] != 2:
+        raise ValueError("positions must have shape (N, 2)")
+    if box is None:
+        box = BoundingBox.from_points(positions)
+    q = _quantize(positions, box, KEY_BITS_2D)
+    keys = _dilate2(q[:, 0]) | (_dilate2(q[:, 1]) << _U(1))
+    return keys | _U(1 << (2 * KEY_BITS_2D))
+
+
+def key_level_2d(keys: np.ndarray | int) -> np.ndarray | int:
+    """Quadtree level of a 2-D key (root = 0)."""
+    if isinstance(keys, (int, np.integer)):
+        k = int(keys)
+        if k < 1:
+            raise ValueError(f"invalid key {k}")
+        return (k.bit_length() - 1) // 2
+    keys = np.asarray(keys, dtype=np.uint64)
+    level = np.zeros(keys.shape, dtype=np.int64)
+    for lvl in range(1, MAX_LEVEL_2D + 1):
+        level += (keys >= _U(1 << (2 * lvl))).astype(np.int64)
+    return level

@@ -1,0 +1,89 @@
+"""Multipole acceptance criteria (MAC).
+
+The MAC decides, during traversal, whether a cell's multipole expansion
+is an acceptable stand-in for its particles.  The paper (Section 4.1):
+*"These methods obtain greatly increased efficiency by approximating
+the forces on particles.  Properly used, these methods do not
+contribute significantly to the total solution error."*
+
+Two criteria are provided:
+
+* :class:`OpeningAngleMAC` — the classic Barnes–Hut test, generalized
+  to sink *groups*: accept cell ``c`` for group ``g`` when
+
+  .. math:: d(c, g) > b_c/\\theta + b_g
+
+  where ``d`` is the COM separation and ``b`` the cells' ``bmax``
+  bounds.  Using ``bmax`` rather than the raw edge length makes the
+  test robust for cells whose mass is concentrated off-center.
+
+* :class:`AbsoluteErrorMAC` — a simplified Salmon–Warren style bound
+  that opens cells whose worst-case monopole force error exceeds a
+  user budget, making force errors uniform instead of geometric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["OpeningAngleMAC", "AbsoluteErrorMAC"]
+
+
+class OpeningAngleMAC:
+    """Barnes–Hut opening-angle criterion for group traversals."""
+
+    def __init__(self, theta: float = 0.6):
+        # theta <= 1 guarantees a group's ancestors always fail the
+        # test (they contain the group, so d <= b_c), which is what
+        # lets the traversal add the group's own particles exactly once.
+        if not 0.0 < theta <= 1.0:
+            raise ValueError(f"theta must be in (0, 1], got {theta}")
+        self.theta = theta
+
+    def accept(
+        self,
+        dist: np.ndarray,
+        cell_bmax: np.ndarray,
+        group_bmax: float,
+        cell_mass: np.ndarray,
+    ) -> np.ndarray:
+        return dist > cell_bmax / self.theta + group_bmax
+
+    def __repr__(self) -> str:
+        return f"OpeningAngleMAC(theta={self.theta})"
+
+
+class AbsoluteErrorMAC:
+    """Accept a cell when its worst-case monopole error is below budget.
+
+    The bound used is the leading truncation term of the multipole
+    expansion, ``G M b^2 / (d - b)^4 <= max_error`` — conservative and
+    cheap.  ``max_error`` is an acceleration in simulation units.
+    """
+
+    def __init__(self, max_error: float, G: float = 1.0):
+        if max_error <= 0:
+            raise ValueError(f"max_error must be positive, got {max_error}")
+        self.max_error = max_error
+        self.G = G
+
+    def accept(
+        self,
+        dist: np.ndarray,
+        cell_bmax: np.ndarray,
+        group_bmax: float,
+        cell_mass: np.ndarray,
+    ) -> np.ndarray:
+        gap = dist - cell_bmax - group_bmax
+        ok = gap > 0
+        err = np.full_like(dist, np.inf)
+        np.divide(
+            self.G * cell_mass * cell_bmax**2,
+            gap**4,
+            out=err,
+            where=ok,
+        )
+        return ok & (err <= self.max_error)
+
+    def __repr__(self) -> str:
+        return f"AbsoluteErrorMAC(max_error={self.max_error})"

@@ -1,0 +1,486 @@
+"""The parallel hashed oct-tree N-body code, on SimMPI.
+
+This module reassembles the full HOT pipeline of Section 4.2:
+
+1. **Key assignment & parallel sort** — every rank keys its particles
+   (global bounding box agreed by allreduce), samples splitter
+   candidates, and the ranks agree on key-space splitters; an alltoall
+   moves each particle to its owner.  This is the "domain decomposition
+   … practically identical to a parallel sorting algorithm".
+2. **Branch cells** — each rank computes the coarsest cells fully
+   inside its key range (:func:`~repro.core.cellserver.cover_interval`)
+   and the ranks allgather those cells' multipoles; everyone assembles
+   the shared top of the global tree ("frame") by parallel-axis
+   aggregation.
+3. **Traversal with deferral** — sink groups walk the global tree by
+   key.  Misses on remote cells do not stall the walk: the group is
+   parked on a software deferral queue and its key requests are
+   *batched per destination* through
+   :class:`~repro.core.abm.ABMChannel`; other groups keep walking.
+   Replies (cell records, or particles for leaves) land in a local
+   cache keyed by the global key namespace, and parked groups resume.
+4. **Evaluation** — interaction lists are evaluated with the same
+   vectorized monopole+quadrupole / direct kernels as the serial code.
+
+Because a cell's leaf-or-internal status depends only on its *global*
+particle count, every rank derives the same virtual global tree, and
+the result approximates the serial treecode to within MAC error for
+any number of ranks.
+
+Virtual time: compute segments charge the cost model with the real
+interaction counts (38 flops per particle-particle, 70 per
+particle-cell — the paper's accounting), so
+:class:`~repro.simmpi.engine.SimResult` timings are meaningful and feed
+the Table 6 benchmark.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..simmpi.api import MAX as MPI_MAX
+from ..simmpi.api import MIN as MPI_MIN
+from ..simmpi.cost import CostModel
+from ..simmpi.engine import SimResult, run
+from .abm import ABMChannel
+from .cellserver import CellRecord, CellServer, combine_records, cover_interval, key_interval
+from .keys import ROOT_KEY, BoundingBox, key_level, keys_from_positions
+from .mac import OpeningAngleMAC
+from .traversal import (
+    FLOPS_PER_CELL_INTERACTION,
+    InteractionCounts,
+    _eval_cells,
+    _eval_direct,
+)
+from ..machine.specs import FLOPS_PER_INTERACTION
+
+__all__ = ["ParallelConfig", "ParallelGravityResult", "parallel_tree_accelerations"]
+
+_MIN_PKEY = 1 << 63
+_END_PKEY = 1 << 64
+
+#: Modeled flop cost of one MAC evaluation during list construction.
+FLOPS_PER_MAC_TEST = 12.0
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Tunables of the parallel treecode."""
+
+    theta: float = 0.6
+    eps: float = 0.05
+    G: float = 1.0
+    bucket_size: int = 32
+    oversample: int = 16
+    kernel_efficiency: float = 0.25  # fraction of peak the inner loop sustains
+    max_rounds: int = 200
+
+    def __post_init__(self) -> None:
+        if self.eps < 0 or self.bucket_size < 1 or self.oversample < 1:
+            raise ValueError("invalid configuration")
+        if not 0 < self.kernel_efficiency <= 1:
+            raise ValueError("kernel_efficiency must be in (0, 1]")
+
+
+@dataclass
+class ParallelGravityResult:
+    """Assembled output of a parallel force calculation."""
+
+    accelerations: np.ndarray
+    potentials: np.ndarray
+    counts: InteractionCounts
+    sim: SimResult
+
+    @property
+    def mflops_per_proc(self) -> float:
+        """Achieved Mflop/s per processor in virtual time (Table 6's metric)."""
+        p = len(self.sim.clocks)
+        if self.sim.elapsed == 0:
+            return 0.0
+        return self.counts.flops / (p * self.sim.elapsed) / 1e6
+
+
+def _rec_to_wire(rec: CellRecord) -> tuple:
+    return (
+        rec.key,
+        rec.count,
+        rec.mass,
+        rec.com,
+        rec.quad,
+        rec.bmax,
+        rec.is_leaf,
+        tuple(rec.children),
+        rec.positions,
+        rec.masses,
+    )
+
+
+def _rec_from_wire(w: tuple) -> CellRecord:
+    return CellRecord(
+        key=w[0], count=w[1], mass=w[2], com=w[3], quad=w[4], bmax=w[5],
+        is_leaf=w[6], children=tuple(w[7]), positions=w[8], masses=w[9],
+    )
+
+
+def _build_frame(branch_records: list[CellRecord], owners: dict[int, int]) -> dict[int, CellRecord]:
+    """Aggregate branch cells upward to the root; returns key -> record.
+
+    Branch keys themselves are included; their ``children`` stay empty
+    here because their subtrees live on their owners (descending into
+    a branch is what triggers an ABM request).
+    """
+    frame: dict[int, CellRecord] = {r.key: r for r in branch_records}
+    if not branch_records:
+        raise ValueError("no branch records; empty simulation?")
+    # Aggregate level by level from the deepest branch upward.
+    by_level: dict[int, dict[int, list[CellRecord]]] = {}
+    current = {r.key: r for r in branch_records}
+    while True:
+        deepest = max(key_level(k) for k in current)
+        if deepest == 0:
+            break
+        parents: dict[int, list[CellRecord]] = {}
+        next_current: dict[int, CellRecord] = {}
+        for k, rec in current.items():
+            lvl = key_level(k)
+            if lvl == deepest:
+                parents.setdefault(k >> 3, []).append(rec)
+            else:
+                next_current[k] = rec
+        for pk, kids in parents.items():
+            if pk in next_current:
+                # A shallower branch sharing this key cannot happen
+                # (branch intervals are disjoint), but guard anyway.
+                kids.append(next_current[pk])
+            merged = combine_records(pk, kids)
+            frame[pk] = merged
+            next_current[pk] = merged
+        current = next_current
+    if ROOT_KEY not in frame:
+        raise RuntimeError("frame aggregation failed to reach the root")
+    return frame
+
+
+class _GroupWalk:
+    """One sink group's traversal state (the deferral-queue entry)."""
+
+    __slots__ = (
+        "key", "start", "stop", "com", "bmax",
+        "frontier", "waiting", "cells", "direct", "mac_tests",
+    )
+
+    def __init__(self, key: int, start: int, stop: int, positions: np.ndarray):
+        self.key = key
+        self.start = start
+        self.stop = stop
+        sinks = positions[start:stop]
+        self.com = sinks.mean(axis=0)
+        self.bmax = float(np.linalg.norm(sinks - self.com, axis=1).max())
+        self.frontier: list[int] = [ROOT_KEY]
+        self.waiting: list[int] = []
+        self.cells: list[CellRecord] = []
+        self.direct: list[CellRecord] = []
+        self.mac_tests = 0
+
+    @property
+    def blocked(self) -> bool:
+        return bool(self.waiting)
+
+    @property
+    def finished(self) -> bool:
+        return not self.frontier and not self.waiting
+
+    def advance(self, resolve, mac) -> list[int]:
+        """Walk until the frontier drains; returns keys that missed.
+
+        ``resolve(key)`` returns a CellRecord or None (non-local miss);
+        missed keys move to ``waiting`` and are retried on the next
+        advance (after the ABM round fills the cache).
+        """
+        self.frontier.extend(self.waiting)
+        self.waiting = []
+        while self.frontier:
+            batch = self.frontier
+            self.frontier = []
+            records: list[CellRecord] = []
+            for key in batch:
+                rec = resolve(key)
+                if rec is None:
+                    self.waiting.append(key)
+                elif rec.count > 0:
+                    records.append(rec)
+            if not records:
+                continue
+            dist = np.array([np.linalg.norm(r.com - self.com) for r in records])
+            bmaxes = np.array([r.bmax for r in records])
+            masses = np.array([r.mass for r in records])
+            ok = mac.accept(dist, bmaxes, self.bmax, masses)
+            ok &= np.array([r.key != self.key for r in records])
+            self.mac_tests += len(records)
+            for rec, accept in zip(records, ok):
+                if accept:
+                    self.cells.append(rec)
+                elif rec.is_leaf and rec.positions is not None:
+                    self.direct.append(rec)
+                elif not rec.is_leaf and rec.children:
+                    self.frontier.extend(rec.children)
+                else:
+                    # A remote branch known only by its multipole: the
+                    # MAC wants to open it, so its real record (children
+                    # or particles) must be fetched — park on it.
+                    self.waiting.append(rec.key)
+        return list(self.waiting)
+
+
+def _make_program(
+    chunks: list[tuple[np.ndarray, np.ndarray, np.ndarray]],
+    config: ParallelConfig,
+):
+    """Build the SPMD rank program closure over the scattered input."""
+
+    def program(comm):
+        rank, size = comm.rank, comm.size
+        my_pos, my_mass, my_ids = chunks[rank]
+        n_local = my_pos.shape[0]
+
+        # -- global bounding box by reduction --------------------------
+        lo = my_pos.min(axis=0) if n_local else np.full(3, np.inf)
+        hi = my_pos.max(axis=0) if n_local else np.full(3, -np.inf)
+        glo = yield comm.allreduce(lo, op=MPI_MIN)
+        ghi = yield comm.allreduce(hi, op=MPI_MAX)
+        span = float((ghi - glo).max())
+        span = span if span > 0 else 1.0
+        box = BoundingBox(glo - 1e-6 * span, span * (1.0 + 2e-6))
+
+        # -- key assignment and local sort ------------------------------
+        keys = keys_from_positions(my_pos, box) if n_local else np.empty(0, dtype=np.uint64)
+        order = np.argsort(keys, kind="stable")
+        keys, pos, mass, ids = keys[order], my_pos[order], my_mass[order], my_ids[order]
+        yield comm.compute(flops=30.0 * n_local * max(np.log2(max(n_local, 2)), 1.0),
+                           mem_bytes=48.0 * n_local)
+
+        # -- splitter agreement (sample sort) ---------------------------
+        if n_local:
+            k = min(n_local, config.oversample * size)
+            sample = keys[np.linspace(0, n_local - 1, k).astype(np.int64)]
+        else:
+            sample = np.empty(0, dtype=np.uint64)
+        all_samples = yield comm.allgather(sample)
+        merged = np.sort(np.concatenate([s for s in all_samples if s.size]))
+        if merged.size == 0:
+            raise RuntimeError("no particles anywhere")
+        picks = (np.arange(1, size) * merged.size) // size
+        splitters = [int(_MIN_PKEY)] + [int(merged[p]) for p in picks] + [int(_END_PKEY)]
+        # Enforce monotonicity (duplicate samples give empty ranges).
+        for i in range(1, len(splitters)):
+            splitters[i] = max(splitters[i], splitters[i - 1])
+
+        # -- particle exchange ------------------------------------------
+        bounds = np.searchsorted(keys, np.array(splitters[1:-1], dtype=np.uint64), side="left")
+        bounds = np.concatenate([[0], bounds, [n_local]]).astype(np.int64)
+        sendbuf = [
+            (keys[bounds[d]:bounds[d + 1]], pos[bounds[d]:bounds[d + 1]],
+             mass[bounds[d]:bounds[d + 1]], ids[bounds[d]:bounds[d + 1]])
+            for d in range(size)
+        ]
+        received = yield comm.alltoall(sendbuf)
+        keys = np.concatenate([r[0] for r in received])
+        pos = np.concatenate([r[1] for r in received]) if keys.size else np.empty((0, 3))
+        mass = np.concatenate([r[2] for r in received])
+        ids = np.concatenate([r[3] for r in received])
+        order = np.argsort(keys, kind="stable")
+        keys, pos, mass, ids = keys[order], pos[order], mass[order], ids[order]
+        n_owned = keys.shape[0]
+        yield comm.compute(flops=30.0 * n_owned * max(np.log2(max(n_owned, 2)), 1.0),
+                           mem_bytes=48.0 * n_owned)
+
+        # -- server, branches, frame -------------------------------------
+        server = CellServer(keys, pos, mass, box, bucket_size=config.bucket_size)
+        my_lo, my_hi = splitters[rank], splitters[rank + 1]
+        branches = []
+        if my_hi > my_lo:
+            for bk in cover_interval(my_lo, my_hi):
+                rec = server.record(bk, with_particles=False)
+                if rec.count > 0:
+                    branches.append(rec)
+        yield comm.compute(flops=120.0 * n_owned, mem_bytes=96.0 * n_owned)
+
+        wires = [_rec_to_wire(b) for b in branches]
+        all_wires = yield comm.allgather(wires)
+        owners: dict[int, int] = {}
+        branch_records: list[CellRecord] = []
+        branch_keys_mine: list[int] = [b.key for b in branches]
+        for owner_rank, batch in enumerate(all_wires):
+            for w in batch:
+                rec = _rec_from_wire(w)
+                owners[rec.key] = owner_rank
+                branch_records.append(rec)
+        frame = _build_frame(branch_records, owners)
+
+        # -- traversal with the ABM deferral queue ------------------------
+        def serve(requester: int, items: list[Any]) -> list[Any]:
+            return [_rec_to_wire(server.record(int(k))) for k in items]
+
+        abm = ABMChannel(comm, serve)
+        cache: dict[int, CellRecord] = {}
+        my_branch_set = set(branch_keys_mine)
+
+        def resolve(key: int) -> CellRecord | None:
+            if key in cache:
+                return cache[key]
+            ilo, ihi = key_interval(key)
+            if my_lo <= ilo and ihi <= my_hi:
+                rec = server.record(key)
+                cache[key] = rec
+                return rec
+            if key in frame and key not in owners:
+                return frame[key]  # shared top: aggregated locally
+            if key in frame and owners.get(key) == rank:
+                rec = server.record(key)
+                cache[key] = rec
+                return rec
+            if key in frame:
+                # Remote branch: its multipole is known from the
+                # allgather; if the MAC opens it, the walk will park on
+                # it and its real record arrives by ABM into the cache.
+                return frame[key]
+            return None
+
+        def owner_of(key: int) -> int:
+            ilo, _ = key_interval(key)
+            return min(bisect.bisect_right(splitters, ilo) - 1, size - 1)
+
+        acc = np.zeros((n_owned, 3))
+        pot = np.zeros(n_owned)
+        counts = InteractionCounts()
+        walks = [
+            _GroupWalk(k, s, e, pos) for (k, s, e) in server.leaf_groups(branch_keys_mine)
+        ]
+        mac = OpeningAngleMAC(config.theta)
+        eps2 = config.eps * config.eps
+        pending = list(walks)
+        rounds = 0
+        while True:
+            still: list[_GroupWalk] = []
+            round_flops = 0.0
+            round_bytes = 0.0
+            for walk in pending:
+                missing = walk.advance(resolve, mac)
+                round_flops += walk.mac_tests * FLOPS_PER_MAC_TEST
+                walk.mac_tests = 0
+                if missing:
+                    for k in set(missing):
+                        abm.request(owner_of(k), k)
+                    still.append(walk)
+                    continue
+                # Evaluate the completed group.
+                sinks = pos[walk.start:walk.stop]
+                ns = sinks.shape[0]
+                counts.groups += 1
+                if walk.cells:
+                    walk.cells.sort(key=lambda r: r.key)
+                    c_com = np.array([r.com for r in walk.cells])
+                    c_mass = np.array([r.mass for r in walk.cells])
+                    c_quad = np.array([r.quad for r in walk.cells])
+                    a, p = _eval_cells(sinks, c_com, c_mass, c_quad, eps2, config.G)
+                    acc[walk.start:walk.stop] += a
+                    pot[walk.start:walk.stop] += p
+                    counts.p2c += ns * len(walk.cells)
+                    round_flops += ns * len(walk.cells) * FLOPS_PER_CELL_INTERACTION
+                    round_bytes += ns * len(walk.cells) * 80.0
+                if walk.direct:
+                    walk.direct.sort(key=lambda r: r.key)
+                    src_pos = np.concatenate([r.positions for r in walk.direct])
+                    src_mass = np.concatenate([r.masses for r in walk.direct])
+                    a, p = _eval_direct(sinks, src_pos, src_mass, eps2, config.G)
+                    acc[walk.start:walk.stop] += a
+                    pot[walk.start:walk.stop] += p
+                    counts.p2p += ns * src_pos.shape[0]
+                    round_flops += ns * src_pos.shape[0] * FLOPS_PER_INTERACTION
+                    round_bytes += ns * src_pos.shape[0] * 32.0
+                    if eps2 > 0:
+                        pot[walk.start:walk.stop] += config.G * mass[walk.start:walk.stop] / config.eps
+            if round_flops:
+                yield comm.compute(
+                    flops=round_flops,
+                    mem_bytes=round_bytes,
+                    flop_efficiency=config.kernel_efficiency,
+                )
+            done = yield from abm.globally_done(len(still))
+            if done:
+                break
+            replies = yield from abm.exchange()
+            for batch in replies:
+                for w in batch:
+                    rec = _rec_from_wire(w)
+                    cache[rec.key] = rec
+            pending = still
+            rounds += 1
+            if rounds > config.max_rounds:
+                raise RuntimeError("traversal did not converge; ABM round limit hit")
+
+        return {
+            "ids": ids,
+            "acc": acc,
+            "pot": pot,
+            "counts": (counts.p2p, counts.p2c, counts.groups),
+            "abm_rounds": abm.rounds,
+            "requests": abm.requests_sent,
+        }
+
+    return program
+
+
+def parallel_tree_accelerations(
+    positions: np.ndarray,
+    masses: np.ndarray | None = None,
+    *,
+    n_ranks: int,
+    config: ParallelConfig | None = None,
+    cost: CostModel | None = None,
+) -> ParallelGravityResult:
+    """Run the parallel treecode on a simulated cluster.
+
+    The input is scattered block-wise over ``n_ranks`` simulated
+    processors; the result is gathered back into input order.  Pass a
+    :class:`~repro.simmpi.cost.SpaceSimulatorCost` (or any cost model)
+    to obtain meaningful virtual timings; the default ``ZeroCost``
+    checks algorithm semantics only.
+    """
+    positions = np.ascontiguousarray(positions, dtype=np.float64)
+    n = positions.shape[0]
+    if positions.ndim != 2 or positions.shape[1] != 3:
+        raise ValueError("positions must be (N, 3)")
+    if masses is None:
+        masses = np.full(n, 1.0 / n)
+    else:
+        masses = np.ascontiguousarray(masses, dtype=np.float64)
+        if masses.shape != (n,):
+            raise ValueError("masses must be (N,)")
+    if n_ranks < 1:
+        raise ValueError("n_ranks must be >= 1")
+    if n < n_ranks:
+        raise ValueError("need at least one particle per rank")
+    config = config or ParallelConfig()
+
+    ids = np.arange(n, dtype=np.int64)
+    bounds = np.linspace(0, n, n_ranks + 1).astype(np.int64)
+    chunks = [
+        (positions[bounds[r]:bounds[r + 1]], masses[bounds[r]:bounds[r + 1]],
+         ids[bounds[r]:bounds[r + 1]])
+        for r in range(n_ranks)
+    ]
+    sim = run(_make_program(chunks, config), n_ranks, cost)
+
+    acc = np.zeros((n, 3))
+    pot = np.zeros(n)
+    counts = InteractionCounts()
+    for ret in sim.returns:
+        acc[ret["ids"]] = ret["acc"]
+        pot[ret["ids"]] = ret["pot"]
+        counts = counts.merged(InteractionCounts(*ret["counts"]))
+    return ParallelGravityResult(acc, pot, counts, sim)

@@ -1,0 +1,44 @@
+"""Cosmological N-body simulation (Section 4.3, Figure 7).
+
+FRW background and linear growth, BBKS power spectra, Zel'dovich
+initial conditions, periodic particle-mesh gravity with a
+growth-factor-exact comoving leapfrog, friends-of-friends halo
+finding, clustering statistics, and the performance model of the
+paper's 134-million-particle production run.
+"""
+
+from .background import EDS, LCDM, Cosmology
+from .correlation import (
+    correlation_function,
+    measured_power_spectrum,
+    pair_counts_periodic,
+)
+from .fof import FofResult, Halo, friends_of_friends
+from .ics import InitialConditions, gaussian_field, zeldovich_ics
+from .pm import PMSolver, cic_deposit, cic_interpolate
+from .power import PowerSpectrum, bbks_transfer, tophat_window
+from .simulation import PAPER_RUN, ComovingSimulation, CosmologyRunModel
+
+__all__ = [
+    "Cosmology",
+    "LCDM",
+    "EDS",
+    "PowerSpectrum",
+    "bbks_transfer",
+    "tophat_window",
+    "InitialConditions",
+    "zeldovich_ics",
+    "gaussian_field",
+    "PMSolver",
+    "cic_deposit",
+    "cic_interpolate",
+    "ComovingSimulation",
+    "CosmologyRunModel",
+    "PAPER_RUN",
+    "Halo",
+    "FofResult",
+    "friends_of_friends",
+    "pair_counts_periodic",
+    "correlation_function",
+    "measured_power_spectrum",
+]

@@ -1,0 +1,103 @@
+"""Clustering statistics: two-point correlation and measured P(k).
+
+The quantitative face of "galaxy formation and clustering" (Section
+4.3): the two-point correlation function xi(r) by periodic pair counts
+against the analytic random expectation, and the density power
+spectrum measured from the particles on a grid (used to validate the
+initial conditions against the input linear spectrum).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .pm import cic_deposit
+
+__all__ = ["pair_counts_periodic", "correlation_function", "measured_power_spectrum"]
+
+
+def pair_counts_periodic(
+    positions: np.ndarray, edges: np.ndarray, block: int = 512
+) -> np.ndarray:
+    """Histogram of unique pair separations on a periodic unit box."""
+    positions = np.mod(np.asarray(positions, dtype=np.float64), 1.0)
+    n = positions.shape[0]
+    edges = np.asarray(edges, dtype=np.float64)
+    if np.any(np.diff(edges) <= 0) or edges[0] < 0:
+        raise ValueError("edges must be increasing and non-negative")
+    if edges[-1] > 0.5:
+        raise ValueError("separations beyond box/2 are ambiguous on a torus")
+    counts = np.zeros(edges.size - 1, dtype=np.int64)
+    for lo in range(0, n, block):
+        hi = min(lo + block, n)
+        d = positions[lo:hi, None, :] - positions[None, :, :]
+        d -= np.round(d)
+        r = np.sqrt((d**2).sum(axis=2))
+        iu = np.triu_indices(hi - lo, k=1, m=n)  # not quite unique; fix below
+        # Unique pairs: only count j > i in global indexing.
+        jj = np.arange(n)[None, :].repeat(hi - lo, axis=0)
+        ii = np.arange(lo, hi)[:, None].repeat(n, axis=1)
+        mask = jj > ii
+        counts += np.histogram(r[mask], bins=edges)[0]
+    return counts
+
+
+def correlation_function(
+    positions: np.ndarray, edges: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """(bin centers, xi(r)) with the analytic-random (natural) estimator.
+
+    On a periodic box the expected random pair count in a shell is
+    exact — ``N(N-1)/2 * V_shell`` for a unit box — so xi = DD/RR - 1
+    without generating randoms.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    n = positions.shape[0]
+    dd = pair_counts_periodic(positions, edges)
+    shell = 4.0 / 3.0 * np.pi * (edges[1:] ** 3 - edges[:-1] ** 3)
+    rr = 0.5 * n * (n - 1) * shell
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    xi = dd / rr - 1.0
+    return centers, xi
+
+
+def measured_power_spectrum(
+    positions: np.ndarray,
+    grid: int = 32,
+    box_mpc_h: float = 1.0,
+    n_bins: int = 12,
+    subtract_shot_noise: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(k, P(k)) from the CIC density of the particles.
+
+    ``box_mpc_h`` scales the unit box to physical units so the result
+    is directly comparable to the input linear spectrum.  Shot noise
+    ``V/N`` is subtracted by default — turn that off for displaced-
+    lattice particle loads, which are sub-Poisson by construction.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    n = positions.shape[0]
+    if grid < 4 or box_mpc_h <= 0 or n_bins < 2:
+        raise ValueError("invalid measurement parameters")
+    rho = cic_deposit(positions, grid)
+    delta = rho / rho.mean() - 1.0
+    dk = np.fft.fftn(delta) / grid**3
+    pk_grid = np.abs(dk) ** 2 * box_mpc_h**3
+    kf = 2.0 * np.pi / box_mpc_h
+    k1 = np.fft.fftfreq(grid) * grid * kf
+    kx, ky, kz = np.meshgrid(k1, k1, k1, indexing="ij")
+    kmag = np.sqrt(kx**2 + ky**2 + kz**2).ravel()
+    pk_flat = pk_grid.ravel()
+    keep = kmag > 0
+    kmag, pk_flat = kmag[keep], pk_flat[keep]
+    edges = np.linspace(kf, kf * grid / 2, n_bins + 1)
+    k_out = np.zeros(n_bins)
+    p_out = np.zeros(n_bins)
+    shot = box_mpc_h**3 / n if subtract_shot_noise else 0.0
+    for b in range(n_bins):
+        sel = (kmag >= edges[b]) & (kmag < edges[b + 1])
+        if np.any(sel):
+            k_out[b] = kmag[sel].mean()
+            p_out[b] = pk_flat[sel].mean() - shot
+    good = k_out > 0
+    return k_out[good], p_out[good]

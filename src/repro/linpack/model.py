@@ -1,0 +1,117 @@
+"""Cluster-scale HPL performance model (Figure 3).
+
+The Space Simulator's Linpack story: 665.1 Gflop/s on 288 processors
+with MPICH 1.2.4 (November 2002, #85 on the TOP500), improved to 757.1
+Gflop/s with LAM 6.5.9 and a newer ATLAS (April 2003, #88 on the 21st
+list) — the first TOP500 machine under one dollar per Mflop/s.
+
+The model decomposes HPL time in the standard way::
+
+    T = 2N^3 / (3 P r_node)                          (DGEMM)
+      + beta_v * 8 N^2 / (sqrt(P) * BW)              (panel/update traffic)
+      + (N / nb) * log2(P) * alpha                   (broadcast latencies)
+
+``r_node`` is the single-node Linpack rate (Table 2: 3.302 Gflop/s,
+i.e. 65.3% of peak with ATLAS), ``BW``/``alpha`` come from the
+messaging-stack model, and the single constant ``beta_v`` is calibrated
+once against the LAM 757.1 Gflop/s measurement.  The MPICH point — and
+everything else (scaling curves, the effect of problem size) — is then
+a prediction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from ..machine.node import NodeSpec, SPACE_SIMULATOR_NODE
+from ..network.stacks import LAM_O, MPICH_125, MessagingStack
+from .hpl import hpl_flops
+
+__all__ = [
+    "ClusterHplModel",
+    "SS_NODE_LINPACK_GFLOPS",
+    "calibrated_space_simulator_model",
+    "PAPER_LAM_GFLOPS",
+    "PAPER_MPICH_GFLOPS",
+]
+
+#: Table 2, Linpack row, normal configuration (single node, Gflop/s).
+SS_NODE_LINPACK_GFLOPS = 3.302
+#: Figure 3 measurements.
+PAPER_MPICH_GFLOPS = 665.1
+PAPER_LAM_GFLOPS = 757.1
+
+
+@dataclass(frozen=True)
+class ClusterHplModel:
+    """Parametric HPL estimate for a homogeneous cluster."""
+
+    node: NodeSpec = SPACE_SIMULATOR_NODE
+    n_procs: int = 288
+    stack: MessagingStack = LAM_O
+    node_gflops: float = SS_NODE_LINPACK_GFLOPS
+    block: int = 64
+    beta_v: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_procs < 1 or self.node_gflops <= 0 or self.block < 1:
+            raise ValueError("invalid model parameters")
+        if self.beta_v < 0:
+            raise ValueError("beta_v must be non-negative")
+
+    def problem_size(self, mem_fraction: float = 0.8) -> int:
+        """Largest N fitting in a fraction of the cluster's memory."""
+        if not 0 < mem_fraction <= 1:
+            raise ValueError("mem_fraction must be in (0, 1]")
+        total_bytes = self.n_procs * self.node.ram_mb * 1e6
+        return int(math.sqrt(mem_fraction * total_bytes / 8.0))
+
+    def time_s(self, n: int) -> float:
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        p = self.n_procs
+        t_comp = hpl_flops(n) / (p * self.node_gflops * 1e9)
+        bw_bytes = self.stack.asymptotic_mbits_s * 1e6 / 8.0
+        t_vol = self.beta_v * 8.0 * n * n / (math.sqrt(p) * bw_bytes)
+        t_lat = (n / self.block) * max(math.log2(p), 1.0) * self.stack.latency_us * 1e-6
+        return t_comp + t_vol + t_lat
+
+    def gflops(self, n: int | None = None) -> float:
+        n = self.problem_size() if n is None else n
+        return hpl_flops(n) / self.time_s(n) / 1e9
+
+    def efficiency(self, n: int | None = None) -> float:
+        """Fraction of P x single-node Linpack achieved."""
+        return self.gflops(n) / (self.n_procs * self.node_gflops)
+
+    def with_stack(self, stack: MessagingStack) -> "ClusterHplModel":
+        return replace(self, stack=stack)
+
+    def with_procs(self, n_procs: int) -> "ClusterHplModel":
+        return replace(self, n_procs=n_procs)
+
+
+def calibrated_space_simulator_model() -> ClusterHplModel:
+    """The 288-processor model with ``beta_v`` fit to the LAM result.
+
+    Solves ``gflops(N*) == 757.1`` for ``beta_v`` in closed form (the
+    time model is linear in ``beta_v``); the MPICH figure and every
+    scaling prediction follow with no further freedom.
+    """
+    base = ClusterHplModel(beta_v=0.0)
+    n = base.problem_size()
+    t_target = hpl_flops(n) / (PAPER_LAM_GFLOPS * 1e9)
+    t_nocomm = base.time_s(n)
+    if t_target <= t_nocomm:
+        raise RuntimeError("target exceeds the communication-free bound")
+    bw_bytes = base.stack.asymptotic_mbits_s * 1e6 / 8.0
+    unit_vol = 8.0 * n * n / (math.sqrt(base.n_procs) * bw_bytes)
+    beta_v = (t_target - t_nocomm) / unit_vol
+    return replace(base, beta_v=beta_v)
+
+
+def predicted_mpich_gflops() -> float:
+    """The Nov-2002 MPICH result as predicted from the LAM calibration."""
+    model = calibrated_space_simulator_model().with_stack(MPICH_125)
+    return model.gflops()

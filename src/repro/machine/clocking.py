@@ -1,0 +1,216 @@
+"""BIOS clock configurations and the Table 2 sensitivity model.
+
+Section 3.2 of the paper exploits the Shuttle XPC BIOS, which allows the
+CPU and memory-bus frequencies to be set independently, to measure how a
+suite of benchmarks responds to memory bandwidth versus processor speed.
+Four configurations are used:
+
+========== =========== ============ =============================
+name        cpu scale   mem scale    paper description
+========== =========== ============ =============================
+normal      1.0         1.0          2.53 GHz P4, DDR333
+slow mem    1.0         0.6          memory clocked to DDR200
+slow CPU    0.75        1.0          processor clocked to 1.9 GHz
+overclock   1.0526      1.0526       FSB raised 133 -> 140 MHz
+========== =========== ============ =============================
+
+The sensitivity model here decomposes each benchmark's runtime into a
+CPU-scaled component ``fc`` and a memory-scaled component ``fm``::
+
+    t(config) = fc / cpu_scale + fm / mem_scale
+
+normalized so the *rates* of the normal configuration equal the measured
+values.  Given the measured slow-mem and slow-CPU rate ratios, ``fc`` and
+``fm`` are recovered exactly from a 2x2 linear solve
+(:func:`fit_workload`).  The model then *predicts* the overclock column
+(and anything else), which EXPERIMENTS.md compares against the paper.
+
+``fc + fm`` would be exactly 1 for a perfectly additive machine; its
+deviation from 1 is a built-in diagnostic of how well the two-component
+decomposition describes a given benchmark (exposed as
+:attr:`WorkloadProfile.consistency`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ClockConfig",
+    "NORMAL",
+    "SLOW_MEM",
+    "SLOW_CPU",
+    "OVERCLOCK",
+    "TABLE2_CONFIGS",
+    "WorkloadProfile",
+    "fit_workload",
+    "TABLE2_MEASURED",
+    "table2_profiles",
+]
+
+
+@dataclass(frozen=True)
+class ClockConfig:
+    """One row of BIOS settings: independent CPU and memory multipliers."""
+
+    name: str
+    cpu_scale: float
+    mem_scale: float
+
+    def __post_init__(self) -> None:
+        if self.cpu_scale <= 0 or self.mem_scale <= 0:
+            raise ValueError("clock scales must be positive")
+
+
+NORMAL = ClockConfig("normal", 1.0, 1.0)
+SLOW_MEM = ClockConfig("slow mem", 1.0, 0.6)
+SLOW_CPU = ClockConfig("slow CPU", 0.75, 1.0)
+OVERCLOCK = ClockConfig("overclock", 140.0 / 133.0, 140.0 / 133.0)
+
+#: The four configurations of Table 2, in paper column order.
+TABLE2_CONFIGS = (NORMAL, SLOW_MEM, SLOW_CPU, OVERCLOCK)
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Two-component CPU/memory time decomposition of one benchmark.
+
+    ``normal_rate`` carries the benchmark's measured rate in its native
+    unit (Mbyte/s for STREAM, Mop/s for NPB, SPEC marks, Gflop/s for
+    Linpack); ``fc``/``fm`` are the CPU- and memory-scaled time shares
+    at normal clocks (they need not sum exactly to 1, see module doc).
+    """
+
+    name: str
+    normal_rate: float
+    fc: float
+    fm: float
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        if self.normal_rate <= 0:
+            raise ValueError(f"normal_rate must be positive, got {self.normal_rate}")
+        if self.fc < 0 or self.fm < 0:
+            raise ValueError(f"time shares must be non-negative (fc={self.fc}, fm={self.fm})")
+        if self.fc + self.fm <= 0:
+            raise ValueError("at least one time share must be positive")
+
+    @property
+    def memory_boundedness(self) -> float:
+        """Fraction of normal-clock runtime attributed to memory."""
+        return self.fm / (self.fc + self.fm)
+
+    @property
+    def consistency(self) -> float:
+        """``fc + fm``; deviation from 1 measures model adequacy."""
+        return self.fc + self.fm
+
+    def rate_ratio(self, config: ClockConfig) -> float:
+        """Predicted rate relative to the normal configuration."""
+        t_normal = self.fc + self.fm
+        t_config = self.fc / config.cpu_scale + self.fm / config.mem_scale
+        return t_normal / t_config
+
+    def rate(self, config: ClockConfig) -> float:
+        """Predicted absolute rate under ``config``."""
+        return self.normal_rate * self.rate_ratio(config)
+
+
+def fit_workload(
+    name: str,
+    normal_rate: float,
+    slow_mem_ratio: float,
+    slow_cpu_ratio: float,
+    unit: str = "",
+    *,
+    slow_mem: ClockConfig = SLOW_MEM,
+    slow_cpu: ClockConfig = SLOW_CPU,
+) -> WorkloadProfile:
+    """Recover ``(fc, fm)`` from two measured rate ratios.
+
+    Solves the exact 2x2 system
+
+    .. math::
+
+        1/r_\\mathrm{mem} &= f_c / c_1 + f_m / b_1 \\\\
+        1/r_\\mathrm{cpu} &= f_c / c_2 + f_m / b_2
+
+    where :math:`(c_i, b_i)` are the clock scales of the two calibration
+    configurations.  Raises ``ValueError`` if the measured ratios are
+    inconsistent with non-negative time shares (i.e. a benchmark that
+    *speeds up* when clocks are lowered).
+    """
+    if not 0 < slow_mem_ratio <= 1.1 or not 0 < slow_cpu_ratio <= 1.1:
+        raise ValueError(
+            "rate ratios must be positive and <= 1.1: slowing a clock "
+            "cannot meaningfully speed a benchmark up"
+        )
+    a11, a12 = 1.0 / slow_mem.cpu_scale, 1.0 / slow_mem.mem_scale
+    a21, a22 = 1.0 / slow_cpu.cpu_scale, 1.0 / slow_cpu.mem_scale
+    b1, b2 = 1.0 / slow_mem_ratio, 1.0 / slow_cpu_ratio
+    det = a11 * a22 - a12 * a21
+    if abs(det) < 1e-12:
+        raise ValueError("calibration configurations are degenerate")
+    fc = (b1 * a22 - a12 * b2) / det
+    fm = (a11 * b2 - b1 * a21) / det
+    # Tiny negative shares from measurement noise are clamped; large ones
+    # indicate the two-component model cannot represent the benchmark.
+    if fc < -0.05 or fm < -0.05:
+        raise ValueError(
+            f"{name}: measured ratios ({slow_mem_ratio}, {slow_cpu_ratio}) imply "
+            f"negative time shares (fc={fc:.3f}, fm={fm:.3f})"
+        )
+    return WorkloadProfile(name, normal_rate, max(fc, 0.0), max(fm, 0.0), unit)
+
+
+#: Table 2 as printed: benchmark -> (normal, slow-mem, slow-CPU, overclock).
+#: STREAM rows in Mbyte/s, NPB rows in Mop/s, SPEC rows are marks,
+#: Linpack in Gflop/s.
+TABLE2_MEASURED: dict[str, tuple[float, float, float, float]] = {
+    "copy": (1203.5, 761.8, 1143.4, 1268.5),
+    "add": (1237.2, 749.8, 1165.3, 1302.8),
+    "scale": (1201.8, 756.1, 1142.8, 1267.0),
+    "triad": (1238.2, 748.9, 1160.7, 1304.1),
+    "BT": (321.2, 204.1, 293.9, 342.3),
+    "SP": (216.5, 131.7, 200.1, 229.6),
+    "LU": (404.3, 262.2, 366.2, 427.4),
+    "MG": (385.1, 231.4, 360.8, 400.1),
+    "CG": (313.1, 189.4, 273.9, 330.2),
+    "FT": (351.0, 248.7, 302.9, 385.1),
+    "IS": (27.2, 21.2, 22.5, 28.9),
+    "CINT2000": (790.0, 655.0, 640.0, 830.0),
+    "CFP2000": (742.0, 527.0, 646.0, 782.0),
+    "Linpack": (3.302, 2.865, 2.602, 3.476),
+}
+
+_UNITS = {
+    "copy": "Mbyte/s",
+    "add": "Mbyte/s",
+    "scale": "Mbyte/s",
+    "triad": "Mbyte/s",
+    "BT": "Mop/s",
+    "SP": "Mop/s",
+    "LU": "Mop/s",
+    "MG": "Mop/s",
+    "CG": "Mop/s",
+    "FT": "Mop/s",
+    "IS": "Mop/s",
+    "CINT2000": "mark",
+    "CFP2000": "mark",
+    "Linpack": "Gflop/s",
+}
+
+
+def table2_profiles() -> dict[str, WorkloadProfile]:
+    """Fit a :class:`WorkloadProfile` for every Table 2 benchmark.
+
+    Calibration uses only the slow-mem and slow-CPU columns; the normal
+    column anchors absolute rates and the overclock column is left as a
+    genuine prediction target.
+    """
+    profiles: dict[str, WorkloadProfile] = {}
+    for name, (normal, slow_mem, slow_cpu, _overclock) in TABLE2_MEASURED.items():
+        profiles[name] = fit_workload(
+            name, normal, slow_mem / normal, slow_cpu / normal, _UNITS[name]
+        )
+    return profiles

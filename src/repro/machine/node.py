@@ -1,0 +1,190 @@
+"""Hardware model of a single compute node.
+
+The Space Simulator node (Shuttle XPC SS51G) is characterized in the paper
+by a handful of architectural parameters: a 2.53 GHz Pentium 4 with a
+533 MHz front-side bus, 1 GB of DDR333 SDRAM whose effective bandwidth is
+reduced ~10% by the integrated video controller sharing the memory bus,
+a 5400 rpm IDE disk, and a 3c996B-T gigabit NIC on a 32-bit/33 MHz PCI
+bus.  This module captures those parameters in :class:`NodeSpec` so that
+the performance models elsewhere in the package (STREAM, Linpack, NPB,
+the gravity kernel, application extrapolations) can all consume a single
+description of the hardware.
+
+Clock frequencies are stored in MHz, bandwidths in Mbyte/s, and peak
+floating-point rates in Mflop/s, matching the units the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["DiskSpec", "NicSpec", "NodeSpec", "SPACE_SIMULATOR_NODE", "LOKI_NODE"]
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """Local disk of a node.
+
+    Parameters mirror the Maxtor 4K080H4 (80 GB, 5400 rpm) used in the
+    Space Simulator.  ``sustained_mbytes_s`` is the streaming transfer
+    rate used for the application I/O model (the paper's cosmology run
+    sustained ~28 Mbyte/s per disk: 7 Gbyte/s peak over 250 disks).
+    """
+
+    capacity_gb: float = 80.0
+    rpm: int = 5400
+    sustained_mbytes_s: float = 28.0
+    seek_ms: float = 12.0
+
+    def read_time_s(self, mbytes: float) -> float:
+        """Time to stream ``mbytes`` from the disk, including one seek."""
+        if mbytes < 0:
+            raise ValueError(f"mbytes must be non-negative, got {mbytes}")
+        return self.seek_ms * 1e-3 + mbytes / self.sustained_mbytes_s
+
+    write_time_s = read_time_s
+
+
+@dataclass(frozen=True)
+class NicSpec:
+    """Network interface model.
+
+    ``wire_mbits_s`` is the physical line rate; ``pci_mbits_s`` is the
+    ceiling imposed by the host bus (the Shuttle's single 32-bit/33 MHz
+    PCI slot tops out near 1 Gbit/s of useful payload, which is why NIC
+    selection mattered so much in Section 3.1).
+    """
+
+    name: str = "3c996B-T"
+    wire_mbits_s: float = 1000.0
+    pci_mbits_s: float = 1014.0  # 32-bit * 33 MHz * ~96% efficiency
+
+    @property
+    def effective_mbits_s(self) -> float:
+        """Payload ceiling: min of the wire and the host bus."""
+        return min(self.wire_mbits_s, self.pci_mbits_s)
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Parametric description of a compute node.
+
+    The defaults describe the Space Simulator node.  All performance
+    models accept a :class:`NodeSpec`, so alternative machines (Loki,
+    ASCI Q, the Table 5 processor zoo) are just different instances.
+
+    Attributes
+    ----------
+    cpu_mhz:
+        Core clock.  The P4's SSE2 unit can retire 2 double-precision
+        flops per cycle, giving the paper's quoted 5.06 Gflop/s peak
+        (2 x 2530 MHz).
+    flops_per_cycle:
+        Peak double-precision flops per cycle.
+    mem_mhz:
+        Memory *data* clock (DDR333 -> 333).  Table 2's "slow mem"
+        configuration drops this to 200.
+    mem_width_bytes:
+        Memory bus width (8 bytes for the single-channel DDR system).
+    mem_efficiency:
+        Fraction of theoretical memory bandwidth sustained by STREAM.
+        Calibrated so that the normal configuration reproduces the
+        paper's measured ~1203-1238 Mbyte/s STREAM figures; includes
+        the ~10% tax from the integrated video controller.
+    fsb_mhz:
+        Front-side-bus base clock (133 MHz for the 533 MT/s quad-pumped
+        bus).  Overclocking in Table 2 raises this to 140.
+    ram_mb:
+        Installed memory, used to size Linpack problems (HPL N).
+    """
+
+    name: str = "Shuttle XPC SS51G / P4 2.53GHz"
+    cpu_mhz: float = 2530.0
+    flops_per_cycle: float = 2.0
+    mem_mhz: float = 333.0
+    mem_width_bytes: float = 8.0
+    mem_efficiency: float = 0.452
+    fsb_mhz: float = 133.0
+    ram_mb: float = 1024.0
+    l2_kb: float = 512.0
+    disk: DiskSpec = field(default_factory=DiskSpec)
+    nic: NicSpec = field(default_factory=NicSpec)
+
+    def __post_init__(self) -> None:
+        for attr in ("cpu_mhz", "mem_mhz", "mem_width_bytes", "ram_mb"):
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"{attr} must be positive, got {getattr(self, attr)}")
+        if not 0.0 < self.mem_efficiency <= 1.0:
+            raise ValueError(f"mem_efficiency must be in (0, 1], got {self.mem_efficiency}")
+
+    @property
+    def peak_mflops(self) -> float:
+        """Theoretical peak in Mflop/s (paper: 5060 for the SS node)."""
+        return self.cpu_mhz * self.flops_per_cycle
+
+    @property
+    def peak_gflops(self) -> float:
+        return self.peak_mflops / 1000.0
+
+    @property
+    def stream_mbytes_s(self) -> float:
+        """Sustained STREAM bandwidth in Mbyte/s.
+
+        theoretical = mem_mhz (data rate, MT/s) * bus width; sustained
+        applies ``mem_efficiency``.  DDR333 x 8 bytes = 2664 MB/s
+        theoretical; at the calibrated efficiency this yields the
+        ~1204 MB/s STREAM-copy figure of Table 2.
+        """
+        return self.mem_mhz * self.mem_width_bytes * self.mem_efficiency
+
+    def without_onboard_vga(self) -> "NodeSpec":
+        """The Section 3.2 tweak: disable the integrated video controller.
+
+        "It is possible to disable the on-board VGA controller and
+        increase memory copy bandwidth by 10%, but you must then insert
+        an AGP video card into the system in order for it to boot."
+        Returns a node with the frame-buffer tax removed.
+        """
+        return replace(
+            self,
+            name=f"{self.name} (VGA disabled)",
+            mem_efficiency=min(self.mem_efficiency * 1.10, 1.0),
+        )
+
+    def with_clocks(self, *, cpu_scale: float = 1.0, mem_scale: float = 1.0) -> "NodeSpec":
+        """Return a copy with independently scaled CPU and memory clocks.
+
+        This mirrors the BIOS control the paper exploited in Section 3.2:
+        the XPC BIOS lets the processor and memory-bus frequencies be set
+        independently, enabling the slow-mem / slow-CPU / overclock
+        experiments of Table 2.
+        """
+        if cpu_scale <= 0 or mem_scale <= 0:
+            raise ValueError("clock scales must be positive")
+        return replace(
+            self,
+            name=f"{self.name} (cpu x{cpu_scale:g}, mem x{mem_scale:g})",
+            cpu_mhz=self.cpu_mhz * cpu_scale,
+            mem_mhz=self.mem_mhz * mem_scale,
+            fsb_mhz=self.fsb_mhz * cpu_scale,
+        )
+
+
+#: The node the paper is about (Table 1 / Section 3).
+SPACE_SIMULATOR_NODE = NodeSpec()
+
+#: A Loki node (Table 7): 200 MHz Pentium Pro, 1 flop/cycle, EDO/FPM
+#: memory.  Peak 200 Mflop/s as the paper states.
+LOKI_NODE = NodeSpec(
+    name="Loki / Pentium Pro 200MHz",
+    cpu_mhz=200.0,
+    flops_per_cycle=1.0,
+    mem_mhz=66.0,
+    mem_width_bytes=8.0,
+    mem_efficiency=0.33,
+    fsb_mhz=66.0,
+    ram_mb=128.0,
+    l2_kb=256.0,
+    disk=DiskSpec(capacity_gb=3.24, rpm=5400, sustained_mbytes_s=4.0),
+    nic=NicSpec(name="DFE-500TX", wire_mbits_s=100.0, pci_mbits_s=1014.0),
+)

@@ -1,0 +1,103 @@
+"""NPB CG mini-kernel: conjugate gradient eigenvalue estimation.
+
+The real computation of NPB CG: estimate the largest eigenvalue of a
+sparse symmetric positive-definite matrix by inverse power iteration,
+solving each linear system with 25 unpreconditioned conjugate-gradient
+iterations.  The matrix here is a random symmetric diagonally-dominant
+sparse matrix with the class's order and row density (NPB's generator
+builds a specific random pattern; ours preserves order, density, and
+spectral character rather than the exact bitstream).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from .classes import NpbProblem, problem, total_ops
+
+__all__ = ["CgResult", "make_matrix", "cg_solve", "run_cg"]
+
+INNER_ITERS = 25
+
+
+@dataclass(frozen=True)
+class CgResult:
+    """Outcome of one CG benchmark run."""
+
+    problem: NpbProblem
+    zeta: float
+    final_rnorm: float
+    ops: float
+    verified: bool
+
+
+def make_matrix(n: int, nonzer: int, shift: float, seed: int = 314159) -> sp.csr_matrix:
+    """Random sparse SPD matrix of order ``n``, ~``nonzer`` off-diagonals/row.
+
+    Symmetric, diagonally dominant (hence SPD), with the NPB shift added
+    to the diagonal, giving a well-clustered spectrum like the original
+    generator's.
+    """
+    if n < 2 or nonzer < 1:
+        raise ValueError("n >= 2 and nonzer >= 1 required")
+    rng = np.random.default_rng(seed)
+    rows = np.repeat(np.arange(n), nonzer)
+    cols = rng.integers(0, n, n * nonzer)
+    vals = rng.random(n * nonzer) * 2.0 - 1.0
+    a = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+    a = a + a.T  # symmetrize
+    row_sums = np.abs(a).sum(axis=1).A1 if hasattr(np.abs(a).sum(axis=1), "A1") else np.asarray(np.abs(a).sum(axis=1)).ravel()
+    d = sp.diags(row_sums + shift)
+    return (a + d).tocsr()
+
+
+def cg_solve(a: sp.csr_matrix, b: np.ndarray, iters: int = INNER_ITERS) -> tuple[np.ndarray, float]:
+    """``iters`` steps of conjugate gradients; returns (x, ||r||)."""
+    x = np.zeros_like(b)
+    r = b.copy()
+    p = r.copy()
+    rho = float(r @ r)
+    for _ in range(iters):
+        q = a @ p
+        denom = float(p @ q)
+        if denom == 0.0:
+            break
+        alpha = rho / denom
+        x += alpha * p
+        r -= alpha * q
+        rho_new = float(r @ r)
+        if rho == 0.0:
+            break
+        p = r + (rho_new / rho) * p
+        rho = rho_new
+    return x, float(np.sqrt(rho))
+
+
+def run_cg(klass: str = "S", seed: int = 314159) -> CgResult:
+    """Run the CG benchmark at a given class (S/W are laptop-friendly).
+
+    NPB verification compares zeta to a reference value; since our
+    matrix generator is not bit-identical, verification here checks the
+    physical invariants instead: zeta exceeds the diagonal shift (the
+    matrix is positive definite with smallest eigenvalue > shift is not
+    guaranteed, but zeta must be finite and the inner solves must
+    reduce the residual by orders of magnitude).
+    """
+    prob = problem("CG", klass)
+    n, nonzer, shift = prob.size
+    a = make_matrix(n, nonzer, shift, seed)
+    x = np.ones(n)
+    zeta = 0.0
+    rnorm = np.inf
+    for _ in range(prob.niter):
+        z, rnorm = cg_solve(a, x)
+        zx = float(x @ z)
+        if zx == 0.0:
+            raise RuntimeError("CG broke down: x . z == 0")
+        zeta = shift + 1.0 / zx
+        x = z / np.linalg.norm(z)
+    verified = bool(np.isfinite(zeta) and rnorm < 1e-8 * n)
+    return CgResult(prob, zeta, rnorm, total_ops(prob), verified)

@@ -1,0 +1,122 @@
+"""NAS Parallel Benchmark problem classes and operation accounting.
+
+The NPB define problem classes S, W, A, B, C, D per benchmark; Mop/s
+figures (Tables 2-4, Figures 4-5) are total operations divided by wall
+time.  This module records the standard class sizes and provides
+analytic operation counts.  Per-gridpoint flop constants for the three
+pseudo-applications are derived from the published NPB reference
+operation counts (e.g. BT class A = 168.3 Gop over 64^3 x 200
+iterations); the kernels' counts follow their textbook formulas.  Our
+mini-kernels execute classes S/W for real; classes A-D feed the
+performance model only.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["NpbProblem", "CLASSES", "problem", "total_ops", "BENCHMARKS"]
+
+BENCHMARKS = ("BT", "SP", "LU", "MG", "CG", "FT", "IS", "EP")
+
+
+@dataclass(frozen=True)
+class NpbProblem:
+    """One (benchmark, class) instance."""
+
+    benchmark: str
+    klass: str
+    size: tuple
+    niter: int
+
+    @property
+    def gridpoints(self) -> float:
+        if self.benchmark in ("BT", "SP", "LU", "MG"):
+            return float(self.size[0]) ** 3
+        if self.benchmark == "FT":
+            nx, ny, nz = self.size
+            return float(nx) * ny * nz
+        if self.benchmark == "CG":
+            return float(self.size[0])  # matrix order
+        if self.benchmark in ("IS", "EP"):
+            return float(2 ** self.size[0])
+        raise ValueError(self.benchmark)
+
+
+#: (benchmark, class) -> (size tuple, iterations).
+_SIZES: dict[tuple[str, str], tuple[tuple, int]] = {
+    # BT: cubic grid, 200ish iterations.
+    ("BT", "S"): ((12,), 60), ("BT", "W"): ((24,), 200),
+    ("BT", "A"): ((64,), 200), ("BT", "B"): ((102,), 200),
+    ("BT", "C"): ((162,), 200), ("BT", "D"): ((408,), 250),
+    # SP
+    ("SP", "S"): ((12,), 100), ("SP", "W"): ((36,), 400),
+    ("SP", "A"): ((64,), 400), ("SP", "B"): ((102,), 400),
+    ("SP", "C"): ((162,), 400), ("SP", "D"): ((408,), 500),
+    # LU
+    ("LU", "S"): ((12,), 50), ("LU", "W"): ((33,), 300),
+    ("LU", "A"): ((64,), 250), ("LU", "B"): ((102,), 250),
+    ("LU", "C"): ((162,), 250), ("LU", "D"): ((408,), 300),
+    # MG
+    ("MG", "S"): ((32,), 4), ("MG", "W"): ((128,), 4),
+    ("MG", "A"): ((256,), 4), ("MG", "B"): ((256,), 20),
+    ("MG", "C"): ((512,), 20), ("MG", "D"): ((1024,), 50),
+    # CG: (order, nonzeros/row, shift)
+    ("CG", "S"): ((1400, 7, 10.0), 15), ("CG", "W"): ((7000, 8, 12.0), 15),
+    ("CG", "A"): ((14000, 11, 20.0), 15), ("CG", "B"): ((75000, 13, 60.0), 75),
+    ("CG", "C"): ((150000, 15, 110.0), 75), ("CG", "D"): ((1500000, 21, 500.0), 100),
+    # FT: (nx, ny, nz)
+    ("FT", "S"): ((64, 64, 64), 6), ("FT", "W"): ((128, 128, 32), 6),
+    ("FT", "A"): ((256, 256, 128), 6), ("FT", "B"): ((512, 256, 256), 20),
+    ("FT", "C"): ((512, 512, 512), 20), ("FT", "D"): ((2048, 1024, 1024), 25),
+    # IS: (log2 total keys, log2 max key)
+    ("IS", "S"): ((16, 11), 10), ("IS", "W"): ((20, 16), 10),
+    ("IS", "A"): ((23, 19), 10), ("IS", "B"): ((25, 21), 10),
+    ("IS", "C"): ((27, 23), 10), ("IS", "D"): ((31, 27), 10),
+    # EP: (log2 pairs,)
+    ("EP", "S"): ((24,), 1), ("EP", "W"): ((25,), 1),
+    ("EP", "A"): ((28,), 1), ("EP", "B"): ((30,), 1),
+    ("EP", "C"): ((32,), 1), ("EP", "D"): ((36,), 1),
+}
+
+CLASSES = ("S", "W", "A", "B", "C", "D")
+
+#: Flops per gridpoint per iteration for the pseudo-applications,
+#: back-derived from the NPB reference operation counts at class A.
+_OPS_PER_POINT_ITER = {"BT": 3210.0, "SP": 973.0, "LU": 1820.0, "MG": 54.0}
+
+
+def problem(benchmark: str, klass: str) -> NpbProblem:
+    benchmark = benchmark.upper()
+    try:
+        size, niter = _SIZES[(benchmark, klass)]
+    except KeyError:
+        raise ValueError(f"unknown NPB problem {benchmark} class {klass}") from None
+    return NpbProblem(benchmark, klass, size, niter)
+
+
+def total_ops(prob: NpbProblem) -> float:
+    """Total operation count used for Mop/s accounting."""
+    b = prob.benchmark
+    if b in _OPS_PER_POINT_ITER:
+        return _OPS_PER_POINT_ITER[b] * prob.gridpoints * prob.niter
+    if b == "CG":
+        na, nonzer, _shift = prob.size
+        nnz = na * (nonzer + 1) * (nonzer + 1)  # NPB's nonzero estimate
+        # 25 inner CG iterations per outer: one SpMV (2 nnz) plus five
+        # vector ops (10 na) each.
+        return prob.niter * 25.0 * (2.0 * nnz + 10.0 * na)
+    if b == "FT":
+        n = prob.gridpoints
+        # One forward 3-D FFT at startup, one inverse per iteration,
+        # plus the 6-flop evolve per point per iteration.
+        fft = 5.0 * n * math.log2(n)
+        return fft + prob.niter * (fft + 6.0 * n)
+    if b == "IS":
+        # Integer ops: ~3 passes over the keys per ranking iteration.
+        return prob.niter * 3.0 * prob.gridpoints
+    if b == "EP":
+        # ~90 flops per pair attempt (rejection + polar transform).
+        return 90.0 * prob.gridpoints
+    raise ValueError(b)

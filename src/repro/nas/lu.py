@@ -1,0 +1,114 @@
+"""NPB LU mini-kernel: SSOR relaxation solver.
+
+NPB LU solves the same equations as BT/SP but by symmetric successive
+over-relaxation: a lower-triangular wavefront sweep followed by an
+upper-triangular one each iteration.  The mini-kernel keeps the SSOR
+iteration structure on the scalar model problem
+
+.. math:: (I - \\mu \\nabla^2)\\, u = f
+
+with red-black coloring standing in for the wavefront (both expose the
+same per-sweep data dependence pattern; red-black vectorizes in
+NumPy).  Verification compares the converged iterate against a direct
+sparse solve of the identical system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from .classes import NpbProblem, problem, total_ops
+
+__all__ = ["LuResult", "ssor_solve", "run_lu"]
+
+
+@dataclass(frozen=True)
+class LuResult:
+    problem: NpbProblem
+    iterations: int
+    final_residual: float
+    direct_error: float
+    ops: float
+    verified: bool
+
+
+def _color_masks(n: int) -> tuple[np.ndarray, np.ndarray]:
+    idx = np.add.outer(np.add.outer(np.arange(n), np.arange(n)), np.arange(n))
+    red = (idx % 2) == 0
+    return red, ~red
+
+
+def _apply(u: np.ndarray, mu_h2: float) -> np.ndarray:
+    """(I - mu del^2) with Dirichlet-0 walls, mu in units of h^2."""
+    out = (1.0 + 6.0 * mu_h2) * u
+    for axis in range(3):
+        lo = np.roll(u, 1, axis)
+        hi = np.roll(u, -1, axis)
+        # Dirichlet: zero the wrapped entries.
+        sl = [slice(None)] * 3
+        sl[axis] = 0
+        lo[tuple(sl)] = 0.0
+        sl[axis] = -1
+        hi[tuple(sl)] = 0.0
+        out -= mu_h2 * (lo + hi)
+    return out
+
+
+def ssor_solve(
+    f: np.ndarray, mu_h2: float, omega: float = 1.2, tol: float = 1e-10, max_iters: int = 500
+) -> tuple[np.ndarray, int, float]:
+    """SSOR iteration (red-black forward + backward sweeps)."""
+    if not 0 < omega < 2:
+        raise ValueError("omega must be in (0, 2) for SSOR convergence")
+    n = f.shape[0]
+    red, black = _color_masks(n)
+    diag = 1.0 + 6.0 * mu_h2
+    u = np.zeros_like(f)
+    f_norm = float(np.linalg.norm(f)) or 1.0
+    for it in range(1, max_iters + 1):
+        for first, second in ((red, black), (black, red)):  # forward, backward
+            for mask in (first, second):
+                r = f - _apply(u, mu_h2)
+                u[mask] += omega * r[mask] / diag
+        resid = float(np.linalg.norm(f - _apply(u, mu_h2))) / f_norm
+        if resid < tol:
+            return u, it, resid
+    return u, max_iters, resid
+
+
+def _direct_solve(f: np.ndarray, mu_h2: float) -> np.ndarray:
+    """Sparse direct reference solution of the same operator."""
+    n = f.shape[0]
+    eye = sp.identity(n, format="csr")
+    band = sp.diags([-1.0, 0.0, -1.0], [-1, 0, 1], shape=(n, n), format="csr")
+    lap = (
+        sp.kron(sp.kron(band, eye), eye)
+        + sp.kron(sp.kron(eye, band), eye)
+        + sp.kron(sp.kron(eye, eye), band)
+    )
+    a = sp.identity(n**3, format="csr") * (1.0 + 6.0 * mu_h2) + mu_h2 * lap
+    return spla.spsolve(a.tocsc(), f.ravel()).reshape(f.shape)
+
+
+def run_lu(klass: str = "S", mu: float = 0.5, seed: int = 314159) -> LuResult:
+    """Run the LU-structure SSOR solver and verify against a direct solve.
+
+    Class S (12^3) keeps the reference sparse solve cheap; larger
+    classes skip the direct comparison and verify by residual alone.
+    """
+    prob = problem("LU", klass)
+    n = prob.size[0]
+    rng = np.random.default_rng(seed)
+    f = rng.standard_normal((n, n, n))
+    u, iters, resid = ssor_solve(f, mu)
+    if n <= 16:
+        ref = _direct_solve(f, mu)
+        direct_err = float(np.abs(u - ref).max() / np.abs(ref).max())
+    else:
+        direct_err = float("nan")
+    verified = bool(resid < 1e-9 and (np.isnan(direct_err) or direct_err < 1e-6))
+    return LuResult(prob, iters, resid, direct_err, total_ops(prob), verified)

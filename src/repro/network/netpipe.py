@@ -1,0 +1,82 @@
+"""NetPIPE-style point-to-point sweep over a messaging stack.
+
+NetPIPE measures ping-pong time across an exponential ladder of message
+sizes and reports achieved bandwidth versus size; Figure 2 of the paper
+plots the result for five stacks.  :func:`sweep` regenerates that curve
+from a :class:`~repro.network.stacks.MessagingStack`, and
+:func:`summarize` extracts the two headline numbers the paper quotes:
+small-message latency and peak bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .stacks import MessagingStack
+
+__all__ = ["NetpipePoint", "NetpipeSummary", "message_sizes", "sweep", "summarize"]
+
+
+@dataclass(frozen=True)
+class NetpipePoint:
+    """One measurement: message size and achieved bandwidth/time."""
+
+    nbytes: int
+    mbits_s: float
+    time_us: float
+
+
+@dataclass(frozen=True)
+class NetpipeSummary:
+    """Headline NetPIPE metrics for one stack."""
+
+    stack: str
+    latency_us: float
+    peak_mbits_s: float
+    half_bandwidth_bytes: float
+
+
+def message_sizes(max_bytes: int = 16 * 1024 * 1024, points_per_octave: int = 3) -> np.ndarray:
+    """NetPIPE's geometric ladder of message sizes from 1 byte up.
+
+    Real NetPIPE perturbs each size +/- a few bytes; that detail does
+    not affect the model, so the ladder here is exact powers scaled
+    within each octave.
+    """
+    if max_bytes < 1:
+        raise ValueError("max_bytes must be >= 1")
+    if points_per_octave < 1:
+        raise ValueError("points_per_octave must be >= 1")
+    n_octaves = int(np.ceil(np.log2(max_bytes)))
+    exponents = np.arange(0, n_octaves * points_per_octave + 1) / points_per_octave
+    sizes = np.unique(np.round(2.0**exponents).astype(np.int64))
+    return sizes[sizes <= max_bytes]
+
+
+def sweep(stack: MessagingStack, sizes: np.ndarray | None = None) -> list[NetpipePoint]:
+    """Bandwidth-versus-size curve for ``stack`` (Figure 2's series)."""
+    if sizes is None:
+        sizes = message_sizes()
+    points = []
+    for n in sizes:
+        n = int(n)
+        t = stack.time_s(n)
+        points.append(NetpipePoint(n, stack.bandwidth_mbits_s(n), t * 1e6))
+    return points
+
+
+def summarize(stack: MessagingStack, sizes: np.ndarray | None = None) -> NetpipeSummary:
+    """Latency / peak-bandwidth summary, as quoted in the Fig 2 caption.
+
+    Latency follows NetPIPE's convention: one-way time of a minimal
+    (1-byte) message.  Peak bandwidth is the best point on the sweep.
+    """
+    points = sweep(stack, sizes)
+    return NetpipeSummary(
+        stack=stack.name,
+        latency_us=stack.time_s(1) * 1e6,
+        peak_mbits_s=max(p.mbits_s for p in points),
+        half_bandwidth_bytes=stack.half_bandwidth_bytes(),
+    )

@@ -1,0 +1,122 @@
+"""Models of the message-passing stacks measured in Figure 2.
+
+Section 3.1 measures point-to-point performance with NetPIPE for five
+software stacks over the same 3c996B-T gigabit hardware:
+
+=================  ============  ==========================
+stack               latency       asymptotic bandwidth
+=================  ============  ==========================
+raw TCP             79 us         779 Mbit/s
+LAM 6.5.9 -O        83 us         ~750 Mbit/s
+LAM 6.5.9           83 us         ~660 Mbit/s (hetero mode
+                                  packs/converts every buffer)
+mpich2 0.92b        87 us         ~740 Mbit/s
+mpich 1.2.5         87 us         ~560 Mbit/s (extra internal
+                                  copy on its rendezvous path)
+=================  ============  ==========================
+
+Each stack is a Hockney-style latency/bandwidth model with an optional
+per-byte software overhead term representing extra copies or data
+conversion, which is what separates the curves at large message sizes
+(the feature Figure 2 is about).  The TCP numbers are the calibration
+anchor (the paper prints them exactly); the MPI stacks' large-message
+separations are set to match the figure's visual ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "MessagingStack",
+    "TCP",
+    "LAM_O",
+    "LAM",
+    "MPICH2_092",
+    "MPICH_125",
+    "FIGURE2_STACKS",
+]
+
+
+@dataclass(frozen=True)
+class MessagingStack:
+    """Hockney model with software copy overhead.
+
+    One-way time for an ``n``-byte message::
+
+        t(n) = latency + n / wire_bandwidth + copies * n / copy_bandwidth
+
+    ``copy_mbytes_s`` is the rate of the extra in-memory copies the
+    stack performs (bounded by node STREAM bandwidth); ``copies`` is how
+    many such passes the stack makes over the payload.
+    """
+
+    name: str
+    latency_us: float
+    wire_mbits_s: float
+    copies: float = 0.0
+    copy_mbytes_s: float = 1200.0
+    eager_threshold: int = 64 * 1024
+    rendezvous_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency_us <= 0 or self.wire_mbits_s <= 0:
+            raise ValueError("latency and bandwidth must be positive")
+        if self.copies < 0 or self.copy_mbytes_s <= 0:
+            raise ValueError("copy parameters must be non-negative / positive")
+
+    def time_s(self, nbytes: int) -> float:
+        """One-way transfer time for an ``nbytes`` message."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        t = self.latency_us * 1e-6
+        t += nbytes * 8.0 / (self.wire_mbits_s * 1e6)
+        t += self.copies * nbytes / (self.copy_mbytes_s * 1e6)
+        if nbytes > self.eager_threshold:
+            t += self.rendezvous_us * 1e-6
+        return t
+
+    def bandwidth_mbits_s(self, nbytes: int) -> float:
+        """Achieved bandwidth (NetPIPE's y-axis) for a message size."""
+        if nbytes == 0:
+            return 0.0
+        return nbytes * 8.0 / self.time_s(nbytes) / 1e6
+
+    @property
+    def asymptotic_mbits_s(self) -> float:
+        """Large-message bandwidth limit."""
+        per_byte = 8.0 / (self.wire_mbits_s * 1e6) + self.copies / (self.copy_mbytes_s * 1e6)
+        return 8.0 / per_byte / 1e6
+
+    def half_bandwidth_bytes(self) -> float:
+        """n_1/2: message size achieving half the asymptotic bandwidth."""
+        per_byte = 8.0 / (self.wire_mbits_s * 1e6) + self.copies / (self.copy_mbytes_s * 1e6)
+        return (self.latency_us * 1e-6 + self.rendezvous_us * 1e-6) / per_byte
+
+
+#: Raw TCP over the 3c996B-T (Fig 2: 779 Mbit/s, 79 us).
+TCP = MessagingStack("TCP", latency_us=79.0, wire_mbits_s=779.0)
+
+#: LAM 6.5.9 with -O (homogeneous): thin shim over TCP.
+LAM_O = MessagingStack("LAM 6.5.9 -O", latency_us=83.0, wire_mbits_s=760.0)
+
+#: LAM 6.5.9 default (heterogeneous): packs/converts every buffer,
+#: which costs sustained bandwidth at every message size.
+LAM = MessagingStack("LAM 6.5.9", latency_us=83.0, wire_mbits_s=660.0, copies=0.10)
+
+#: mpich2 0.92 beta: solved mpich-1.2.5's large-message problem.
+MPICH2_092 = MessagingStack("mpich2 0.92b", latency_us=87.0, wire_mbits_s=745.0)
+
+#: mpich 1.2.5: non-overlapped rendezvous chunking serializes protocol
+#: processing with the wire (the slow large-message curve in Fig 2).
+MPICH_125 = MessagingStack(
+    "mpich 1.2.5",
+    latency_us=87.0,
+    wire_mbits_s=560.0,
+    copies=0.10,
+    eager_threshold=128 * 1024,
+    rendezvous_us=90.0,
+)
+
+#: The five curves of Figure 2, fastest first.
+FIGURE2_STACKS: tuple[MessagingStack, ...] = (TCP, LAM_O, MPICH2_092, LAM, MPICH_125)

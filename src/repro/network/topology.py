@@ -1,0 +1,107 @@
+"""Cluster-level traffic patterns over the switch fabric.
+
+Provides the traffic generators used by the Section 3.1 backplane
+characterization (simultaneous pair traffic along hypercube edges) and
+general bisection measurements, mapping MPI ranks onto physical switch
+ports via :class:`~repro.network.switch.FabricModel.locate`.
+"""
+
+from __future__ import annotations
+
+from .switch import FabricModel, Flow, PortLocation
+
+__all__ = [
+    "hypercube_pairs",
+    "pair_flows",
+    "cross_module_flows",
+    "bisection_flows",
+    "effective_pairwise_mbits",
+]
+
+
+def hypercube_pairs(n_ranks: int, dimension: int) -> list[tuple[int, int]]:
+    """Partner pairs along edge ``dimension`` of the rank hypercube.
+
+    Rank ``i`` pairs with ``i ^ (1 << dimension)``; each unordered pair
+    is listed once, lower rank first.  Ranks whose partner falls outside
+    ``n_ranks`` (non-power-of-two cluster sizes) are skipped, which is
+    what the paper's probe program does on 294 nodes.
+    """
+    if n_ranks <= 0:
+        raise ValueError("n_ranks must be positive")
+    if dimension < 0:
+        raise ValueError("dimension must be non-negative")
+    bit = 1 << dimension
+    pairs = []
+    for i in range(n_ranks):
+        j = i ^ bit
+        if i < j < n_ranks:
+            pairs.append((i, j))
+    return pairs
+
+
+def pair_flows(fabric: FabricModel, pairs: list[tuple[int, int]]) -> list[Flow]:
+    """Bidirectional flows (two per pair) for simultaneous pair traffic."""
+    flows = []
+    for a, b in pairs:
+        la, lb = fabric.locate(a), fabric.locate(b)
+        flows.append(Flow(la, lb))
+        flows.append(Flow(lb, la))
+    return flows
+
+
+def cross_module_flows(
+    fabric: FabricModel, src_module: int, dst_module: int, *, switch: int = 0, n_streams: int = 16
+) -> list[Flow]:
+    """The paper's 16-to-16 cross-module saturation test.
+
+    ``n_streams`` ports on ``src_module`` each send to the corresponding
+    port on ``dst_module``; the aggregate observed in the paper was
+    about 6000 Mbit/s against the 8 Gbit/s raw backplane.
+    """
+    spec = fabric.switches[switch]
+    if n_streams > spec.ports_per_module:
+        raise ValueError(f"module has only {spec.ports_per_module} ports")
+    if src_module == dst_module:
+        raise ValueError("source and destination modules must differ")
+    return [
+        Flow(
+            PortLocation(switch, src_module, p),
+            PortLocation(switch, dst_module, p),
+        )
+        for p in range(n_streams)
+    ]
+
+
+def bisection_flows(fabric: FabricModel, n_ranks: int) -> list[Flow]:
+    """Every rank in the lower half sends to its mirror in the upper half.
+
+    With ranks cabled in port order, this stresses every module uplink
+    and — once ``n_ranks`` spans both chassis — the inter-switch trunk,
+    exposing the >256-processor scaling limit the paper notes.
+    """
+    if n_ranks < 2 or n_ranks % 2:
+        raise ValueError("n_ranks must be an even number >= 2")
+    half = n_ranks // 2
+    return [Flow(fabric.locate(i), fabric.locate(i + half)) for i in range(half)]
+
+
+def effective_pairwise_mbits(fabric: FabricModel, n_ranks: int) -> float:
+    """Worst-case per-rank bandwidth over all hypercube dimensions.
+
+    This is the number a tightly synchronized exchange (like HPL's
+    broadcast rings or the treecode's batched request traffic) actually
+    sees; it degrades once a dimension's pairs cross the trunk.
+    """
+    if n_ranks < 2:
+        raise ValueError("need at least 2 ranks")
+    worst = float("inf")
+    dim = 0
+    while (1 << dim) < n_ranks:
+        pairs = hypercube_pairs(n_ranks, dim)
+        if pairs:
+            flows = pair_flows(fabric, pairs)
+            rates = fabric.flow_rates(flows)
+            worst = min(worst, min(rates))
+        dim += 1
+    return worst

@@ -1,0 +1,351 @@
+"""Operation descriptors and the rank-facing ``Comm`` API.
+
+SimMPI programs are *generator functions*: a rank yields operation
+descriptors to the engine and receives results back at the resumed
+``yield`` expression, e.g.::
+
+    def program(comm: Comm):
+        right = (comm.rank + 1) % comm.size
+        yield comm.isend(np.arange(4.0), dest=right, tag=0)
+        data = yield comm.recv(source=ANY_SOURCE, tag=0)
+        total = yield comm.allreduce(float(data.sum()))
+        yield comm.compute(flops=1e9, mem_bytes=1e8)
+
+The descriptor layer is deliberately dumb — all semantics (matching,
+virtual time, reductions) live in :mod:`repro.simmpi.engine`.  Method
+names and argument conventions follow mpi4py's lowercase object API so
+the parallel treecode reads like an MPI code.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "MAX",
+    "MIN",
+    "SUM",
+    "PROD",
+    "payload_nbytes",
+    "Request",
+    "Op",
+    "Send",
+    "Recv",
+    "Isend",
+    "Irecv",
+    "Wait",
+    "Waitall",
+    "Compute",
+    "Elapse",
+    "Now",
+    "Probe",
+    "CollectiveOp",
+    "Barrier",
+    "Bcast",
+    "Reduce",
+    "Allreduce",
+    "Gather",
+    "Allgather",
+    "Scatter",
+    "Alltoall",
+    "Comm",
+]
+
+#: Wildcard source for receives (matches any sender).
+ANY_SOURCE = -1
+#: Wildcard tag for receives (matches any tag).
+ANY_TAG = -1
+
+# Reduction operators. Arrays reduce elementwise, scalars normally.
+SUM = operator.add
+PROD = operator.mul
+
+
+def MAX(a, b):
+    """Elementwise/scalar maximum reduction operator."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.maximum(a, b)
+    return max(a, b)
+
+
+def MIN(a, b):
+    """Elementwise/scalar minimum reduction operator."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.minimum(a, b)
+    return min(a, b)
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Deterministic wire-size estimate for a message payload.
+
+    NumPy arrays report their buffer size; bytes-likes their length;
+    numbers 8 bytes; containers sum their elements plus a small framing
+    overhead per element.  Anything else costs a flat 64 bytes — the
+    point is reproducible cost accounting, not serialization fidelity.
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    if isinstance(payload, (bool, int, float, complex, np.generic)):
+        return 8
+    if isinstance(payload, str):
+        return len(payload.encode())
+    if isinstance(payload, (list, tuple)):
+        return sum(payload_nbytes(item) + 8 for item in payload)
+    if isinstance(payload, dict):
+        return sum(payload_nbytes(k) + payload_nbytes(v) + 8 for k, v in payload.items())
+    return 64
+
+
+class Request:
+    """Handle for a nonblocking operation, returned by isend/irecv.
+
+    Completion is managed entirely by the engine: ``complete_time`` is
+    set when the transfer finishes in virtual time, ``value`` carries
+    the received payload for irecv.
+    """
+
+    __slots__ = ("rank", "kind", "seq", "complete_time", "value", "cancelled")
+
+    def __init__(self, rank: int, kind: str, seq: int):
+        self.rank = rank
+        self.kind = kind
+        self.seq = seq
+        self.complete_time: float | None = None
+        self.value: Any = None
+        self.cancelled = False
+
+    @property
+    def is_complete(self) -> bool:
+        return self.complete_time is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"done@{self.complete_time:.6g}" if self.is_complete else "pending"
+        return f"<Request {self.kind} rank={self.rank} seq={self.seq} {state}>"
+
+
+@dataclass(frozen=True)
+class Op:
+    """Base class for everything a rank may yield."""
+
+
+@dataclass(frozen=True)
+class Send(Op):
+    dest: int
+    tag: int
+    payload: Any
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class Recv(Op):
+    source: int
+    tag: int
+
+
+@dataclass(frozen=True)
+class Isend(Op):
+    dest: int
+    tag: int
+    payload: Any
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class Irecv(Op):
+    source: int
+    tag: int
+
+
+@dataclass(frozen=True)
+class Wait(Op):
+    request: Request
+
+
+@dataclass(frozen=True)
+class Waitall(Op):
+    requests: tuple[Request, ...]
+
+
+@dataclass(frozen=True)
+class Compute(Op):
+    """Advance the local clock by a modeled computation."""
+
+    flops: float
+    mem_bytes: float
+    flop_efficiency: float = 1.0
+
+
+@dataclass(frozen=True)
+class Elapse(Op):
+    """Advance the local clock by a literal number of seconds (I/O,
+    fixed overheads, anything outside the compute model)."""
+
+    seconds: float
+
+
+@dataclass(frozen=True)
+class Now(Op):
+    """Query the rank's virtual clock."""
+
+
+@dataclass(frozen=True)
+class Probe(Op):
+    """Nonblockingly check for a matchable incoming message.
+
+    Returns ``(source, tag, nbytes)`` if a send is already posted that a
+    recv with this signature would match, else ``None``.  This is the
+    hook the treecode's ABM layer uses to service data requests while
+    its own traversal continues.
+    """
+
+    source: int
+    tag: int
+
+
+@dataclass(frozen=True)
+class CollectiveOp(Op):
+    """Common shape of all collectives: matched across the whole comm."""
+
+    kind: str
+    payload: Any = None
+    root: int = 0
+    op: Callable[[Any, Any], Any] | None = None
+    nbytes: int = 0
+
+
+def Barrier() -> CollectiveOp:
+    return CollectiveOp("barrier")
+
+
+def Bcast(payload: Any, root: int) -> CollectiveOp:
+    return CollectiveOp("bcast", payload=payload, root=root, nbytes=payload_nbytes(payload))
+
+
+def Reduce(payload: Any, root: int, op: Callable = SUM) -> CollectiveOp:
+    return CollectiveOp("reduce", payload=payload, root=root, op=op, nbytes=payload_nbytes(payload))
+
+
+def Allreduce(payload: Any, op: Callable = SUM) -> CollectiveOp:
+    return CollectiveOp("allreduce", payload=payload, op=op, nbytes=payload_nbytes(payload))
+
+
+def Gather(payload: Any, root: int) -> CollectiveOp:
+    return CollectiveOp("gather", payload=payload, root=root, nbytes=payload_nbytes(payload))
+
+
+def Allgather(payload: Any) -> CollectiveOp:
+    return CollectiveOp("allgather", payload=payload, nbytes=payload_nbytes(payload))
+
+
+def Scatter(payload: Sequence | None, root: int) -> CollectiveOp:
+    return CollectiveOp("scatter", payload=payload, root=root, nbytes=payload_nbytes(payload))
+
+
+def Alltoall(payload: Sequence) -> CollectiveOp:
+    return CollectiveOp("alltoall", payload=payload, nbytes=payload_nbytes(payload))
+
+
+@dataclass
+class Comm:
+    """Rank-local facade: knows its rank/size and builds descriptors.
+
+    The engine constructs one ``Comm`` per rank and passes it to the
+    rank's program.  All methods are pure descriptor factories; yield
+    the result to execute it.
+    """
+
+    rank: int
+    size: int
+    _stats: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.rank < self.size:
+            raise ValueError(f"rank {self.rank} out of range for size {self.size}")
+
+    def _check_peer(self, peer: int, *, wildcard_ok: bool = False) -> None:
+        if wildcard_ok and peer == ANY_SOURCE:
+            return
+        if not 0 <= peer < self.size:
+            raise ValueError(f"peer rank {peer} out of range for size {self.size}")
+
+    # -- point to point -------------------------------------------------
+    def send(self, payload: Any, dest: int, tag: int = 0) -> Send:
+        self._check_peer(dest)
+        return Send(dest, tag, payload, payload_nbytes(payload))
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Recv:
+        self._check_peer(source, wildcard_ok=True)
+        return Recv(source, tag)
+
+    def isend(self, payload: Any, dest: int, tag: int = 0) -> Isend:
+        self._check_peer(dest)
+        return Isend(dest, tag, payload, payload_nbytes(payload))
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Irecv:
+        self._check_peer(source, wildcard_ok=True)
+        return Irecv(source, tag)
+
+    def wait(self, request: Request) -> Wait:
+        return Wait(request)
+
+    def waitall(self, requests: Sequence[Request]) -> Waitall:
+        return Waitall(tuple(requests))
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Probe:
+        self._check_peer(source, wildcard_ok=True)
+        return Probe(source, tag)
+
+    # -- local time -----------------------------------------------------
+    def compute(self, flops: float, mem_bytes: float = 0.0, flop_efficiency: float = 1.0) -> Compute:
+        return Compute(flops, mem_bytes, flop_efficiency)
+
+    def elapse(self, seconds: float) -> Elapse:
+        return Elapse(seconds)
+
+    def now(self) -> Now:
+        return Now()
+
+    # -- collectives ----------------------------------------------------
+    def barrier(self) -> CollectiveOp:
+        return Barrier()
+
+    def bcast(self, payload: Any, root: int = 0) -> CollectiveOp:
+        self._check_peer(root)
+        return Bcast(payload if self.rank == root else None, root)
+
+    def reduce(self, payload: Any, root: int = 0, op: Callable = SUM) -> CollectiveOp:
+        self._check_peer(root)
+        return Reduce(payload, root, op)
+
+    def allreduce(self, payload: Any, op: Callable = SUM) -> CollectiveOp:
+        return Allreduce(payload, op)
+
+    def gather(self, payload: Any, root: int = 0) -> CollectiveOp:
+        self._check_peer(root)
+        return Gather(payload, root)
+
+    def allgather(self, payload: Any) -> CollectiveOp:
+        return Allgather(payload)
+
+    def scatter(self, payload: Sequence | None, root: int = 0) -> CollectiveOp:
+        self._check_peer(root)
+        if self.rank == root:
+            if payload is None or len(payload) != self.size:
+                raise ValueError("scatter root must supply one item per rank")
+            return Scatter(tuple(payload), root)
+        return Scatter(None, root)
+
+    def alltoall(self, payload: Sequence) -> CollectiveOp:
+        if len(payload) != self.size:
+            raise ValueError("alltoall requires one item per rank")
+        return Alltoall(tuple(payload))

@@ -1,0 +1,155 @@
+"""Virtual-time cost models for SimMPI.
+
+The engine charges three kinds of time:
+
+* **compute** — a :class:`~repro.machine.perfmodel.Workload` executed on
+  the rank's node (roofline model);
+* **point-to-point** — a message between two ranks, costed by the
+  messaging-stack model and degraded by the switch-fabric locality of
+  the two endpoints (same module / cross module / cross trunk);
+* **collective** — tree/ring algorithm estimates built from the p2p
+  cost, matching what LAM/mpich actually implement.
+
+:class:`ZeroCost` makes every operation free, which turns SimMPI into a
+pure algorithm checker — handy in tests where only message *semantics*
+matter.  :class:`SpaceSimulatorCost` is the calibrated model of the
+actual cluster (LAM 6.5.9 -O over the Foundry fabric, P4 nodes).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..machine.node import NodeSpec, SPACE_SIMULATOR_NODE
+from ..machine.perfmodel import PerfModel, Workload
+from ..network.stacks import LAM_O, MessagingStack
+from ..network.switch import FabricModel, SPACE_SIMULATOR_FABRIC
+
+__all__ = ["CostModel", "ZeroCost", "UniformCost", "SpaceSimulatorCost"]
+
+
+class CostModel:
+    """Interface the engine consumes."""
+
+    def compute_time(self, rank: int, workload: Workload) -> float:
+        raise NotImplementedError
+
+    def p2p_time(self, src: int, dst: int, nbytes: int) -> float:
+        raise NotImplementedError
+
+    def collective_time(self, kind: str, size: int, nbytes: int) -> float:
+        """Default: log-tree of p2p hops for rooted/latency collectives,
+        ring terms for all-to-all style data movement."""
+        if size <= 1:
+            return 0.0
+        rounds = max(1, math.ceil(math.log2(size)))
+        if kind == "barrier":
+            return rounds * self.p2p_time(0, size - 1, 0)
+        if kind in ("bcast", "reduce"):
+            return rounds * self.p2p_time(0, size - 1, nbytes)
+        if kind == "allreduce":
+            # reduce-scatter + allgather (Rabenseifner) ~ 2 x ring of n/P
+            ring = (size - 1) * self.p2p_time(0, size - 1, max(nbytes // size, 1))
+            return 2.0 * ring + rounds * self.p2p_time(0, size - 1, 0)
+        if kind in ("gather", "scatter", "allgather"):
+            return (size - 1) * self.p2p_time(0, size - 1, nbytes)
+        if kind == "alltoall":
+            per_peer = max(nbytes // size, 1)
+            return (size - 1) * self.p2p_time(0, size - 1, per_peer)
+        raise ValueError(f"unknown collective kind {kind!r}")
+
+
+class ZeroCost(CostModel):
+    """Every operation is instantaneous (semantics-only simulation)."""
+
+    def compute_time(self, rank: int, workload: Workload) -> float:
+        return 0.0
+
+    def p2p_time(self, src: int, dst: int, nbytes: int) -> float:
+        return 0.0
+
+    def collective_time(self, kind: str, size: int, nbytes: int) -> float:
+        return 0.0
+
+
+class UniformCost(CostModel):
+    """Flat latency/bandwidth network and fixed-rate CPUs.
+
+    Useful for controlled experiments (e.g. testing that halving the
+    bandwidth parameter doubles large-message time) without dragging in
+    the full hardware catalog.
+    """
+
+    def __init__(
+        self,
+        *,
+        latency_s: float = 50e-6,
+        mbytes_s: float = 100.0,
+        mflops: float = 1000.0,
+    ):
+        if latency_s < 0 or mbytes_s <= 0 or mflops <= 0:
+            raise ValueError("latency must be >= 0; rates must be positive")
+        self.latency_s = latency_s
+        self.mbytes_s = mbytes_s
+        self.mflops = mflops
+
+    def compute_time(self, rank: int, workload: Workload) -> float:
+        return workload.flops / (self.mflops * 1e6)
+
+    def p2p_time(self, src: int, dst: int, nbytes: int) -> float:
+        return self.latency_s + nbytes / (self.mbytes_s * 1e6)
+
+
+class SpaceSimulatorCost(CostModel):
+    """Calibrated cost model of the Space Simulator.
+
+    Point-to-point messages pay the messaging-stack time; messages whose
+    endpoints live on different switch modules or different chassis are
+    additionally capped by their share of the backplane/trunk capacity
+    under the assumption that ``congestion`` other flows share the same
+    path (0 = uncontended).  This static treatment captures the fabric
+    hierarchy without simulating every packet.
+    """
+
+    def __init__(
+        self,
+        *,
+        node: NodeSpec = SPACE_SIMULATOR_NODE,
+        stack: MessagingStack = LAM_O,
+        fabric: FabricModel = SPACE_SIMULATOR_FABRIC,
+        congestion: int = 0,
+    ):
+        if congestion < 0:
+            raise ValueError("congestion must be non-negative")
+        self.node = node
+        self.stack = stack
+        self.fabric = fabric
+        self.congestion = congestion
+        self._perf = PerfModel(node)
+
+    def compute_time(self, rank: int, workload: Workload) -> float:
+        return self._perf.time_s(workload)
+
+    def _path_mbits(self, src: int, dst: int) -> float:
+        """Bandwidth ceiling of the src->dst path given static sharing."""
+        a = self.fabric.locate(src % self.fabric.total_ports)
+        b = self.fabric.locate(dst % self.fabric.total_ports)
+        ceiling = min(self.fabric.port_mbits, self.node.nic.effective_mbits_s)
+        sharers = 1 + self.congestion
+        backplane = 8000.0 * self.fabric.backplane_efficiency
+        if a.switch != b.switch:
+            # Crosses two module backplanes *and* the trunk.
+            ceiling = min(ceiling, self.fabric.trunk_mbits / sharers, backplane / sharers)
+        elif a.module != b.module:
+            ceiling = min(ceiling, backplane / sharers)
+        return ceiling
+
+    def p2p_time(self, src: int, dst: int, nbytes: int) -> float:
+        if src == dst:
+            # local "message": one memory copy
+            return nbytes / (self.node.stream_mbytes_s * 1e6)
+        base = self.stack.time_s(nbytes)
+        path = self._path_mbits(src, dst)
+        wire = min(self.stack.asymptotic_mbits_s, path)
+        extra = nbytes * 8.0 / (wire * 1e6) - nbytes * 8.0 / (self.stack.asymptotic_mbits_s * 1e6)
+        return base + max(extra, 0.0)

@@ -1,0 +1,486 @@
+"""Deterministic discrete-event execution of SimMPI programs.
+
+The engine resumes rank generators in global virtual-time order.  Every
+operation a rank yields is processed at that rank's current virtual
+time; matches between sends and receives, collective completions, and
+compute segments all schedule future resume events on a single heap
+keyed by ``(time, sequence)``, so the simulation is bit-reproducible
+regardless of host scheduling.
+
+Message semantics follow MPI:
+
+* point-to-point matching is FIFO per (source, dest) with tag and
+  ``ANY_SOURCE``/``ANY_TAG`` wildcards, non-overtaking;
+* sends at or below the cost model's eager threshold complete locally
+  (buffered), larger sends complete only when matched (rendezvous);
+* collectives match by per-rank call order and must agree in kind
+  across the communicator, as the standard requires.
+
+Time accounting: each rank carries its own clock; a resumed rank's
+blocked interval is charged to ``blocked_s`` so benches can separate
+compute from communication wait, which is exactly the decomposition the
+paper's scaling discussions rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from functools import reduce as _fold
+from typing import Any, Callable, Generator, Sequence
+
+from ..machine.perfmodel import Workload
+from .api import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Alltoall,
+    CollectiveOp,
+    Comm,
+    Compute,
+    Elapse,
+    Irecv,
+    Isend,
+    Now,
+    Op,
+    Probe,
+    Recv,
+    Request,
+    Send,
+    Wait,
+    Waitall,
+)
+from .cost import CostModel, ZeroCost
+from .trace import TraceEvent
+
+__all__ = ["DeadlockError", "CollectiveMismatchError", "RankStats", "SimResult", "Engine", "run"]
+
+#: Messages at or below this size complete at the sender immediately
+#: (models MPI eager-protocol buffering). Cost models may override via
+#: an ``eager_nbytes`` attribute.
+DEFAULT_EAGER_NBYTES = 64 * 1024
+
+
+class DeadlockError(RuntimeError):
+    """All ranks blocked with no pending events: a genuine deadlock."""
+
+
+class CollectiveMismatchError(RuntimeError):
+    """Ranks disagreed on the kind of their n-th collective call."""
+
+
+@dataclass
+class RankStats:
+    """Per-rank accounting accumulated during the run."""
+
+    compute_s: float = 0.0
+    blocked_s: float = 0.0
+    bytes_sent: int = 0
+    msgs_sent: int = 0
+    bytes_received: int = 0
+    msgs_received: int = 0
+
+
+@dataclass
+class SimResult:
+    """Outcome of a simulation: per-rank clocks, stats, return values."""
+
+    clocks: list[float]
+    stats: list[RankStats]
+    returns: list[Any]
+    trace: list[TraceEvent] = field(default_factory=list)
+
+    @property
+    def elapsed(self) -> float:
+        """Virtual wall-clock of the parallel job (slowest rank)."""
+        return max(self.clocks) if self.clocks else 0.0
+
+    @property
+    def total_compute_s(self) -> float:
+        return sum(s.compute_s for s in self.stats)
+
+    @property
+    def total_bytes_sent(self) -> int:
+        return sum(s.bytes_sent for s in self.stats)
+
+    def parallel_efficiency(self) -> float:
+        """compute-time / (ranks * elapsed): 1.0 means no comm wait."""
+        if self.elapsed == 0.0 or not self.clocks:
+            return 1.0
+        return self.total_compute_s / (len(self.clocks) * self.elapsed)
+
+
+@dataclass
+class _SendRec:
+    src: int
+    dst: int
+    tag: int
+    payload: Any
+    nbytes: int
+    t_posted: float
+    seq: int
+    request: Request
+
+
+@dataclass
+class _RecvRec:
+    dst: int
+    source: int
+    tag: int
+    t_posted: float
+    seq: int
+    request: Request
+
+
+@dataclass
+class _Waiter:
+    rank: int
+    requests: tuple[Request, ...]
+    t_posted: float
+    single: bool
+
+
+@dataclass
+class _RankState:
+    gen: Generator
+    clock: float = 0.0
+    done: bool = False
+    blocked_since: float | None = None
+    blocked_on: str = ""
+    return_value: Any = None
+    coll_count: int = 0
+    stats: RankStats = field(default_factory=RankStats)
+
+
+class Engine:
+    """Runs a set of rank programs to completion under a cost model."""
+
+    def __init__(
+        self,
+        programs: Sequence[Callable[[Comm], Generator]],
+        cost: CostModel | None = None,
+        record_trace: bool = True,
+    ):
+        if not programs:
+            raise ValueError("at least one rank program is required")
+        self.cost = cost if cost is not None else ZeroCost()
+        self.record_trace = record_trace
+        self.trace: list[TraceEvent] = []
+        self.eager_nbytes = getattr(self.cost, "eager_nbytes", DEFAULT_EAGER_NBYTES)
+        self.size = len(programs)
+        self._seq = itertools.count()
+        self._events: list[tuple[float, int, int, Any]] = []  # (time, seq, rank, value)
+        self._ranks: list[_RankState] = []
+        self._pending_sends: dict[int, list[_SendRec]] = {i: [] for i in range(self.size)}
+        self._pending_recvs: dict[int, list[_RecvRec]] = {i: [] for i in range(self.size)}
+        self._waiters: list[_Waiter] = []
+        self._collectives: dict[int, dict[int, tuple[CollectiveOp, float]]] = {}
+        self.comms = [Comm(rank=i, size=self.size) for i in range(self.size)]
+        for i, prog in enumerate(programs):
+            gen = prog(self.comms[i])
+            if not hasattr(gen, "send") or not hasattr(gen, "throw"):
+                raise TypeError(
+                    f"rank {i} program did not return a generator; "
+                    "SimMPI programs must use 'yield' for every operation"
+                )
+            self._ranks.append(_RankState(gen=gen))
+
+    # -- scheduling -----------------------------------------------------
+    def _schedule(self, time: float, rank: int, value: Any = None) -> None:
+        heapq.heappush(self._events, (time, next(self._seq), rank, value))
+
+    def _resume(self, rank: int, time: float, value: Any) -> None:
+        state = self._ranks[rank]
+        if state.done:
+            raise RuntimeError(f"resume of finished rank {rank}")
+        if state.blocked_since is not None:
+            state.stats.blocked_s += max(time - state.blocked_since, 0.0)
+            if self.record_trace and time > state.blocked_since:
+                self.trace.append(
+                    TraceEvent(rank, state.blocked_since, time, "blocked", state.blocked_on)
+                )
+            state.blocked_since = None
+            state.blocked_on = ""
+        state.clock = max(state.clock, time)
+        try:
+            op = state.gen.send(value)
+        except StopIteration as stop:
+            state.done = True
+            state.return_value = stop.value
+            return
+        self._dispatch(rank, op)
+
+    def _block(self, rank: int, why: str) -> None:
+        state = self._ranks[rank]
+        state.blocked_since = state.clock
+        state.blocked_on = why
+
+    # -- operation dispatch ----------------------------------------------
+    def _dispatch(self, rank: int, op: Op) -> None:
+        state = self._ranks[rank]
+        t = state.clock
+        if isinstance(op, Compute):
+            dt = self.cost.compute_time(rank, Workload(op.flops, op.mem_bytes, op.flop_efficiency))
+            state.stats.compute_s += dt
+            if self.record_trace and dt > 0:
+                self.trace.append(TraceEvent(rank, t, t + dt, "compute"))
+            self._schedule(t + dt, rank)
+        elif isinstance(op, Elapse):
+            if op.seconds < 0:
+                self._throw(rank, ValueError("cannot elapse negative time"))
+                return
+            state.stats.compute_s += op.seconds
+            if self.record_trace and op.seconds > 0:
+                self.trace.append(TraceEvent(rank, t, t + op.seconds, "compute"))
+            self._schedule(t + op.seconds, rank)
+        elif isinstance(op, Now):
+            self._schedule(t, rank, t)
+        elif isinstance(op, (Send, Isend)):
+            self._post_send(rank, op, t)
+        elif isinstance(op, (Recv, Irecv)):
+            self._post_recv(rank, op, t)
+        elif isinstance(op, Wait):
+            self._post_wait(rank, (op.request,), t, single=True)
+        elif isinstance(op, Waitall):
+            self._post_wait(rank, op.requests, t, single=False)
+        elif isinstance(op, Probe):
+            self._schedule(t, rank, self._probe(rank, op))
+        elif isinstance(op, CollectiveOp):
+            self._post_collective(rank, op, t)
+        else:
+            self._throw(rank, TypeError(f"rank {rank} yielded non-operation {op!r}"))
+
+    def _throw(self, rank: int, exc: Exception) -> None:
+        state = self._ranks[rank]
+        try:
+            state.gen.throw(exc)
+        except StopIteration as stop:
+            state.done = True
+            state.return_value = stop.value
+            return
+        except Exception:
+            raise
+        raise RuntimeError(f"rank {rank} swallowed engine exception and kept yielding")
+
+    # -- point to point ---------------------------------------------------
+    def _post_send(self, rank: int, op: Send | Isend, t: float) -> None:
+        req = Request(rank, "send", next(self._seq))
+        rec = _SendRec(rank, op.dest, op.tag, op.payload, op.nbytes, t, req.seq, req)
+        self._ranks[rank].stats.bytes_sent += op.nbytes
+        self._ranks[rank].stats.msgs_sent += 1
+        eager = op.nbytes <= self.eager_nbytes
+        if eager:
+            # Buffered: sender's obligation ends after the injection
+            # overhead, match or no match.
+            req.complete_time = t + self.cost.p2p_time(rank, op.dest, 0)
+        self._pending_sends[op.dest].append(rec)
+        self._try_match(op.dest)
+        if isinstance(op, Isend):
+            self._schedule(t, rank, req)
+        elif req.is_complete:
+            self._schedule(req.complete_time, rank)
+        else:
+            self._block(rank, f"send to {op.dest} tag {op.tag}")
+            self._waiters.append(_Waiter(rank, (req,), t, single=True))
+            self._check_waiters()
+
+    def _post_recv(self, rank: int, op: Recv | Irecv, t: float) -> None:
+        req = Request(rank, "recv", next(self._seq))
+        rec = _RecvRec(rank, op.source, op.tag, t, req.seq, req)
+        self._pending_recvs[rank].append(rec)
+        self._try_match(rank)
+        if isinstance(op, Irecv):
+            self._schedule(t, rank, req)
+        elif req.is_complete:
+            self._schedule(req.complete_time, rank, req.value)
+        else:
+            self._block(rank, f"recv from {op.source} tag {op.tag}")
+            self._waiters.append(_Waiter(rank, (req,), t, single=True))
+            self._check_waiters()
+
+    @staticmethod
+    def _matches(send: _SendRec, recv: _RecvRec) -> bool:
+        if recv.source != ANY_SOURCE and recv.source != send.src:
+            return False
+        if recv.tag != ANY_TAG and recv.tag != send.tag:
+            return False
+        return True
+
+    def _try_match(self, dst: int) -> None:
+        """Match pending recvs at ``dst`` against pending sends, FIFO."""
+        recvs = self._pending_recvs[dst]
+        sends = self._pending_sends[dst]
+        matched_any = True
+        while matched_any:
+            matched_any = False
+            for r_idx, recv in enumerate(recvs):
+                for s_idx, send in enumerate(sends):
+                    if self._matches(send, recv):
+                        recvs.pop(r_idx)
+                        sends.pop(s_idx)
+                        self._complete_transfer(send, recv)
+                        matched_any = True
+                        break
+                if matched_any:
+                    break
+        if matched_any or True:
+            self._check_waiters()
+
+    def _complete_transfer(self, send: _SendRec, recv: _RecvRec) -> None:
+        start = max(send.t_posted, recv.t_posted)
+        transfer = self.cost.p2p_time(send.src, recv.dst, send.nbytes)
+        t_done = start + transfer
+        recv.request.complete_time = t_done
+        recv.request.value = send.payload
+        stats = self._ranks[recv.dst].stats
+        stats.bytes_received += send.nbytes
+        stats.msgs_received += 1
+        if not send.request.is_complete:
+            # Rendezvous: sender is released when the transfer lands.
+            send.request.complete_time = t_done
+
+    def _probe(self, rank: int, op: Probe) -> tuple[int, int, int] | None:
+        candidates = [
+            s
+            for s in self._pending_sends[rank]
+            if (op.source == ANY_SOURCE or op.source == s.src)
+            and (op.tag == ANY_TAG or op.tag == s.tag)
+        ]
+        if not candidates:
+            return None
+        first = min(candidates, key=lambda s: (s.t_posted, s.seq))
+        return (first.src, first.tag, first.nbytes)
+
+    # -- waiting ----------------------------------------------------------
+    def _post_wait(self, rank: int, requests: tuple[Request, ...], t: float, single: bool) -> None:
+        for req in requests:
+            if not isinstance(req, Request):
+                self._throw(rank, TypeError(f"wait on non-request {req!r}"))
+                return
+        waiter = _Waiter(rank, requests, t, single)
+        self._waiters.append(waiter)
+        if not self._fire_waiter_if_ready(waiter):
+            self._block(rank, f"wait on {len(requests)} request(s)")
+
+    def _fire_waiter_if_ready(self, waiter: _Waiter) -> bool:
+        if any(not r.is_complete for r in waiter.requests):
+            return False
+        t_done = max([waiter.t_posted] + [r.complete_time for r in waiter.requests])
+        if waiter.single:
+            value = waiter.requests[0].value
+        else:
+            value = [r.value for r in waiter.requests]
+        self._waiters.remove(waiter)
+        self._schedule(t_done, waiter.rank, value)
+        return True
+
+    def _check_waiters(self) -> None:
+        for waiter in list(self._waiters):
+            if waiter in self._waiters:
+                self._fire_waiter_if_ready(waiter)
+
+    # -- collectives -------------------------------------------------------
+    def _post_collective(self, rank: int, op: CollectiveOp, t: float) -> None:
+        state = self._ranks[rank]
+        state.stats.bytes_sent += op.nbytes
+        state.stats.msgs_sent += 1
+        idx = state.coll_count
+        state.coll_count += 1
+        group = self._collectives.setdefault(idx, {})
+        group[rank] = (op, t)
+        self._block(rank, f"collective #{idx} ({op.kind})")
+        if len(group) == self.size:
+            self._finish_collective(idx, group)
+
+    def _finish_collective(self, idx: int, group: dict[int, tuple[CollectiveOp, float]]) -> None:
+        kinds = {op.kind for op, _ in group.values()}
+        if len(kinds) != 1:
+            raise CollectiveMismatchError(
+                f"collective #{idx}: ranks disagree on operation kind: {sorted(kinds)}"
+            )
+        kind = kinds.pop()
+        arrivals = [t for _, t in group.values()]
+        nbytes = max(op.nbytes for op, _ in group.values())
+        t_done = max(arrivals) + self.cost.collective_time(kind, self.size, nbytes)
+        values = self._collective_values(kind, group)
+        del self._collectives[idx]
+        for rank in range(self.size):
+            self._schedule(t_done, rank, values[rank])
+
+    def _collective_values(self, kind: str, group: dict[int, tuple[CollectiveOp, float]]) -> list[Any]:
+        ops = {rank: op for rank, (op, _) in group.items()}
+        size = self.size
+        if kind == "barrier":
+            return [None] * size
+        if kind == "bcast":
+            root = ops[0].root
+            payload = ops[root].payload
+            return [payload] * size
+        if kind in ("reduce", "allreduce"):
+            payloads = [ops[r].payload for r in range(size)]
+            folded = _fold(ops[0].op, payloads)
+            if kind == "allreduce":
+                return [folded] * size
+            root = ops[0].root
+            return [folded if r == root else None for r in range(size)]
+        if kind in ("gather", "allgather"):
+            everything = [ops[r].payload for r in range(size)]
+            if kind == "allgather":
+                return [list(everything) for _ in range(size)]
+            root = ops[0].root
+            return [list(everything) if r == root else None for r in range(size)]
+        if kind == "scatter":
+            root = ops[0].root
+            items = ops[root].payload
+            return [items[r] for r in range(size)]
+        if kind == "alltoall":
+            return [[ops[src].payload[dst] for src in range(size)] for dst in range(size)]
+        raise ValueError(f"unknown collective kind {kind!r}")
+
+    # -- main loop ----------------------------------------------------------
+    def run(self, max_events: int = 50_000_000) -> SimResult:
+        for rank in range(self.size):
+            self._schedule(0.0, rank)
+        processed = 0
+        while self._events:
+            time, _, rank, value = heapq.heappop(self._events)
+            if self._ranks[rank].done:
+                continue
+            self._resume(rank, time, value)
+            processed += 1
+            if processed > max_events:
+                raise RuntimeError(f"exceeded {max_events} events; runaway simulation?")
+        unfinished = [i for i, s in enumerate(self._ranks) if not s.done]
+        if unfinished:
+            detail = ", ".join(
+                f"rank {i}: {self._ranks[i].blocked_on or 'never blocked'}" for i in unfinished
+            )
+            raise DeadlockError(f"simulation deadlocked with {len(unfinished)} rank(s) blocked ({detail})")
+        return SimResult(
+            clocks=[s.clock for s in self._ranks],
+            stats=[s.stats for s in self._ranks],
+            returns=[s.return_value for s in self._ranks],
+            trace=self.trace,
+        )
+
+
+def run(
+    program: Callable[[Comm], Generator] | Sequence[Callable[[Comm], Generator]],
+    n_ranks: int | None = None,
+    cost: CostModel | None = None,
+    max_events: int = 50_000_000,
+) -> SimResult:
+    """Convenience front door: run one program SPMD-style or a list MPMD-style.
+
+    ``run(worker, 8)`` launches eight ranks of ``worker``;
+    ``run([master, worker, worker])`` launches heterogeneous programs.
+    """
+    if callable(program):
+        if n_ranks is None or n_ranks <= 0:
+            raise ValueError("SPMD launch requires a positive n_ranks")
+        programs: Sequence = [program] * n_ranks
+    else:
+        programs = list(program)
+        if n_ranks is not None and n_ranks != len(programs):
+            raise ValueError("n_ranks disagrees with the number of programs")
+    return Engine(programs, cost).run(max_events=max_events)

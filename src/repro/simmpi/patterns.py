@@ -1,0 +1,101 @@
+"""Composite communication patterns built from SimMPI point-to-point.
+
+The engine provides collectives as primitives (cost-modeled
+analytically); this module provides the same operations *composed from
+p2p messages*, as real MPI implementations do internally.  They serve
+three purposes: richer building blocks for rank programs (``sendrecv``,
+halo exchanges), cross-checks that the analytic collective cost model
+is in the right neighborhood of an explicit algorithm, and executable
+documentation of the classic algorithms (binomial-tree broadcast,
+ring allgather, pairwise-exchange alltoall).
+
+All are generator functions to be delegated with ``yield from`` inside
+a rank program::
+
+    data = yield from patterns.sendrecv(comm, my_block, dest, source)
+    everything = yield from patterns.ring_allgather(comm, my_block)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from .api import ANY_SOURCE, Comm
+
+__all__ = [
+    "sendrecv",
+    "ring_shift",
+    "ring_allgather",
+    "binomial_bcast",
+    "pairwise_alltoall",
+]
+
+
+def sendrecv(
+    comm: Comm, payload: Any, dest: int, source: int = ANY_SOURCE, tag: int = 0
+) -> Generator:
+    """Simultaneous send+receive (deadlock-free by construction)."""
+    req = yield comm.isend(payload, dest, tag)
+    data = yield comm.recv(source, tag)
+    yield comm.wait(req)
+    return data
+
+
+def ring_shift(comm: Comm, payload: Any, shift: int = 1, tag: int = 0) -> Generator:
+    """Pass ``payload`` ``shift`` ranks to the right; receive from the left."""
+    if comm.size == 1:
+        return payload
+    dest = (comm.rank + shift) % comm.size
+    source = (comm.rank - shift) % comm.size
+    data = yield from sendrecv(comm, payload, dest, source, tag)
+    return data
+
+
+def ring_allgather(comm: Comm, payload: Any, tag: int = 1_000) -> Generator:
+    """Ring allgather: size-1 shifts, each forwarding the newest block.
+
+    Returns the list of every rank's payload in rank order — the same
+    contract as ``comm.allgather`` but executed message by message.
+    """
+    size, rank = comm.size, comm.rank
+    blocks: list[Any] = [None] * size
+    blocks[rank] = payload
+    current = (rank, payload)
+    for step in range(size - 1):
+        current = yield from sendrecv(
+            comm, current, (rank + 1) % size, (rank - 1) % size, tag + step
+        )
+        blocks[current[0]] = current[1]
+    return blocks
+
+
+def binomial_bcast(comm: Comm, payload: Any, root: int = 0, tag: int = 2_000) -> Generator:
+    """Binomial-tree broadcast: log2(P) rounds of doubling senders."""
+    size, rank = comm.size, comm.rank
+    rel = (rank - root) % size
+    data = payload if rank == root else None
+    mask = 1
+    while mask < size:
+        if rel < mask:
+            partner = rel | mask
+            if partner < size:
+                yield comm.send(data, dest=(partner + root) % size, tag=tag)
+        elif rel < 2 * mask:
+            data = yield comm.recv(source=((rel ^ mask) + root) % size, tag=tag)
+        mask <<= 1
+    return data
+
+
+def pairwise_alltoall(comm: Comm, blocks: list[Any], tag: int = 3_000) -> Generator:
+    """Pairwise-exchange alltoall: P-1 rounds of XOR/offset partners."""
+    size, rank = comm.size, comm.rank
+    if len(blocks) != size:
+        raise ValueError("one block per destination rank required")
+    out: list[Any] = [None] * size
+    out[rank] = blocks[rank]
+    for step in range(1, size):
+        dest = (rank + step) % size
+        source = (rank - step) % size
+        received = yield from sendrecv(comm, blocks[dest], dest, source, tag + step)
+        out[source] = received
+    return out

@@ -1,0 +1,85 @@
+"""Execution traces and ASCII timelines for SimMPI runs.
+
+The engine records per-rank activity intervals (compute segments and
+blocked spans, with what each rank was blocked on).  This module turns
+those into the standard parallel-tools views: a Gantt-style ASCII
+timeline (the poor man's Vampir/Jumpshot, which is what one actually
+stared at in 2003) and per-rank utilization summaries.
+
+Usage::
+
+    result = run(program, 8, cost)
+    print(render_timeline(result.trace, result.elapsed))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TraceEvent", "render_timeline", "utilization"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One activity interval of one rank."""
+
+    rank: int
+    t_start: float
+    t_end: float
+    kind: str  # "compute" or "blocked"
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.t_end < self.t_start:
+            raise ValueError("interval ends before it starts")
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+def utilization(trace: list[TraceEvent], elapsed: float, n_ranks: int) -> list[dict]:
+    """Per-rank breakdown: compute / blocked / idle fractions."""
+    if elapsed <= 0:
+        raise ValueError("elapsed must be positive")
+    out = []
+    for rank in range(n_ranks):
+        compute = sum(e.duration for e in trace if e.rank == rank and e.kind == "compute")
+        blocked = sum(e.duration for e in trace if e.rank == rank and e.kind == "blocked")
+        out.append(
+            {
+                "rank": rank,
+                "compute": compute / elapsed,
+                "blocked": blocked / elapsed,
+                "idle": max(1.0 - (compute + blocked) / elapsed, 0.0),
+            }
+        )
+    return out
+
+
+def render_timeline(
+    trace: list[TraceEvent], elapsed: float, n_ranks: int | None = None, width: int = 72
+) -> str:
+    """ASCII Gantt chart: '#' compute, '.' blocked, ' ' idle."""
+    if not trace:
+        return "(empty trace)"
+    if elapsed <= 0:
+        raise ValueError("elapsed must be positive")
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    if n_ranks is None:
+        n_ranks = max(e.rank for e in trace) + 1
+    lines = [f"timeline ({elapsed:.3g}s virtual, '#'=compute '.'=blocked):"]
+    for rank in range(n_ranks):
+        row = [" "] * width
+        for e in trace:
+            if e.rank != rank:
+                continue
+            lo = int(e.t_start / elapsed * width)
+            hi = max(int(e.t_end / elapsed * width), lo + 1)
+            ch = "#" if e.kind == "compute" else "."
+            for i in range(lo, min(hi, width)):
+                if row[i] == " " or ch == "#":
+                    row[i] = ch
+        lines.append(f"rank {rank:3d} |{''.join(row)}|")
+    return "\n".join(lines)

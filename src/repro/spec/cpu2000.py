@@ -1,0 +1,81 @@
+"""SPEC CPU2000 score model (Section 3.5, Table 2 rows CINT/CFP).
+
+SPEC CPU2000 is a proprietary suite, so this is a pure model (see
+DESIGN.md substitution table): the node's SPECint2000 and SPECfp2000
+marks are represented by the two-component CPU/memory sensitivity
+profiles calibrated from Table 2 (normal 790 / 742; slow-mem and
+slow-CPU columns pin the decomposition), plus the Section 3.5
+price/performance arithmetic ($888 per node without network share,
+$1.20 per unit of SPECfp, and the comparison against the 2119-SPECfp
+HP rx2600 that would need to cost under ~$2500 to win).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.clocking import ClockConfig, NORMAL, WorkloadProfile, table2_profiles
+
+__all__ = [
+    "SPECINT2000_SS",
+    "SPECFP2000_SS",
+    "NODE_COST_NO_NETWORK",
+    "HP_RX2600_SPECFP",
+    "spec_profiles",
+    "spec_scores",
+    "price_per_specfp",
+    "breakeven_price_vs",
+]
+
+#: Measured marks on the Shuttle XPC node with the Intel 7.1 compilers.
+SPECINT2000_SS = 790.0
+SPECFP2000_SS = 742.0
+
+#: Per-node cost neglecting network and racks (Section 3.5).
+NODE_COST_NO_NETWORK = 888.0
+
+#: The fastest SPECfp machine cited by the paper (HP Integrity rx2600,
+#: 1.5 GHz Itanium 2).
+HP_RX2600_SPECFP = 2119.0
+
+
+def spec_profiles() -> dict[str, WorkloadProfile]:
+    """CINT2000 and CFP2000 sensitivity profiles from Table 2."""
+    profiles = table2_profiles()
+    return {"CINT2000": profiles["CINT2000"], "CFP2000": profiles["CFP2000"]}
+
+
+def spec_scores(config: ClockConfig = NORMAL) -> dict[str, float]:
+    """Modeled SPEC marks under a clock configuration."""
+    return {name: profile.rate(config) for name, profile in spec_profiles().items()}
+
+
+@dataclass(frozen=True)
+class PricePerformance:
+    score: float
+    cost: float
+
+    @property
+    def dollars_per_unit(self) -> float:
+        return self.cost / self.score
+
+
+def price_per_specfp(node_cost: float = NODE_COST_NO_NETWORK) -> float:
+    """Dollars per unit of SPECfp for an XPC node ($1.20 in the paper)."""
+    if node_cost <= 0:
+        raise ValueError("node_cost must be positive")
+    return PricePerformance(SPECFP2000_SS, node_cost).dollars_per_unit
+
+
+def breakeven_price_vs(
+    competitor_specfp: float = HP_RX2600_SPECFP, node_cost: float = NODE_COST_NO_NETWORK
+) -> float:
+    """Price below which a competitor beats the XPC's $/SPECfp.
+
+    Section 3.5: "In order to beat the SPECfp price/performance of a
+    Shuttle XPC node, the HP system would have to cost less than
+    $2500."
+    """
+    if competitor_specfp <= 0:
+        raise ValueError("competitor_specfp must be positive")
+    return competitor_specfp * price_per_specfp(node_cost)

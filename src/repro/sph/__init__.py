@@ -1,0 +1,73 @@
+"""Smoothed particle hydrodynamics on the tree (Section 4.4, Figure 8).
+
+The supernova half of the paper: SPH kernels, tree-based neighbor
+search, density with adaptive smoothing, momentum/energy equations with
+artificial viscosity, the stiffening nuclear EOS, gray flux-limited-
+diffusion neutrino transport, and the rotating core-collapse setup and
+driver that reproduce the Figure 8 angular-momentum diagnostic.
+"""
+
+from .collapse import (
+    CollapseConfig,
+    CollapseHistory,
+    CollapseSimulation,
+    add_rotation,
+    angular_momentum_by_angle,
+    cone_vs_equator_angular_momentum,
+    lane_emden,
+    polytrope_particles,
+)
+from .density import DensityResult, adapt_smoothing, density_sum, initial_smoothing
+from .eos import HybridCollapseEOS, IdealGas, Polytrope
+from .forces import SphForces, ViscosityParams, compute_sph_forces
+from .kernel import SUPPORT_RADIUS, dw_dr_cubic, kernel_self_value, w_cubic
+from .neighbors import NeighborLists, find_neighbors
+from .hydro import HydroSimulation, sod_tube_particles
+from .neutrino import FldParams, NeutrinoStep, flux_limiter, neutrino_step
+from .riemann import (
+    SOD_LEFT,
+    SOD_RIGHT,
+    RiemannState,
+    sample,
+    sod_solution,
+    solve_star,
+)
+
+__all__ = [
+    "SUPPORT_RADIUS",
+    "w_cubic",
+    "dw_dr_cubic",
+    "kernel_self_value",
+    "NeighborLists",
+    "find_neighbors",
+    "DensityResult",
+    "density_sum",
+    "adapt_smoothing",
+    "initial_smoothing",
+    "IdealGas",
+    "Polytrope",
+    "HybridCollapseEOS",
+    "ViscosityParams",
+    "SphForces",
+    "compute_sph_forces",
+    "FldParams",
+    "NeutrinoStep",
+    "flux_limiter",
+    "neutrino_step",
+    "lane_emden",
+    "polytrope_particles",
+    "add_rotation",
+    "angular_momentum_by_angle",
+    "cone_vs_equator_angular_momentum",
+    "CollapseConfig",
+    "CollapseHistory",
+    "CollapseSimulation",
+    "HydroSimulation",
+    "sod_tube_particles",
+    "RiemannState",
+    "SOD_LEFT",
+    "SOD_RIGHT",
+    "solve_star",
+    "sample",
+    "sod_solution",
+]

@@ -1,0 +1,105 @@
+"""Equations of state for the SPH code.
+
+Three levels, matching how the supernova problem is usually staged:
+
+* :class:`IdealGas` — thermal pressure ``P = (gamma-1) rho u``;
+* :class:`Polytrope` — barotropic ``P = K rho^gamma`` (initial models);
+* :class:`HybridCollapseEOS` — the standard simplified collapse EOS:
+  a soft polytrope below nuclear density and a stiff one above (the
+  stiffening is what halts collapse and drives the core *bounce*),
+  plus an ideal-gas thermal component.  This is the "complex
+  description of pressure forces for matter at nuclear densities" of
+  Section 4.4, reduced to its established two-regime parametrization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["IdealGas", "Polytrope", "HybridCollapseEOS"]
+
+
+@dataclass(frozen=True)
+class IdealGas:
+    """P = (gamma - 1) rho u."""
+
+    gamma: float = 5.0 / 3.0
+
+    def __post_init__(self) -> None:
+        if self.gamma <= 1.0:
+            raise ValueError("gamma must exceed 1")
+
+    def pressure(self, rho: np.ndarray, u: np.ndarray) -> np.ndarray:
+        return (self.gamma - 1.0) * rho * u
+
+    def sound_speed(self, rho: np.ndarray, u: np.ndarray) -> np.ndarray:
+        return np.sqrt(self.gamma * np.maximum(self.gamma - 1.0, 0.0) * np.maximum(u, 0.0))
+
+
+@dataclass(frozen=True)
+class Polytrope:
+    """Barotropic P = K rho^gamma (u is ignored)."""
+
+    k: float = 1.0
+    gamma: float = 4.0 / 3.0
+
+    def __post_init__(self) -> None:
+        if self.k <= 0 or self.gamma <= 1.0:
+            raise ValueError("invalid polytrope parameters")
+
+    def pressure(self, rho: np.ndarray, u: np.ndarray | None = None) -> np.ndarray:
+        return self.k * np.asarray(rho, dtype=np.float64) ** self.gamma
+
+    def sound_speed(self, rho: np.ndarray, u: np.ndarray | None = None) -> np.ndarray:
+        rho = np.asarray(rho, dtype=np.float64)
+        return np.sqrt(self.gamma * self.pressure(rho) / np.maximum(rho, 1e-300))
+
+
+@dataclass(frozen=True)
+class HybridCollapseEOS:
+    """Two-regime cold pressure plus thermal pressure.
+
+    Below ``rho_nuc``: ``P_cold = k1 rho^gamma1`` (soft, collapse
+    proceeds).  Above: ``P_cold = k2 rho^gamma2`` with ``k2`` fixed by
+    pressure continuity at ``rho_nuc`` (stiff, gamma2 ~ 2.5-3: the
+    bounce).  Thermal part: ``(gamma_th - 1) rho u``.
+    """
+
+    k1: float = 1.0
+    gamma1: float = 4.0 / 3.0
+    gamma2: float = 2.75
+    rho_nuc: float = 100.0
+    gamma_th: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.k1 <= 0 or self.rho_nuc <= 0:
+            raise ValueError("k1 and rho_nuc must be positive")
+        if not (1.0 < self.gamma1 < self.gamma2):
+            raise ValueError("need 1 < gamma1 < gamma2 for a stiffening EOS")
+        if self.gamma_th <= 1.0:
+            raise ValueError("gamma_th must exceed 1")
+
+    @property
+    def k2(self) -> float:
+        """Continuity: k1 rho_nuc^g1 == k2 rho_nuc^g2."""
+        return self.k1 * self.rho_nuc ** (self.gamma1 - self.gamma2)
+
+    def cold_pressure(self, rho: np.ndarray) -> np.ndarray:
+        rho = np.asarray(rho, dtype=np.float64)
+        soft = self.k1 * rho**self.gamma1
+        stiff = self.k2 * rho**self.gamma2
+        return np.where(rho < self.rho_nuc, soft, stiff)
+
+    def pressure(self, rho: np.ndarray, u: np.ndarray) -> np.ndarray:
+        rho = np.asarray(rho, dtype=np.float64)
+        u = np.asarray(u, dtype=np.float64)
+        return self.cold_pressure(rho) + (self.gamma_th - 1.0) * rho * np.maximum(u, 0.0)
+
+    def sound_speed(self, rho: np.ndarray, u: np.ndarray) -> np.ndarray:
+        rho = np.asarray(rho, dtype=np.float64)
+        gamma_eff = np.where(rho < self.rho_nuc, self.gamma1, self.gamma2)
+        return np.sqrt(
+            np.maximum(gamma_eff * self.pressure(rho, u) / np.maximum(rho, 1e-300), 0.0)
+        )

@@ -1,0 +1,65 @@
+"""Smoothing kernels for SPH (Section 4.4).
+
+The standard cubic-spline (M4) kernel with compact support ``2h``:
+
+.. math::
+
+    W(q) = \\frac{1}{\\pi h^3}
+    \\begin{cases}
+      1 - \\tfrac{3}{2} q^2 + \\tfrac{3}{4} q^3 & 0 \\le q < 1 \\\\
+      \\tfrac{1}{4} (2 - q)^3                   & 1 \\le q < 2 \\\\
+      0                                          & q \\ge 2
+    \\end{cases},
+    \\qquad q = r/h
+
+with the analytic radial derivative for the force equations.  All
+functions are vectorized over arrays of ``r`` (and matching ``h``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SUPPORT_RADIUS", "w_cubic", "dw_dr_cubic", "kernel_self_value"]
+
+#: Kernel support in units of h.
+SUPPORT_RADIUS = 2.0
+
+_SIGMA = 1.0 / np.pi
+
+
+def w_cubic(r: np.ndarray, h: np.ndarray | float) -> np.ndarray:
+    """Cubic-spline kernel value W(r, h)."""
+    r = np.asarray(r, dtype=np.float64)
+    h = np.asarray(h, dtype=np.float64)
+    if np.any(h <= 0):
+        raise ValueError("smoothing lengths must be positive")
+    q = r / h
+    out = np.zeros(np.broadcast(r, h).shape)
+    inner = q < 1.0
+    mid = (q >= 1.0) & (q < 2.0)
+    qb = np.broadcast_to(q, out.shape)
+    out[inner] = 1.0 - 1.5 * qb[inner] ** 2 + 0.75 * qb[inner] ** 3
+    out[mid] = 0.25 * (2.0 - qb[mid]) ** 3
+    return _SIGMA * out / np.broadcast_to(h, out.shape) ** 3
+
+
+def dw_dr_cubic(r: np.ndarray, h: np.ndarray | float) -> np.ndarray:
+    """Radial derivative dW/dr (non-positive everywhere)."""
+    r = np.asarray(r, dtype=np.float64)
+    h = np.asarray(h, dtype=np.float64)
+    if np.any(h <= 0):
+        raise ValueError("smoothing lengths must be positive")
+    q = r / h
+    out = np.zeros(np.broadcast(r, h).shape)
+    inner = q < 1.0
+    mid = (q >= 1.0) & (q < 2.0)
+    qb = np.broadcast_to(q, out.shape)
+    out[inner] = -3.0 * qb[inner] + 2.25 * qb[inner] ** 2
+    out[mid] = -0.75 * (2.0 - qb[mid]) ** 2
+    return _SIGMA * out / np.broadcast_to(h, out.shape) ** 4
+
+
+def kernel_self_value(h: np.ndarray | float) -> np.ndarray:
+    """W(0, h), the self-contribution in density sums."""
+    return _SIGMA / np.asarray(h, dtype=np.float64) ** 3

@@ -1,0 +1,152 @@
+"""Exact Riemann solver for the 1-D Euler equations (ideal gas).
+
+The reference solution for shock-tube validation of the SPH code: the
+classic exact solver (Toro's algorithm) — Newton iteration on the
+star-region pressure with shock/rarefaction branch functions, then
+sampling of the self-similar solution.  The Sod problem's star-state
+values (p* = 0.30313, u* = 0.92745 for gamma = 1.4) are pinned in the
+tests against the literature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RiemannState", "SOD_LEFT", "SOD_RIGHT", "solve_star", "sample", "sod_solution"]
+
+
+@dataclass(frozen=True)
+class RiemannState:
+    """Primitive state on one side of the diaphragm."""
+
+    rho: float
+    u: float
+    p: float
+
+    def __post_init__(self) -> None:
+        if self.rho <= 0 or self.p <= 0:
+            raise ValueError("density and pressure must be positive")
+
+    def sound_speed(self, gamma: float) -> float:
+        return float(np.sqrt(gamma * self.p / self.rho))
+
+
+#: The standard Sod (1978) initial states.
+SOD_LEFT = RiemannState(rho=1.0, u=0.0, p=1.0)
+SOD_RIGHT = RiemannState(rho=0.125, u=0.0, p=0.1)
+
+
+def _pressure_function(p: float, s: RiemannState, gamma: float) -> tuple[float, float]:
+    """f(p, state) and f'(p, state): shock or rarefaction branch."""
+    a = s.sound_speed(gamma)
+    if p > s.p:  # shock
+        big_a = 2.0 / ((gamma + 1.0) * s.rho)
+        big_b = (gamma - 1.0) / (gamma + 1.0) * s.p
+        root = np.sqrt(big_a / (p + big_b))
+        f = (p - s.p) * root
+        df = root * (1.0 - 0.5 * (p - s.p) / (p + big_b))
+    else:  # rarefaction
+        exp = (gamma - 1.0) / (2.0 * gamma)
+        f = 2.0 * a / (gamma - 1.0) * ((p / s.p) ** exp - 1.0)
+        df = (p / s.p) ** (-(gamma + 1.0) / (2.0 * gamma)) / (s.rho * a)
+    return float(f), float(df)
+
+
+def solve_star(
+    left: RiemannState, right: RiemannState, gamma: float = 1.4, tol: float = 1e-12
+) -> tuple[float, float]:
+    """(p*, u*) of the star region by Newton iteration."""
+    if gamma <= 1.0:
+        raise ValueError("gamma must exceed 1")
+    du = right.u - left.u
+    # Vacuum check.
+    if (2.0 / (gamma - 1.0)) * (left.sound_speed(gamma) + right.sound_speed(gamma)) <= du:
+        raise ValueError("initial states generate vacuum")
+    p = max(0.5 * (left.p + right.p), 1e-8)
+    for _ in range(100):
+        fl, dfl = _pressure_function(p, left, gamma)
+        fr, dfr = _pressure_function(p, right, gamma)
+        delta = (fl + fr + du) / (dfl + dfr)
+        p_new = max(p - delta, 1e-12)
+        if abs(p_new - p) < tol * max(p, 1.0):
+            p = p_new
+            break
+        p = p_new
+    fl, _ = _pressure_function(p, left, gamma)
+    fr, _ = _pressure_function(p, right, gamma)
+    u = 0.5 * (left.u + right.u) + 0.5 * (fr - fl)
+    return float(p), float(u)
+
+
+def sample(
+    xi: np.ndarray,
+    left: RiemannState,
+    right: RiemannState,
+    gamma: float = 1.4,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Self-similar solution at xi = x/t: (rho, u, p) arrays."""
+    xi = np.asarray(xi, dtype=np.float64)
+    p_star, u_star = solve_star(left, right, gamma)
+    rho = np.empty_like(xi)
+    u = np.empty_like(xi)
+    p = np.empty_like(xi)
+    al, ar = left.sound_speed(gamma), right.sound_speed(gamma)
+    gm, gp = gamma - 1.0, gamma + 1.0
+
+    for i, s in enumerate(xi):
+        if s <= u_star:  # left of the contact
+            if p_star > left.p:  # left shock
+                sl = left.u - al * np.sqrt(gp / (2 * gamma) * p_star / left.p + gm / (2 * gamma))
+                if s < sl:
+                    rho[i], u[i], p[i] = left.rho, left.u, left.p
+                else:
+                    ratio = p_star / left.p
+                    rho[i] = left.rho * (ratio + gm / gp) / (gm / gp * ratio + 1.0)
+                    u[i], p[i] = u_star, p_star
+            else:  # left rarefaction
+                head = left.u - al
+                a_star = al * (p_star / left.p) ** (gm / (2 * gamma))
+                tail = u_star - a_star
+                if s < head:
+                    rho[i], u[i], p[i] = left.rho, left.u, left.p
+                elif s > tail:
+                    rho[i] = left.rho * (p_star / left.p) ** (1.0 / gamma)
+                    u[i], p[i] = u_star, p_star
+                else:  # inside the fan
+                    u[i] = 2.0 / gp * (al + gm / 2.0 * left.u + s)
+                    a_loc = 2.0 / gp * (al + gm / 2.0 * (left.u - s))
+                    rho[i] = left.rho * (a_loc / al) ** (2.0 / gm)
+                    p[i] = left.p * (a_loc / al) ** (2.0 * gamma / gm)
+        else:  # right of the contact
+            if p_star > right.p:  # right shock
+                sr = right.u + ar * np.sqrt(gp / (2 * gamma) * p_star / right.p + gm / (2 * gamma))
+                if s > sr:
+                    rho[i], u[i], p[i] = right.rho, right.u, right.p
+                else:
+                    ratio = p_star / right.p
+                    rho[i] = right.rho * (ratio + gm / gp) / (gm / gp * ratio + 1.0)
+                    u[i], p[i] = u_star, p_star
+            else:  # right rarefaction
+                head = right.u + ar
+                a_star = ar * (p_star / right.p) ** (gm / (2 * gamma))
+                tail = u_star + a_star
+                if s > head:
+                    rho[i], u[i], p[i] = right.rho, right.u, right.p
+                elif s < tail:
+                    rho[i] = right.rho * (p_star / right.p) ** (1.0 / gamma)
+                    u[i], p[i] = u_star, p_star
+                else:
+                    u[i] = 2.0 / gp * (-ar + gm / 2.0 * right.u + s)
+                    a_loc = 2.0 / gp * (ar - gm / 2.0 * (right.u - s))
+                    rho[i] = right.rho * (a_loc / ar) ** (2.0 / gm)
+                    p[i] = right.p * (a_loc / ar) ** (2.0 * gamma / gm)
+    return rho, u, p
+
+
+def sod_solution(x: np.ndarray, t: float, x0: float = 0.0, gamma: float = 1.4):
+    """Sod-problem (rho, u, p) at positions ``x`` and time ``t``."""
+    if t <= 0:
+        raise ValueError("t must be positive")
+    return sample((np.asarray(x) - x0) / t, SOD_LEFT, SOD_RIGHT, gamma)

@@ -1,0 +1,11 @@
+"""STREAM memory-bandwidth benchmark (Table 2 rows 1-4)."""
+
+from .stream import (
+    KERNELS,
+    StreamResult,
+    modeled_stream,
+    run_stream,
+    stream_table2_row,
+)
+
+__all__ = ["KERNELS", "StreamResult", "run_stream", "modeled_stream", "stream_table2_row"]

@@ -1,0 +1,91 @@
+"""STREAM memory-bandwidth benchmark: real kernels + node model.
+
+Table 2's first four rows are McCalpin's STREAM kernels measured on the
+Shuttle XPC node under four clock configurations.  This module provides
+
+* :func:`run_stream` — the four kernels executed for real with NumPy on
+  the host (with result verification, as the original STREAM does);
+* :func:`modeled_stream` — the rates a :class:`NodeSpec` predicts,
+  using per-kernel ratios calibrated from the paper's normal column
+  (add/triad run ~3% faster than copy/scale on the P4 because the
+  2-load/1-store pattern uses the bus slightly better);
+* :func:`stream_table2_row` — the Table 2 row for a clock config, via
+  the two-component sensitivity profiles.
+
+STREAM counts bytes moved: copy/scale move 16 bytes per element, add/
+triad 24; rates are Mbyte/s of *application* bytes (no write-allocate
+accounting), matching the numbers the paper reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine.clocking import ClockConfig, table2_profiles
+from ..machine.node import NodeSpec, SPACE_SIMULATOR_NODE
+
+__all__ = ["StreamResult", "KERNELS", "run_stream", "modeled_stream", "stream_table2_row"]
+
+#: Kernel name -> bytes moved per element (reads + writes).
+KERNELS: dict[str, int] = {"copy": 16, "scale": 16, "add": 24, "triad": 24}
+
+#: Per-kernel rate relative to copy, calibrated from Table 2's normal
+#: column (add 1237.2 / copy 1203.5 etc.).
+_KERNEL_RATIO = {"copy": 1.0, "scale": 1201.8 / 1203.5, "add": 1237.2 / 1203.5, "triad": 1238.2 / 1203.5}
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """One kernel's measured performance."""
+
+    kernel: str
+    mbytes_s: float
+    seconds: float
+    verified: bool
+
+
+def run_stream(n: int = 2_000_000, repeats: int = 5, scalar: float = 3.0) -> dict[str, StreamResult]:
+    """Execute the four STREAM kernels on this host and verify results.
+
+    ``n`` elements of float64 per array (the STREAM rule of thumb wants
+    arrays well beyond cache; 2M x 8 B x 3 arrays = 48 MB).  The best
+    (fastest) repetition is reported, as STREAM specifies.
+    """
+    if n < 1 or repeats < 1:
+        raise ValueError("n and repeats must be positive")
+    a = np.full(n, 1.0)
+    b = np.full(n, 2.0)
+    c = np.zeros(n)
+    results: dict[str, StreamResult] = {}
+
+    def timed(fn) -> float:
+        best = np.inf
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    t = timed(lambda: np.copyto(c, a))
+    results["copy"] = StreamResult("copy", KERNELS["copy"] * n / t / 1e6, t, bool(np.all(c == a)))
+    t = timed(lambda: np.multiply(c, scalar, out=b))
+    results["scale"] = StreamResult("scale", KERNELS["scale"] * n / t / 1e6, t, bool(np.all(b == scalar * c)))
+    t = timed(lambda: np.add(a, b, out=c))
+    results["add"] = StreamResult("add", KERNELS["add"] * n / t / 1e6, t, bool(np.all(c == a + b)))
+    t = timed(lambda: np.add(a, scalar * b, out=c))  # triad: a + s*b
+    results["triad"] = StreamResult("triad", KERNELS["triad"] * n / t / 1e6, t, bool(np.all(c == a + scalar * b)))
+    return results
+
+
+def modeled_stream(node: NodeSpec = SPACE_SIMULATOR_NODE) -> dict[str, float]:
+    """Modeled Mbyte/s for each kernel on a node."""
+    return {k: node.stream_mbytes_s * ratio for k, ratio in _KERNEL_RATIO.items()}
+
+
+def stream_table2_row(config: ClockConfig) -> dict[str, float]:
+    """The Table 2 STREAM row predicted for a clock configuration."""
+    profiles = table2_profiles()
+    return {k: profiles[k].rate(config) for k in KERNELS}

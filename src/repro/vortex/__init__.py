@@ -1,0 +1,21 @@
+"""Vortex particle method on the hashed oct-tree (Section 4.1).
+
+One of the paper's "generic design" payoffs: the same tree, MAC, and
+interaction-list machinery as gravity, evaluating regularized
+Biot-Savart induction for vortex particles (the method of the paper's
+reference [9], Ploumans, Winckelmans, Salmon, Leonard & Warren 2002).
+"""
+
+from .biot_savart import VortexSystem, direct_velocities, tree_velocities, wl_kernel
+from .ring import ring_centroid, ring_radius, ring_speed_kelvin, vortex_ring
+
+__all__ = [
+    "VortexSystem",
+    "direct_velocities",
+    "tree_velocities",
+    "wl_kernel",
+    "vortex_ring",
+    "ring_speed_kelvin",
+    "ring_centroid",
+    "ring_radius",
+]

@@ -1,0 +1,89 @@
+"""Tests for repro.analysis: table rendering and experiment registry."""
+
+import re
+
+import pytest
+
+from repro.analysis import EXPERIMENTS, by_id, comparison_rows, format_comparison, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_title_prepended(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[1234567.0], [0.000123], [3.14159]])
+        assert "1.235e+06" in out
+        assert "0.000123" in out
+        assert "3.142" in out
+
+    def test_zero_and_strings(self):
+        out = format_table(["v"], [[0.0], ["label"]])
+        assert "0" in out and "label" in out
+
+
+class TestComparison:
+    def test_rows_and_ratio(self):
+        rows = comparison_rows(["x"], [10.0], [12.0])
+        assert rows == [["x", 10.0, 12.0, 1.2]]
+
+    def test_zero_paper_value(self):
+        rows = comparison_rows(["x"], [0.0], [1.0])
+        assert rows[0][3] == float("inf")
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            comparison_rows(["x"], [1.0], [1.0, 2.0])
+
+    def test_format_comparison_headers(self):
+        out = format_comparison(["x"], [1.0], [1.1], value_name="Gflops")
+        assert "paper Gflops" in out
+        assert "ours/paper" in out
+
+
+class TestExperimentRegistry:
+    def test_every_paper_artifact_covered(self):
+        artifacts = {e.artifact.split(" /")[0] for e in EXPERIMENTS}
+        # Tables 1-7 (no computational content in Fig 1, a photograph).
+        for t in ("Table 1", "Table 2", "Table 3", "Table 4", "Table 5", "Table 6", "Table 7"):
+            assert any(t in a for a in artifacts), t
+        for f in ("Figure 2", "Figure 3", "Figure 4", "Figure 5", "Figure 6", "Figure 7", "Figure 8"):
+            assert any(f in a for a in artifacts), f
+
+    def test_every_bench_file_exists(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[1]
+        for e in EXPERIMENTS:
+            assert (root / e.bench).exists(), e.bench
+
+    def test_every_module_importable(self):
+        import importlib
+
+        for e in EXPERIMENTS:
+            for mod in e.modules:
+                importlib.import_module(mod)
+
+    def test_ids_unique(self):
+        ids = [e.id for e in EXPERIMENTS]
+        assert len(ids) == len(set(ids))
+
+    def test_by_id(self):
+        assert by_id("T2").artifact == "Table 2"
+        with pytest.raises(KeyError):
+            by_id("T99")
+
+    def test_id_naming_convention(self):
+        for e in EXPERIMENTS:
+            assert re.fullmatch(r"[TFS]\d+", e.id), e.id

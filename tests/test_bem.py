@@ -1,0 +1,104 @@
+"""Tests for repro.bem: the tree-accelerated boundary integral solver."""
+
+import numpy as np
+import pytest
+
+from repro.bem import (
+    PanelSurface,
+    exterior_potential,
+    single_layer_matvec,
+    solve_dirichlet,
+    sphere_panels,
+)
+
+
+class TestPanels:
+    def test_sphere_geometry(self):
+        s = sphere_panels(500, radius=2.0)
+        r = np.linalg.norm(s.centroids, axis=1)
+        assert np.allclose(r, 2.0)
+        assert s.total_area == pytest.approx(4 * np.pi * 4.0)
+        # Outward normals.
+        assert np.allclose(np.einsum("ij,ij->i", s.normals, s.centroids), 2.0)
+
+    def test_fibonacci_near_uniform(self):
+        s = sphere_panels(400)
+        # Nearest-neighbor distances should be tightly clustered.
+        d = np.linalg.norm(s.centroids[:, None] - s.centroids[None, :], axis=2)
+        np.fill_diagonal(d, np.inf)
+        nn = d.min(axis=1)
+        assert nn.std() / nn.mean() < 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sphere_panels(4)
+        with pytest.raises(ValueError):
+            sphere_panels(100, radius=0.0)
+        with pytest.raises(ValueError):
+            PanelSurface(np.zeros((3, 3)), np.zeros(3), np.zeros((3, 3)))
+
+
+class TestMatvec:
+    def test_tree_matches_direct(self):
+        s = sphere_panels(300)
+        rng = np.random.default_rng(0)
+        sigma = rng.standard_normal(300)
+        direct = single_layer_matvec(s, sigma, theta=None)
+        tree = single_layer_matvec(s, sigma, theta=0.3)
+        assert np.allclose(tree, direct, rtol=2e-3, atol=1e-5)
+
+    def test_operator_symmetric_positive(self):
+        # x^T S x > 0 for the single-layer operator on a closed surface.
+        s = sphere_panels(200)
+        rng = np.random.default_rng(1)
+        for _ in range(3):
+            x = rng.standard_normal(200)
+            assert x @ single_layer_matvec(s, x, theta=None) > 0
+
+    def test_validation(self):
+        s = sphere_panels(100)
+        with pytest.raises(ValueError):
+            single_layer_matvec(s, np.zeros(50))
+
+
+class TestDirichletSphere:
+    def test_uniform_sphere_density(self):
+        # A sphere at constant potential phi0 has uniform density
+        # sigma = phi0 / R (since S[sigma] = sigma R on the surface).
+        radius = 1.5
+        phi0 = 2.0
+        s = sphere_panels(600, radius=radius)
+        sigma, iters = solve_dirichlet(s, np.full(600, phi0), theta=None)
+        assert iters < 100
+        expected = phi0 / radius
+        assert np.median(sigma) == pytest.approx(expected, rel=0.05)
+        assert sigma.std() / sigma.mean() < 0.1
+
+    def test_exterior_field_decays_like_point_charge(self):
+        radius, phi0 = 1.0, 1.0
+        s = sphere_panels(600, radius=radius)
+        sigma, _ = solve_dirichlet(s, np.full(600, phi0), theta=None)
+        for r_eval in (2.0, 4.0, 8.0):
+            pts = np.array([[r_eval, 0.0, 0.0], [0.0, 0.0, -r_eval]])
+            phi = exterior_potential(s, sigma, pts)
+            assert np.allclose(phi, phi0 * radius / r_eval, rtol=0.03), r_eval
+
+    def test_tree_accelerated_solve_agrees(self):
+        s = sphere_panels(400)
+        bc = np.full(400, 1.0)
+        sig_d, _ = solve_dirichlet(s, bc, theta=None)
+        sig_t, _ = solve_dirichlet(s, bc, theta=0.3)
+        assert np.allclose(sig_t, sig_d, rtol=0.02, atol=1e-4)
+
+    def test_linearity(self):
+        s = sphere_panels(300)
+        sig1, _ = solve_dirichlet(s, np.full(300, 1.0), theta=None)
+        sig3, _ = solve_dirichlet(s, np.full(300, 3.0), theta=None)
+        assert np.allclose(sig3, 3.0 * sig1, rtol=1e-4)
+
+    def test_validation(self):
+        s = sphere_panels(100)
+        with pytest.raises(ValueError):
+            solve_dirichlet(s, np.zeros(99))
+        with pytest.raises(ValueError):
+            exterior_potential(s, np.zeros(100), s.centroids[:1])

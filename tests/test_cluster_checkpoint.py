@@ -1,0 +1,100 @@
+"""Tests for repro.cluster.checkpoint: checkpoint/restart economics."""
+
+import math
+
+import pytest
+
+from repro.cluster import (
+    CheckpointPlan,
+    expected_runtime,
+    job_mtbf_hours,
+    young_interval,
+)
+
+
+class TestJobMtbf:
+    def test_scales_inversely_with_nodes(self):
+        assert job_mtbf_hours(32) == pytest.approx(job_mtbf_hours(64) * 2.0)
+
+    def test_full_cluster_mtbf_matches_observation(self):
+        # Section 2.1: 23 service failures in 9 months over the whole
+        # cluster -> MTBF ~ 9*30*24/23 ~ 280 hours.
+        mtbf = job_mtbf_hours(294)
+        assert mtbf == pytest.approx(9 * 30 * 24 / 23.0, rel=0.02)
+
+    def test_single_node_mtbf_years(self):
+        # 23 failures / 9 months / 294 nodes ~ 0.10 failures per node
+        # per year: a single node fails about once a decade.
+        assert 8.0 < job_mtbf_hours(1) / 8766.0 < 11.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            job_mtbf_hours(0)
+
+
+class TestYoungInterval:
+    def test_formula(self):
+        assert young_interval(0.02, 200.0) == pytest.approx(math.sqrt(2 * 0.02 * 200.0))
+
+    def test_cheaper_dumps_mean_more_frequent_checkpoints(self):
+        assert young_interval(0.01, 200.0) < young_interval(0.1, 200.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            young_interval(0.0, 100.0)
+
+
+class TestExpectedRuntime:
+    def test_no_failures_limit(self):
+        # Huge MTBF: expected time -> work * (1 + dump/tau).
+        t = expected_runtime(100.0, 0.05, 1e12, interval_hours=5.0)
+        assert t == pytest.approx(100.0 * (1 + 0.05 / 5.0), rel=1e-6)
+
+    def test_failures_add_rework(self):
+        short = expected_runtime(100.0, 0.05, 100.0)
+        long = expected_runtime(100.0, 0.05, 10_000.0)
+        assert short > long
+
+    def test_young_interval_near_optimal(self):
+        # The Young interval beats 4x-off intervals.
+        work, dump, mtbf = 500.0, 0.05, 300.0
+        opt = expected_runtime(work, dump, mtbf)
+        assert opt <= expected_runtime(work, dump, mtbf, interval_hours=4 * young_interval(dump, mtbf))
+        assert opt <= expected_runtime(work, dump, mtbf, interval_hours=young_interval(dump, mtbf) / 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_runtime(0.0, 0.1, 100.0)
+        with pytest.raises(ValueError):
+            expected_runtime(10.0, 0.1, 100.0, interval_hours=-1.0)
+
+
+class TestCheckpointPlan:
+    def test_supernova_campaign(self):
+        # Section 4.4: 32-processor runs lasting "roughly 4 months".
+        # 1M SPH particles over 32 nodes, ~100 bytes/particle state.
+        plan = CheckpointPlan(
+            n_nodes=32, work_hours=4 * 30 * 24.0, state_bytes_per_node=1e6 / 32 * 100
+        )
+        # Several failures expected over four months on 32 nodes...
+        assert plan.expected_failures > 1.0
+        # ...but local-disk checkpoints keep overhead tiny.
+        assert plan.overhead_fraction < 0.02
+        assert plan.expected_wall_hours < 4 * 30 * 24.0 * 1.02
+
+    def test_cosmology_run_fits_between_failures(self):
+        # Section 4.3: the 24-hour 250-processor run completed "in a
+        # single run" — plausible: expected failures below ~1.
+        plan = CheckpointPlan(
+            n_nodes=250, work_hours=24.0, state_bytes_per_node=134e6 / 250 * 48
+        )
+        assert plan.expected_failures < 1.0
+
+    def test_dump_cost_from_disk_model(self):
+        plan = CheckpointPlan(n_nodes=10, work_hours=100.0, state_bytes_per_node=2.8e9)
+        # 2.8 GB at 28 MB/s local disk = 100 s.
+        assert plan.dump_hours == pytest.approx(100.0 / 3600.0, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointPlan(n_nodes=0, work_hours=1.0, state_bytes_per_node=1.0)

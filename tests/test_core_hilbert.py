@@ -1,0 +1,111 @@
+"""Tests for repro.core.hilbert: Hilbert keys and locality metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hilbert import (
+    axes_to_hilbert,
+    curve_jump_stats,
+    decomposition_surface,
+    hilbert_keys_from_positions,
+    hilbert_to_axes,
+)
+from repro.core import BoundingBox, keys_from_positions
+
+
+class TestHilbertIndex:
+    def test_round_trip_full_depth(self):
+        rng = np.random.default_rng(0)
+        coords = rng.integers(0, 1 << 21, (1000, 3))
+        h = axes_to_hilbert(coords, 21)
+        assert np.array_equal(hilbert_to_axes(h, 21), coords.astype(np.uint64))
+
+    def test_complete_permutation_small_cube(self):
+        coords = np.array([[x, y, z] for x in range(8) for y in range(8) for z in range(8)])
+        h = axes_to_hilbert(coords, 3)
+        assert np.array_equal(np.sort(h), np.arange(512, dtype=np.uint64))
+
+    def test_defining_adjacency_property(self):
+        # Consecutive Hilbert cells are always face neighbors — the
+        # property Morton lacks.
+        coords = np.array([[x, y, z] for x in range(8) for y in range(8) for z in range(8)])
+        h = axes_to_hilbert(coords, 3)
+        seq = coords[np.argsort(h)]
+        steps = np.abs(np.diff(seq, axis=0)).sum(axis=1)
+        assert np.all(steps == 1)
+
+    def test_morton_lacks_adjacency(self):
+        # Sanity contrast: Morton order takes non-unit jumps.
+        coords = np.array([[x, y, z] for x in range(8) for y in range(8) for z in range(8)])
+        box = BoundingBox(np.zeros(3), 8.0)
+        keys = keys_from_positions(coords + 0.5, box)
+        seq = coords[np.argsort(keys)]
+        steps = np.abs(np.diff(seq, axis=0)).sum(axis=1)
+        assert steps.max() > 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            axes_to_hilbert(np.zeros((3, 2), dtype=int), 4)
+        with pytest.raises(ValueError):
+            axes_to_hilbert(np.zeros((3, 3), dtype=int), 22)
+        with pytest.raises(ValueError):
+            axes_to_hilbert(np.full((1, 3), 16, dtype=int), 4)
+
+    @given(st.integers(1, 8), st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_property_bijective(self, bits, seed):
+        rng = np.random.default_rng(seed)
+        coords = rng.integers(0, 1 << bits, (64, 3))
+        h = axes_to_hilbert(coords, bits)
+        assert np.array_equal(hilbert_to_axes(h, bits), coords.astype(np.uint64))
+        # Distinct coords -> distinct indices.
+        uniq_c = np.unique(coords, axis=0).shape[0]
+        assert np.unique(h).size == uniq_c
+
+
+class TestLocality:
+    def test_hilbert_beats_morton_on_jumps(self):
+        rng = np.random.default_rng(1)
+        pos = rng.random((4000, 3))
+        box = BoundingBox(np.zeros(3), 1.0)
+        h_order = np.argsort(hilbert_keys_from_positions(pos, box))
+        m_order = np.argsort(keys_from_positions(pos, box))
+        h_med, h_max = curve_jump_stats(pos, h_order)
+        m_med, m_max = curve_jump_stats(pos, m_order)
+        assert h_med <= m_med * 1.05
+        assert h_max < m_max  # Morton's diagonal block jumps
+
+    def test_both_curves_beat_random(self):
+        rng = np.random.default_rng(2)
+        pos = rng.random((2000, 3))
+        box = BoundingBox(np.zeros(3), 1.0)
+        r_med, _ = curve_jump_stats(pos, rng.permutation(2000))
+        for order in (
+            np.argsort(hilbert_keys_from_positions(pos, box)),
+            np.argsort(keys_from_positions(pos, box)),
+        ):
+            med, _ = curve_jump_stats(pos, order)
+            assert med < 0.2 * r_med
+
+    def test_decomposition_surface_favors_hilbert(self):
+        rng = np.random.default_rng(3)
+        pos = rng.random((3000, 3))
+        box = BoundingBox(np.zeros(3), 1.0)
+        h_order = np.argsort(hilbert_keys_from_positions(pos, box))
+        m_order = np.argsort(keys_from_positions(pos, box))
+        radius = 0.06
+        h_cross = decomposition_surface(pos, h_order, 8, radius)
+        m_cross = decomposition_surface(pos, m_order, 8, radius)
+        r_cross = decomposition_surface(pos, rng.permutation(3000), 8, radius)
+        # Both curves crush random; Hilbert at least matches Morton.
+        assert h_cross < 0.5 * r_cross
+        assert m_cross < 0.5 * r_cross
+        assert h_cross <= 1.15 * m_cross
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            decomposition_surface(np.zeros((10, 3)), np.arange(10), 1, 0.1)
+        with pytest.raises(ValueError):
+            hilbert_keys_from_positions(np.zeros((5, 2)))

@@ -1,0 +1,122 @@
+"""Tests for repro.core.integrator: leapfrog correctness."""
+
+import numpy as np
+import pytest
+
+from repro.core import LeapfrogIntegrator, direct_accelerations, nbody_simulate, total_energy
+
+
+def _two_body_circular():
+    """Equal-mass binary on a circular orbit, G = 1."""
+    m = np.array([0.5, 0.5])
+    pos = np.array([[0.5, 0.0, 0.0], [-0.5, 0.0, 0.0]])
+    # Circular orbit: force G m1 m2 / d^2 = 0.25 balances centripetal
+    # m v^2 / r with r = d/2 = 0.5, so v = 0.5.
+    v = 0.5
+    vel = np.array([[0.0, v, 0.0], [0.0, -v, 0.0]])
+    return pos, vel, m
+
+
+def _direct_accel(masses, eps=0.0):
+    def fn(x):
+        return direct_accelerations(x, masses, eps=eps).accelerations
+
+    return fn
+
+
+class TestLeapfrog:
+    def test_energy_conservation_two_body(self):
+        pos, vel, m = _two_body_circular()
+        integ = LeapfrogIntegrator(_direct_accel(m), pos, vel, m)
+        _, _, e0 = total_energy(integ.positions, integ.velocities, m)
+        integ.run(dt=0.01, n_steps=500)
+        _, _, e1 = total_energy(integ.positions, integ.velocities, m)
+        assert abs((e1 - e0) / e0) < 1e-4
+
+    def test_circular_orbit_stays_circular(self):
+        pos, vel, m = _two_body_circular()
+        integ = LeapfrogIntegrator(_direct_accel(m), pos, vel, m)
+        integ.run(dt=0.005, n_steps=1000)
+        sep = np.linalg.norm(integ.positions[0] - integ.positions[1])
+        assert sep == pytest.approx(1.0, rel=1e-3)
+
+    def test_time_reversibility(self):
+        pos, vel, m = _two_body_circular()
+        integ = LeapfrogIntegrator(_direct_accel(m), pos.copy(), vel.copy(), m)
+        integ.run(dt=0.01, n_steps=100)
+        # Reverse velocities and integrate back.
+        integ2 = LeapfrogIntegrator(_direct_accel(m), integ.positions.copy(), -integ.velocities, m)
+        integ2.run(dt=0.01, n_steps=100)
+        assert np.allclose(integ2.positions, pos, atol=1e-9)
+
+    def test_second_order_convergence(self):
+        pos, vel, m = _two_body_circular()
+
+        def endpoint(dt, steps):
+            integ = LeapfrogIntegrator(_direct_accel(m), pos.copy(), vel.copy(), m)
+            integ.run(dt, steps)
+            return integ.positions.copy()
+
+        ref = endpoint(0.0005, 4000)
+        err_coarse = np.abs(endpoint(0.004, 500) - ref).max()
+        err_fine = np.abs(endpoint(0.002, 1000) - ref).max()
+        ratio = err_coarse / err_fine
+        assert 3.0 < ratio < 5.5  # ~4 for a second-order method
+
+    def test_momentum_conserved(self):
+        rng = np.random.default_rng(0)
+        pos = rng.standard_normal((50, 3))
+        vel = rng.standard_normal((50, 3)) * 0.1
+        m = rng.random(50) + 0.5
+        vel -= (m[:, None] * vel).sum(axis=0) / m.sum()
+        integ = LeapfrogIntegrator(_direct_accel(m, eps=0.05), pos, vel, m)
+        integ.run(dt=0.01, n_steps=50)
+        p = (m[:, None] * integ.velocities).sum(axis=0)
+        assert np.allclose(p, 0.0, atol=1e-10)
+
+    def test_history_and_stats(self):
+        pos, vel, m = _two_body_circular()
+        integ = LeapfrogIntegrator(_direct_accel(m), pos, vel, m)
+        stats = integ.run(dt=0.01, n_steps=10)
+        assert len(stats) == 10
+        assert integ.history[-1].time == pytest.approx(0.1)
+        assert stats[0].kinetic > 0
+        assert stats[0].max_accel > 0
+
+    def test_suggest_dt_positive(self):
+        pos, vel, m = _two_body_circular()
+        integ = LeapfrogIntegrator(_direct_accel(m), pos, vel, m)
+        assert integ.suggest_dt() > 0
+
+    def test_validation(self):
+        pos, vel, m = _two_body_circular()
+        with pytest.raises(ValueError):
+            LeapfrogIntegrator(_direct_accel(m), pos[:, :2], vel, m)
+        integ = LeapfrogIntegrator(_direct_accel(m), pos, vel, m)
+        with pytest.raises(ValueError):
+            integ.step(dt=0.0)
+        with pytest.raises(ValueError):
+            integ.run(0.1, -1)
+
+
+class TestTreeDriver:
+    def test_nbody_simulate_conserves_energy(self):
+        rng = np.random.default_rng(1)
+        n = 150
+        pos = rng.standard_normal((n, 3)) * 0.5
+        vel = rng.standard_normal((n, 3)) * 0.05
+        m = np.full(n, 1.0 / n)
+        eps = 0.05
+        _, _, e0 = total_energy(pos, vel, m, eps=eps)
+        integ = nbody_simulate(pos, vel, m, dt=0.01, n_steps=20, theta=0.5, eps=eps)
+        _, _, e1 = total_energy(integ.positions, integ.velocities, m, eps=eps)
+        assert abs((e1 - e0) / abs(e0)) < 5e-3
+
+    def test_driver_does_not_mutate_inputs(self):
+        rng = np.random.default_rng(2)
+        pos = rng.standard_normal((30, 3))
+        vel = np.zeros((30, 3))
+        m = np.ones(30)
+        pos_copy = pos.copy()
+        nbody_simulate(pos, vel, m, dt=0.01, n_steps=2, eps=0.1)
+        assert np.array_equal(pos, pos_copy)

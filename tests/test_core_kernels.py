@@ -1,0 +1,103 @@
+"""Tests for repro.core.kernels: the libm/Karp gravity micro-kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    interaction_kernel,
+    measure_kernel_mflops,
+    reciprocal_sqrt_karp,
+    reciprocal_sqrt_libm,
+)
+
+
+class TestKarpRsqrt:
+    def test_accuracy_across_magnitudes(self):
+        x = np.logspace(-30, 30, 5000)
+        got = reciprocal_sqrt_karp(x)
+        want = 1.0 / np.sqrt(x)
+        rel = np.abs(got - want) / want
+        assert rel.max() < 1e-12
+
+    def test_exact_powers_of_four(self):
+        x = 4.0 ** np.arange(-10, 11)
+        got = reciprocal_sqrt_karp(x)
+        assert np.allclose(got, 2.0 ** -np.arange(-10, 11, dtype=float), rtol=1e-13)
+
+    def test_odd_exponents(self):
+        # Odd binary exponents exercise the 1/sqrt(2) fold.
+        x = np.array([2.0, 8.0, 32.0, 0.5, 0.125])
+        got = reciprocal_sqrt_karp(x)
+        assert np.allclose(got, 1.0 / np.sqrt(x), rtol=1e-13)
+
+    def test_subinterval_boundaries(self):
+        # Mantissas at table-bin edges must not pick the wrong bin.
+        m = 0.5 + np.arange(65) / 128.0
+        m = m[m < 1.0]
+        got = reciprocal_sqrt_karp(m)
+        assert np.allclose(got, 1.0 / np.sqrt(m), rtol=1e-12)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            reciprocal_sqrt_karp(np.array([0.0]))
+        with pytest.raises(ValueError):
+            reciprocal_sqrt_karp(np.array([-1.0]))
+
+    def test_scalar_like_input(self):
+        got = reciprocal_sqrt_karp(np.array(9.0))
+        assert got == pytest.approx(1.0 / 3.0, rel=1e-13)
+
+    @given(st.floats(min_value=1e-100, max_value=1e100))
+    @settings(max_examples=200, deadline=None)
+    def test_property_relative_error(self, x):
+        got = float(reciprocal_sqrt_karp(np.array([x]))[0])
+        want = 1.0 / np.sqrt(x)
+        assert abs(got - want) <= 1e-12 * want
+
+
+class TestInteractionKernel:
+    def test_libm_and_karp_agree(self):
+        rng = np.random.default_rng(0)
+        sources = rng.standard_normal((500, 3))
+        masses = rng.random(500) + 0.1
+        sink = np.array([0.1, -0.2, 0.3])
+        a1, p1 = interaction_kernel(sink, sources, masses, eps=0.01, method="libm")
+        a2, p2 = interaction_kernel(sink, sources, masses, eps=0.01, method="karp")
+        assert np.allclose(a1, a2, rtol=1e-11)
+        assert p1 == pytest.approx(p2, rel=1e-11)
+
+    def test_matches_direct_two_body(self):
+        sink = np.zeros(3)
+        sources = np.array([[1.0, 0.0, 0.0]])
+        masses = np.array([4.0])
+        acc, pot = interaction_kernel(sink, sources, masses)
+        assert np.allclose(acc, [4.0, 0.0, 0.0])  # toward the source
+        assert pot == pytest.approx(-4.0)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            interaction_kernel(np.zeros(3), np.ones((1, 3)), np.ones(1), method="sse")
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            interaction_kernel(np.zeros(2), np.ones((1, 3)), np.ones(1))
+
+
+class TestMeasurement:
+    def test_measure_returns_positive_rate(self):
+        timing = measure_kernel_mflops("libm", n_sources=256, repeats=3)
+        assert timing.mflops > 0
+        assert timing.interactions == 256 * 3
+        assert timing.interactions_per_second > 0
+
+    def test_both_methods_measurable(self):
+        for method in ("libm", "karp"):
+            t = measure_kernel_mflops(method, n_sources=128, repeats=2)
+            assert t.method == method
+            assert t.seconds > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measure_kernel_mflops(repeats=0)

@@ -1,0 +1,201 @@
+"""Tests for repro.core.keys: Morton key arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    KEY_BITS,
+    MAX_LEVEL,
+    ROOT_KEY,
+    BoundingBox,
+    ancestor_at_level,
+    cell_center_and_size,
+    child_keys,
+    key_level,
+    key_level_2d,
+    keys_from_positions,
+    keys_from_positions_2d,
+    octant_of,
+    parent_key,
+    positions_from_keys,
+)
+
+UNIT_BOX = BoundingBox(np.zeros(3), 1.0)
+
+
+class TestBoundingBox:
+    def test_from_points_contains_all(self):
+        rng = np.random.default_rng(1)
+        pts = rng.standard_normal((100, 3)) * 5
+        box = BoundingBox.from_points(pts)
+        assert np.all(pts >= box.corner)
+        assert np.all(pts < box.corner + box.size)
+
+    def test_degenerate_single_point(self):
+        box = BoundingBox.from_points(np.array([[1.0, 2.0, 3.0]]))
+        assert box.size > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoundingBox(np.zeros(3), 0.0)
+        with pytest.raises(ValueError):
+            BoundingBox.from_points(np.empty((0, 3)))
+
+
+class TestKeyGeneration:
+    def test_keys_have_placeholder_bit(self):
+        rng = np.random.default_rng(2)
+        keys = keys_from_positions(rng.random((50, 3)), UNIT_BOX)
+        assert np.all(keys >> np.uint64(63) == 1)
+
+    def test_particle_keys_are_max_level(self):
+        rng = np.random.default_rng(3)
+        keys = keys_from_positions(rng.random((50, 3)), UNIT_BOX)
+        assert np.all(key_level(keys) == MAX_LEVEL)
+
+    def test_origin_maps_to_min_key(self):
+        keys = keys_from_positions(np.array([[0.0, 0.0, 0.0]]), UNIT_BOX)
+        assert keys[0] == np.uint64(1 << 63)
+
+    def test_distinct_positions_distinct_keys(self):
+        # Well-separated points must never collide.
+        grid = np.stack(np.meshgrid(*[np.linspace(0.1, 0.9, 4)] * 3), axis=-1).reshape(-1, 3)
+        keys = keys_from_positions(grid, UNIT_BOX)
+        assert len(np.unique(keys)) == len(keys)
+
+    def test_out_of_box_rejected(self):
+        with pytest.raises(ValueError):
+            keys_from_positions(np.array([[2.0, 0.0, 0.0]]), UNIT_BOX)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            keys_from_positions(np.zeros((5, 2)), UNIT_BOX)
+
+    def test_round_trip_within_one_cell(self):
+        rng = np.random.default_rng(4)
+        pos = rng.random((200, 3))
+        keys = keys_from_positions(pos, UNIT_BOX)
+        back = positions_from_keys(keys, UNIT_BOX)
+        cell = 1.0 / (1 << KEY_BITS)
+        assert np.all(np.abs(back - pos) <= cell + 1e-12)
+
+    @given(st.lists(st.tuples(*[st.floats(0.0, 0.999999)] * 3), min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_morton_order_matches_lexicographic_bit_order(self, coords):
+        """Keys sort identically to interleaved integer coordinates."""
+        pos = np.array(coords)
+        keys = keys_from_positions(pos, UNIT_BOX)
+        # Re-derive via slow scalar interleave.
+        q = np.floor(pos * (1 << KEY_BITS)).astype(np.int64)
+        slow = []
+        for x, y, z in q:
+            k = 1 << 63
+            for b in range(KEY_BITS):
+                k |= ((int(x) >> b) & 1) << (3 * b)
+                k |= ((int(y) >> b) & 1) << (3 * b + 1)
+                k |= ((int(z) >> b) & 1) << (3 * b + 2)
+            slow.append(k)
+        assert keys.tolist() == slow
+
+
+class TestKeyArithmetic:
+    def test_root_level_zero(self):
+        assert key_level(ROOT_KEY) == 0
+
+    def test_parent_of_child_is_self(self):
+        key = 0b1_010_111_001  # level-3 cell
+        for child in child_keys(key):
+            assert parent_key(int(child)) == key
+
+    def test_child_octants(self):
+        kids = child_keys(ROOT_KEY)
+        assert octant_of(kids).tolist() == list(range(8))
+
+    def test_parent_of_root_rejected(self):
+        with pytest.raises(ValueError):
+            parent_key(ROOT_KEY)
+
+    def test_vector_parent(self):
+        keys = np.array([0b1010, 0b1111], dtype=np.uint64)
+        assert parent_key(keys).tolist() == [1, 1]
+
+    def test_ancestor_at_level(self):
+        key = 0b1_010_111_001
+        assert ancestor_at_level(key, 0) == ROOT_KEY
+        assert ancestor_at_level(key, 2) == 0b1_010_111
+        assert ancestor_at_level(key, 3) == key
+        with pytest.raises(ValueError):
+            ancestor_at_level(key, 4)
+
+    def test_level_vectorized_matches_scalar(self):
+        keys = [1, 0b1101, 0b1101101, 1 << 63, (1 << 63) | 12345]
+        arr = np.array(keys, dtype=np.uint64)
+        assert key_level(arr).tolist() == [key_level(k) for k in keys]
+
+    def test_invalid_key_rejected(self):
+        with pytest.raises(ValueError):
+            key_level(0)
+
+    def test_cannot_descend_below_max_level(self):
+        deep = (1 << 63) | 5
+        with pytest.raises(ValueError):
+            child_keys(deep)
+
+    @given(st.integers(0, 7), st.integers(0, 7), st.integers(0, 7))
+    def test_parent_child_round_trip(self, a, b, c):
+        key = ((ROOT_KEY * 8 + a) * 8 + b) * 8 + c
+        assert parent_key(key) == (ROOT_KEY * 8 + a) * 8 + b
+        assert octant_of(key) == c
+        assert key_level(key) == 3
+
+
+class TestCellGeometry:
+    def test_root_cell_is_whole_box(self):
+        center, size = cell_center_and_size(ROOT_KEY, UNIT_BOX)
+        assert size == 1.0
+        assert np.allclose(center, [0.5, 0.5, 0.5])
+
+    def test_first_octant_cell(self):
+        center, size = cell_center_and_size(0b1000, UNIT_BOX)
+        assert size == 0.5
+        assert np.allclose(center, [0.25, 0.25, 0.25])
+
+    def test_last_octant_cell(self):
+        center, size = cell_center_and_size(0b1111, UNIT_BOX)
+        assert np.allclose(center, [0.75, 0.75, 0.75])
+
+    def test_key_contains_its_positions(self):
+        rng = np.random.default_rng(5)
+        pos = rng.random((20, 3))
+        keys = keys_from_positions(pos, UNIT_BOX)
+        for p, k in zip(pos, keys):
+            anc = ancestor_at_level(int(k), 4)
+            center, size = cell_center_and_size(anc, UNIT_BOX)
+            assert np.all(np.abs(p - center) <= size / 2 + 1e-12)
+
+
+class TestKeys2D:
+    def test_levels(self):
+        rng = np.random.default_rng(6)
+        pos = rng.random((30, 2))
+        keys = keys_from_positions_2d(pos, BoundingBox(np.zeros(2), 1.0))
+        assert np.all(key_level_2d(keys) == 31)
+
+    def test_locality_of_z_order(self):
+        # Sorting along the curve keeps neighbors close: the mean jump
+        # between consecutive curve points must be far below a random
+        # shuffle's.
+        rng = np.random.default_rng(7)
+        pos = rng.random((500, 2))
+        keys = keys_from_positions_2d(pos, BoundingBox(np.zeros(2), 1.0))
+        order = np.argsort(keys)
+        curve = pos[order]
+        curve_jump = np.linalg.norm(np.diff(curve, axis=0), axis=1).mean()
+        shuffled_jump = np.linalg.norm(np.diff(pos, axis=0), axis=1).mean()
+        assert curve_jump < 0.4 * shuffled_jump
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            keys_from_positions_2d(np.zeros((5, 3)))

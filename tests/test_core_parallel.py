@@ -1,0 +1,187 @@
+"""Tests for repro.core.parallel and abm: the parallel treecode."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ABMChannel,
+    ParallelConfig,
+    direct_accelerations,
+    parallel_tree_accelerations,
+    tree_accelerations,
+)
+from repro.simmpi import SpaceSimulatorCost, UniformCost, run
+
+
+def _cloud(n, seed=0, clustered=False):
+    rng = np.random.default_rng(seed)
+    if clustered:
+        r = rng.random(n) ** 3
+        d = rng.standard_normal((n, 3))
+        d /= np.linalg.norm(d, axis=1, keepdims=True)
+        pos = r[:, None] * d
+    else:
+        pos = rng.random((n, 3))
+    return pos, np.full(n, 1.0 / n)
+
+
+class TestABMChannel:
+    def test_batched_request_reply(self):
+        def prog(comm):
+            abm = ABMChannel(comm, lambda src, items: [i * 10 + comm.rank for i in items])
+            for d in range(comm.size):
+                if d != comm.rank:
+                    abm.request(d, comm.rank)
+                    abm.request(d, comm.rank + 100)
+            replies = yield from abm.exchange()
+            return [replies[d] for d in range(comm.size)]
+
+        result = run(prog, 3)
+        # Rank 0 asked rank 1 for (0, 100): replies 0*10+1, 100*10+1.
+        assert result.returns[0][1] == [1, 1001]
+        assert result.returns[0][2] == [2, 1002]
+        assert result.returns[0][0] == []
+
+    def test_globally_done(self):
+        def prog(comm):
+            abm = ABMChannel(comm, lambda src, items: items)
+            done_first = yield from abm.globally_done(1 if comm.rank == 0 else 0)
+            done_second = yield from abm.globally_done(0)
+            return (done_first, done_second)
+
+        result = run(prog, 4)
+        assert all(r == (False, True) for r in result.returns)
+
+    def test_self_request_rejected(self):
+        def prog(comm):
+            abm = ABMChannel(comm, lambda src, items: items)
+            with pytest.raises(ValueError):
+                abm.request(comm.rank, 1)
+            yield comm.barrier()
+            return "ok"
+
+        assert run(prog, 2).returns == ["ok", "ok"]
+
+    def test_serve_arity_checked(self):
+        def prog(comm):
+            abm = ABMChannel(comm, lambda src, items: [])  # wrong arity
+            # Symmetric traffic so every rank hits the serve error at
+            # the same point (between the two alltoalls).
+            abm.request(1 - comm.rank, 42)
+            try:
+                yield from abm.exchange()
+            except RuntimeError:
+                return "caught"
+            return "missed"
+
+        result = run(prog, 2)
+        assert result.returns == ["caught", "caught"]
+
+
+class TestParallelCorrectness:
+    def test_matches_direct_sum(self):
+        pos, m = _cloud(600, seed=1)
+        exact = direct_accelerations(pos, m, eps=0.05)
+        par = parallel_tree_accelerations(
+            pos, m, n_ranks=4, config=ParallelConfig(theta=0.5, eps=0.05, bucket_size=16)
+        )
+        num = np.linalg.norm(par.accelerations - exact.accelerations, axis=1)
+        den = np.linalg.norm(exact.accelerations, axis=1)
+        assert np.median(num / den) < 1e-3
+        assert np.max(num / den) < 0.05
+
+    def test_matches_serial_treecode_closely(self):
+        pos, m = _cloud(500, seed=2, clustered=True)
+        cfg = ParallelConfig(theta=0.5, eps=0.05, bucket_size=16)
+        serial = tree_accelerations(pos, m, theta=0.5, eps=0.05, bucket_size=16)
+        par = parallel_tree_accelerations(pos, m, n_ranks=5, config=cfg)
+        num = np.linalg.norm(par.accelerations - serial.accelerations, axis=1)
+        den = np.linalg.norm(serial.accelerations, axis=1)
+        # Both approximate the same physics with the same MAC; their
+        # disagreement is bounded by twice the MAC error.
+        assert np.median(num / den) < 2e-3
+
+    def test_rank_count_invariance(self):
+        # The virtual global tree is rank-independent, so forces agree
+        # across processor counts to MAC-error level.
+        pos, m = _cloud(400, seed=3)
+        cfg = ParallelConfig(theta=0.6, eps=0.05, bucket_size=16)
+        results = [
+            parallel_tree_accelerations(pos, m, n_ranks=p, config=cfg).accelerations
+            for p in (1, 2, 7)
+        ]
+        for other in results[1:]:
+            num = np.linalg.norm(other - results[0], axis=1)
+            den = np.linalg.norm(results[0], axis=1)
+            assert np.median(num / den) < 2e-3
+
+    def test_single_rank_runs(self):
+        pos, m = _cloud(100, seed=4)
+        par = parallel_tree_accelerations(pos, m, n_ranks=1)
+        exact = direct_accelerations(pos, m, eps=0.05)
+        num = np.linalg.norm(par.accelerations - exact.accelerations, axis=1)
+        den = np.linalg.norm(exact.accelerations, axis=1)
+        assert np.median(num / den) < 2e-3
+
+    def test_potentials_match_direct(self):
+        pos, m = _cloud(300, seed=5)
+        exact = direct_accelerations(pos, m, eps=0.05)
+        par = parallel_tree_accelerations(
+            pos, m, n_ranks=3, config=ParallelConfig(theta=0.4, eps=0.05)
+        )
+        assert np.allclose(par.potentials, exact.potentials, rtol=5e-3)
+
+    def test_deterministic(self):
+        pos, m = _cloud(250, seed=6)
+        a = parallel_tree_accelerations(pos, m, n_ranks=4)
+        b = parallel_tree_accelerations(pos, m, n_ranks=4)
+        assert np.array_equal(a.accelerations, b.accelerations)
+        assert a.sim.clocks == b.sim.clocks
+
+    def test_interaction_counts_reported(self):
+        pos, m = _cloud(300, seed=7)
+        par = parallel_tree_accelerations(pos, m, n_ranks=3)
+        assert par.counts.p2p > 0
+        assert par.counts.p2c > 0
+        assert par.counts.groups > 0
+        assert par.counts.flops > 0
+
+    def test_validation(self):
+        pos, m = _cloud(10)
+        with pytest.raises(ValueError):
+            parallel_tree_accelerations(pos, m, n_ranks=0)
+        with pytest.raises(ValueError):
+            parallel_tree_accelerations(pos, m, n_ranks=11)
+        with pytest.raises(ValueError):
+            ParallelConfig(eps=-1.0)
+        with pytest.raises(ValueError):
+            ParallelConfig(kernel_efficiency=0.0)
+
+
+class TestParallelPerformance:
+    def test_virtual_time_positive_with_cost_model(self):
+        pos, m = _cloud(400, seed=8)
+        par = parallel_tree_accelerations(
+            pos, m, n_ranks=4, cost=SpaceSimulatorCost()
+        )
+        assert par.sim.elapsed > 0
+        assert par.mflops_per_proc > 0
+        assert all(s.bytes_sent > 0 for s in par.sim.stats)
+
+    def test_more_ranks_less_elapsed_time(self):
+        # Strong scaling on a fixed problem: 8 simulated processors
+        # should beat 1 by a wide margin under a uniform cost model.
+        pos, m = _cloud(3000, seed=9)
+        cost = UniformCost(latency_s=50e-6, mbytes_s=90.0, mflops=40.0)
+        t1 = parallel_tree_accelerations(pos, m, n_ranks=1, cost=cost).sim.elapsed
+        t8 = parallel_tree_accelerations(pos, m, n_ranks=8, cost=cost).sim.elapsed
+        assert t8 < t1
+        assert t1 / t8 > 3.0
+
+    def test_parallel_efficiency_below_one_with_comm(self):
+        pos, m = _cloud(600, seed=10)
+        par = parallel_tree_accelerations(
+            pos, m, n_ranks=6, cost=SpaceSimulatorCost()
+        )
+        eff = par.sim.parallel_efficiency()
+        assert 0.0 < eff <= 1.0

@@ -1,0 +1,125 @@
+"""Tests for repro.core.snapshot and driver checkpoint/restart."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.snapshot import Snapshot, SnapshotError, read_snapshot, write_snapshot
+
+
+class TestSnapshotRoundTrip:
+    def test_arrays_and_meta_preserved(self, tmp_path):
+        arrays = {
+            "positions": np.random.default_rng(0).random((50, 3)),
+            "ids": np.arange(50, dtype=np.int64),
+        }
+        write_snapshot(str(tmp_path), arrays, meta={"time": 1.5, "label": "x"})
+        snap = read_snapshot(str(tmp_path))
+        assert np.array_equal(snap["positions"], arrays["positions"])
+        assert snap["ids"].dtype == np.int64
+        assert snap.meta == {"time": 1.5, "label": "x"}
+
+    def test_header_written(self, tmp_path):
+        write_snapshot(str(tmp_path), {"a": np.zeros(3)})
+        assert os.path.exists(tmp_path / "snapshot.json")
+        assert os.path.exists(tmp_path / "a.npy")
+
+    def test_overwrite(self, tmp_path):
+        write_snapshot(str(tmp_path), {"a": np.zeros(3)}, meta={"v": 1})
+        write_snapshot(str(tmp_path), {"a": np.ones(3)}, meta={"v": 2})
+        snap = read_snapshot(str(tmp_path))
+        assert snap.meta["v"] == 2
+        assert snap["a"][0] == 1.0
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_snapshot(str(tmp_path), {})
+        with pytest.raises(ValueError):
+            write_snapshot(str(tmp_path), {"bad name": np.zeros(2)})
+
+
+class TestCorruptionDetection:
+    def test_missing_header(self, tmp_path):
+        with pytest.raises(SnapshotError, match="header"):
+            read_snapshot(str(tmp_path))
+
+    def test_missing_array_file(self, tmp_path):
+        write_snapshot(str(tmp_path), {"a": np.zeros(4)})
+        os.remove(tmp_path / "a.npy")
+        with pytest.raises(SnapshotError, match="missing"):
+            read_snapshot(str(tmp_path))
+
+    def test_corrupted_array_detected(self, tmp_path):
+        write_snapshot(str(tmp_path), {"a": np.zeros(64)})
+        # Flip bytes in the payload (past the .npy header).
+        path = tmp_path / "a.npy"
+        data = bytearray(path.read_bytes())
+        data[-8:] = b"\xff" * 8
+        path.write_bytes(bytes(data))
+        with pytest.raises(SnapshotError, match="checksum"):
+            read_snapshot(str(tmp_path))
+        # ... but an unverified read returns the (corrupt) data.
+        snap = read_snapshot(str(tmp_path), verify=False)
+        assert isinstance(snap, Snapshot)
+
+    def test_shape_mismatch_detected(self, tmp_path):
+        write_snapshot(str(tmp_path), {"a": np.zeros(4)})
+        np.save(tmp_path / "a.npy", np.zeros(5))
+        with pytest.raises(SnapshotError, match="mismatch"):
+            read_snapshot(str(tmp_path))
+
+
+class TestDriverRestart:
+    def test_comoving_restart_bit_exact(self, tmp_path):
+        from repro.cosmology import ComovingSimulation, EDS, zeldovich_ics
+
+        ics = zeldovich_ics(n_side=8, a_start=0.2, cosmology=EDS, seed=3)
+        straight = ComovingSimulation(ics)
+        for _ in range(6):
+            straight.step(0.05)
+
+        resumed = ComovingSimulation(ics)
+        for _ in range(3):
+            resumed.step(0.05)
+        resumed.checkpoint(str(tmp_path / "ck"))
+        restored = ComovingSimulation.restore(str(tmp_path / "ck"))
+        assert restored.a == pytest.approx(resumed.a)
+        for _ in range(3):
+            restored.step(0.05)
+        assert np.array_equal(restored.positions, straight.positions)
+        assert np.array_equal(restored.velocities, straight.velocities)
+        assert restored.steps_taken == 6
+
+    def test_hydro_restart_bit_exact(self, tmp_path):
+        from repro.sph import HydroSimulation
+
+        rng = np.random.default_rng(1)
+        pos = rng.random((120, 3))
+        args = (pos, np.zeros((120, 3)), np.full(120, 1 / 120), np.ones(120))
+        straight = HydroSimulation(*[a.copy() for a in args])
+        for _ in range(4):
+            straight.step(dt=1e-3)
+
+        resumed = HydroSimulation(*[a.copy() for a in args])
+        for _ in range(2):
+            resumed.step(dt=1e-3)
+        resumed.checkpoint(str(tmp_path / "hk"))
+        restored = HydroSimulation.restore(str(tmp_path / "hk"))
+        for _ in range(2):
+            restored.step(dt=1e-3)
+        assert np.array_equal(restored.positions, straight.positions)
+        assert np.array_equal(restored.u, straight.u)
+        assert restored.time == pytest.approx(straight.time)
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        from repro.cosmology import ComovingSimulation
+        from repro.sph import HydroSimulation
+
+        rng = np.random.default_rng(2)
+        sim = HydroSimulation(
+            rng.random((30, 3)), np.zeros((30, 3)), np.ones(30), np.ones(30)
+        )
+        sim.checkpoint(str(tmp_path / "h"))
+        with pytest.raises(SnapshotError):
+            ComovingSimulation.restore(str(tmp_path / "h"))

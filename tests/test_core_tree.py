@@ -1,0 +1,157 @@
+"""Tests for repro.core.tree and multipole: oct-tree construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BoundingBox, build_tree
+
+UNIT_BOX = BoundingBox(np.zeros(3), 1.0)
+
+
+def _cloud(n, seed=0, centrally_condensed=False):
+    rng = np.random.default_rng(seed)
+    if centrally_condensed:
+        r = rng.random(n) ** 3 * 0.4
+        direction = rng.standard_normal((n, 3))
+        direction /= np.linalg.norm(direction, axis=1, keepdims=True)
+        pos = 0.5 + r[:, None] * direction
+    else:
+        pos = rng.random((n, 3))
+    return pos, rng.random(n) + 0.1
+
+
+class TestBuild:
+    def test_structure_invariants_uniform(self):
+        pos, m = _cloud(500, seed=1)
+        tree = build_tree(pos, m, bucket_size=8, box=UNIT_BOX)
+        tree.validate()
+
+    def test_structure_invariants_clustered(self):
+        pos, m = _cloud(800, seed=2, centrally_condensed=True)
+        tree = build_tree(pos, m, bucket_size=4, box=UNIT_BOX)
+        tree.validate()
+
+    def test_leaves_partition_particles(self):
+        pos, m = _cloud(300, seed=3)
+        tree = build_tree(pos, m, bucket_size=10, box=UNIT_BOX)
+        leaf_total = int(tree.count[tree.leaf_ids].sum())
+        assert leaf_total == tree.n_particles
+        seen = np.zeros(tree.n_particles, dtype=bool)
+        for leaf in tree.leaf_ids:
+            sl = tree.particles_of(leaf)
+            assert not seen[sl].any()
+            seen[sl] = True
+        assert seen.all()
+
+    def test_single_particle(self):
+        tree = build_tree(np.array([[0.5, 0.5, 0.5]]), np.array([2.0]), box=UNIT_BOX)
+        assert tree.n_cells == 1
+        assert tree.mass[0] == 2.0
+        assert np.allclose(tree.com[0], [0.5, 0.5, 0.5])
+
+    def test_bucket_size_one_separates_particles(self):
+        pos = np.array([[0.1, 0.1, 0.1], [0.9, 0.9, 0.9], [0.1, 0.9, 0.1]])
+        tree = build_tree(pos, np.ones(3), bucket_size=1, box=UNIT_BOX)
+        assert (tree.count[tree.leaf_ids] == 1).all()
+
+    def test_coincident_particles_stop_at_max_level(self):
+        # Two particles at the same point can never be separated; the
+        # build must terminate with an over-full deepest leaf.
+        pos = np.array([[0.3, 0.3, 0.3], [0.3, 0.3, 0.3], [0.3, 0.3, 0.3]])
+        tree = build_tree(pos, np.ones(3), bucket_size=1, box=UNIT_BOX)
+        tree.validate()
+        deepest = tree.level.max()
+        assert tree.count[tree.level == deepest].max() == 3
+
+    def test_hash_finds_every_cell(self):
+        pos, m = _cloud(200, seed=4)
+        tree = build_tree(pos, m, bucket_size=8, box=UNIT_BOX)
+        for c in range(tree.n_cells):
+            assert tree.find_cell(int(tree.cell_keys[c])) == c
+        assert tree.find_cell(0b1_000_000_000_001) is None or True  # absent ok
+
+    def test_morton_order_output(self):
+        pos, m = _cloud(100, seed=5)
+        tree = build_tree(pos, m, box=UNIT_BOX)
+        assert np.all(np.diff(tree.keys.astype(np.float64)) >= 0)
+        # order maps sorted back to input
+        assert np.allclose(pos[tree.order], tree.positions)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            build_tree(np.empty((0, 3)))
+        with pytest.raises(ValueError):
+            build_tree(np.zeros((5, 2)))
+        with pytest.raises(ValueError):
+            build_tree(np.random.rand(5, 3), np.ones(4))
+        with pytest.raises(ValueError):
+            build_tree(np.random.rand(5, 3), -np.ones(5))
+        with pytest.raises(ValueError):
+            build_tree(np.random.rand(5, 3), bucket_size=0)
+
+    @given(st.integers(1, 400), st.integers(1, 64), st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_invariants_hold_for_random_builds(self, n, bucket, seed):
+        rng = np.random.default_rng(seed)
+        pos = rng.random((n, 3))
+        tree = build_tree(pos, bucket_size=bucket, box=UNIT_BOX)
+        tree.validate()
+        assert int(tree.count[tree.leaf_ids].sum()) == n
+
+
+class TestMultipoles:
+    def test_root_mass_and_com(self):
+        pos, m = _cloud(250, seed=6)
+        tree = build_tree(pos, m, box=UNIT_BOX)
+        assert tree.mass[0] == pytest.approx(m.sum())
+        expected_com = (m[:, None] * pos).sum(axis=0) / m.sum()
+        assert np.allclose(tree.com[0], expected_com)
+
+    def test_cell_masses_sum_to_children(self):
+        pos, m = _cloud(400, seed=7)
+        tree = build_tree(pos, m, bucket_size=8, box=UNIT_BOX)
+        for c in range(tree.n_cells):
+            kids = tree.children_of(c)
+            if kids.size:
+                assert tree.mass[c] == pytest.approx(tree.mass[kids].sum())
+
+    def test_quadrupole_traceless(self):
+        pos, m = _cloud(300, seed=8, centrally_condensed=True)
+        tree = build_tree(pos, m, box=UNIT_BOX)
+        trace = tree.quad[:, 0] + tree.quad[:, 1] + tree.quad[:, 2]
+        scale = np.abs(tree.quad).max() + 1e-30
+        assert np.all(np.abs(trace) < 1e-10 * max(scale, 1.0))
+
+    def test_quadrupole_matches_definition(self):
+        pos, m = _cloud(64, seed=9)
+        tree = build_tree(pos, m, bucket_size=64, box=UNIT_BOX)
+        rel = tree.positions - tree.com[0]
+        r2 = np.einsum("ij,ij->i", rel, rel)
+        expect = np.empty(6)
+        expect[0] = np.sum(tree.masses * (3 * rel[:, 0] ** 2 - r2))
+        expect[1] = np.sum(tree.masses * (3 * rel[:, 1] ** 2 - r2))
+        expect[2] = np.sum(tree.masses * (3 * rel[:, 2] ** 2 - r2))
+        expect[3] = np.sum(tree.masses * 3 * rel[:, 0] * rel[:, 1])
+        expect[4] = np.sum(tree.masses * 3 * rel[:, 0] * rel[:, 2])
+        expect[5] = np.sum(tree.masses * 3 * rel[:, 1] * rel[:, 2])
+        assert np.allclose(tree.quad[0], expect)
+
+    def test_single_particle_cell_has_zero_quadrupole(self):
+        tree = build_tree(np.array([[0.2, 0.7, 0.4]]), np.array([3.0]), box=UNIT_BOX)
+        assert np.allclose(tree.quad[0], 0.0)
+
+    def test_bmax_bounds_every_member(self):
+        pos, m = _cloud(350, seed=10)
+        tree = build_tree(pos, m, bucket_size=16, box=UNIT_BOX)
+        for c in range(tree.n_cells):
+            sl = tree.particles_of(c)
+            d = np.linalg.norm(tree.positions[sl] - tree.com[c], axis=1)
+            assert d.max() <= tree.bmax[c] + 1e-12, c
+
+    def test_massless_particles_allowed(self):
+        pos, _ = _cloud(50, seed=11)
+        tree = build_tree(pos, np.zeros(50), box=UNIT_BOX)
+        assert tree.mass[0] == 0.0
+        assert np.isfinite(tree.com).all()

@@ -1,0 +1,152 @@
+"""Tests for cosmology background, power spectrum, and ICs."""
+
+import numpy as np
+import pytest
+
+from repro.cosmology import (
+    EDS,
+    LCDM,
+    Cosmology,
+    PowerSpectrum,
+    bbks_transfer,
+    gaussian_field,
+    tophat_window,
+    zeldovich_ics,
+)
+
+
+class TestBackground:
+    def test_eds_growth_is_scale_factor(self):
+        for a in (0.1, 0.3, 0.7, 1.0):
+            assert EDS.growth_factor(a) == pytest.approx(a, rel=1e-4)
+
+    def test_lcdm_growth_suppressed(self):
+        # Lambda suppresses late growth: D(a) > a for a < 1.
+        assert LCDM.growth_factor(0.5) > 0.5
+        assert LCDM.growth_factor(1.0) == pytest.approx(1.0)
+
+    def test_age_of_universe(self):
+        # Concordance LCDM: ~13.5 Gyr.
+        assert LCDM.age_gyr() == pytest.approx(13.5, abs=0.2)
+
+    def test_lookback_to_z03_matches_figure7(self):
+        # Fig 7: z = 0.3 is "3.5 billion years prior to the present".
+        assert LCDM.lookback_gyr(0.3) == pytest.approx(3.5, abs=0.15)
+
+    def test_eds_age(self):
+        # EdS: t0 = (2/3)/H0.
+        assert EDS.age_gyr() == pytest.approx(2.0 / 3.0 * EDS.hubble_time_gyr(), rel=1e-3)
+
+    def test_hubble_rate_limits(self):
+        assert LCDM.e_of_a(1.0) == pytest.approx(1.0)
+        assert LCDM.e_of_a(0.1) == pytest.approx(np.sqrt(0.3 / 1e-3 + 0.7), rel=1e-9)
+
+    def test_omega_m_evolution(self):
+        # Matter dominates early.
+        assert LCDM.omega_m_of_a(0.05) > 0.99
+        assert LCDM.omega_m_of_a(1.0) == pytest.approx(0.3)
+
+    def test_growth_rate_approximation(self):
+        assert EDS.growth_rate(0.5) == pytest.approx(1.0)
+        assert 0.4 < LCDM.growth_rate(1.0) < 0.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Cosmology(omega_m=0.3, omega_l=0.5)
+        with pytest.raises(ValueError):
+            Cosmology(h=-1.0)
+        with pytest.raises(ValueError):
+            LCDM.growth_factor(0.0)
+        with pytest.raises(ValueError):
+            LCDM.lookback_gyr(-1.0)
+
+
+class TestPowerSpectrum:
+    def test_sigma8_normalization(self):
+        ps = PowerSpectrum(LCDM)
+        assert np.sqrt(ps.sigma_r(8.0)) == pytest.approx(LCDM.sigma8, rel=1e-3)
+
+    def test_transfer_limits(self):
+        # T -> 1 at large scales, falls steeply at small scales.
+        t = bbks_transfer(np.array([1e-5, 10.0]), gamma=0.2)
+        assert t[0] == pytest.approx(1.0, rel=1e-3)
+        assert t[1] < 1e-3
+
+    def test_transfer_monotone(self):
+        k = np.logspace(-4, 2, 200)
+        t = bbks_transfer(k, 0.2)
+        assert np.all(np.diff(t) < 0)
+
+    def test_spectrum_grows_with_a(self):
+        ps = PowerSpectrum(LCDM)
+        k = np.array([0.1])
+        assert ps(k, a=1.0)[0] > ps(k, a=0.5)[0]
+
+    def test_spectrum_turnover(self):
+        # P(k) rises as k^ns at large scale and falls past the peak.
+        ps = PowerSpectrum(LCDM)
+        k = np.array([1e-4, 2e-2, 10.0])
+        p = ps(k)
+        assert p[1] > p[0] and p[1] > p[2]
+
+    def test_variance_decreases_with_radius(self):
+        ps = PowerSpectrum(LCDM)
+        assert ps.sigma_r(4.0) > ps.sigma_r(8.0) > ps.sigma_r(16.0)
+
+    def test_window_limits(self):
+        assert tophat_window(np.array([0.0]))[0] == pytest.approx(1.0)
+        assert abs(tophat_window(np.array([50.0]))[0]) < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bbks_transfer(np.array([-1.0]), 0.2)
+        with pytest.raises(ValueError):
+            bbks_transfer(np.array([1.0]), 0.0)
+        with pytest.raises(ValueError):
+            PowerSpectrum(LCDM).sigma_r(0.0)
+
+
+class TestInitialConditions:
+    def test_shapes_and_bounds(self):
+        ics = zeldovich_ics(n_side=8, seed=1)
+        assert ics.positions.shape == (512, 3)
+        assert ics.velocities.shape == (512, 3)
+        assert np.all((ics.positions >= 0) & (ics.positions < 1))
+
+    def test_displacement_grows_with_a_start(self):
+        early = zeldovich_ics(n_side=8, a_start=0.02, seed=2)
+        late = zeldovich_ics(n_side=8, a_start=0.2, seed=2)
+        assert late.rms_displacement() > early.rms_displacement()
+
+    def test_mean_field_zero(self):
+        ics = zeldovich_ics(n_side=12, seed=3)
+        assert abs(ics.delta_grid.mean()) < 1e-10
+
+    def test_field_amplitude_tracks_power(self):
+        # Deeper sigma8 -> proportionally larger field rms.
+        lo = Cosmology(sigma8=0.5)
+        hi = Cosmology(sigma8=1.0)
+        f_lo, _ = gaussian_field(16, 125.0, PowerSpectrum(lo), 1.0, seed=4)
+        f_hi, _ = gaussian_field(16, 125.0, PowerSpectrum(hi), 1.0, seed=4)
+        ratio = f_hi.std() / f_lo.std()
+        assert ratio == pytest.approx(2.0, rel=1e-6)
+
+    def test_seed_reproducibility(self):
+        a = zeldovich_ics(n_side=8, seed=5)
+        b = zeldovich_ics(n_side=8, seed=5)
+        assert np.array_equal(a.positions, b.positions)
+        c = zeldovich_ics(n_side=8, seed=6)
+        assert not np.array_equal(a.positions, c.positions)
+
+    def test_k_cut_removes_small_scale_power(self):
+        full = zeldovich_ics(n_side=16, seed=7, k_cut_fraction=1.0)
+        cut = zeldovich_ics(n_side=16, seed=7, k_cut_fraction=0.4)
+        assert cut.delta_grid.std() < full.delta_grid.std()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zeldovich_ics(n_side=1)
+        with pytest.raises(ValueError):
+            zeldovich_ics(a_start=1.5)
+        with pytest.raises(ValueError):
+            zeldovich_ics(k_cut_fraction=0.0)

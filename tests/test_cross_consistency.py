@@ -1,0 +1,111 @@
+"""Cross-implementation consistency: every gravity path agrees.
+
+The repository ships four ways to compute the same forces — direct
+summation, the serial treecode, the SimMPI-parallel treecode, and the
+out-of-core treecode — plus the micro-kernel.  These integration tests
+pin them against each other on one shared problem, which is the
+strongest regression net the codebase has: a bug in any shared layer
+(keys, tree, multipoles, MAC, evaluation) breaks at least one pairing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ParallelConfig,
+    direct_accelerations,
+    interaction_kernel,
+    out_of_core_accelerations,
+    parallel_tree_accelerations,
+    tree_accelerations,
+)
+from repro.core.outofcore import OutOfCoreParticles
+
+THETA = 0.5
+EPS = 0.05
+N = 700
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(2003)
+    r = rng.random(N) ** (1.0 / 2.0)
+    d = rng.standard_normal((N, 3))
+    d /= np.linalg.norm(d, axis=1, keepdims=True)
+    pos = r[:, None] * d
+    masses = rng.random(N) * (2.0 / N)
+    return pos, masses
+
+
+@pytest.fixture(scope="module")
+def all_results(problem, tmp_path_factory):
+    pos, masses = problem
+    direct = direct_accelerations(pos, masses, eps=EPS)
+    serial = tree_accelerations(pos, masses, theta=THETA, eps=EPS, bucket_size=16)
+    par = parallel_tree_accelerations(
+        pos, masses, n_ranks=4,
+        config=ParallelConfig(theta=THETA, eps=EPS, bucket_size=16),
+    )
+    store = OutOfCoreParticles.create(pos, masses, str(tmp_path_factory.mktemp("ooc")))
+    ooc = out_of_core_accelerations(store, theta=THETA, eps=EPS, bucket_size=16, chunk=128)
+    store.cleanup()
+    return {"direct": direct, "serial": serial, "parallel": par, "ooc": ooc}
+
+
+def _median_rel(a, b):
+    num = np.linalg.norm(a - b, axis=1)
+    den = np.linalg.norm(b, axis=1) + 1e-300
+    return float(np.median(num / den))
+
+
+class TestAllPathsAgree:
+    def test_serial_vs_direct(self, all_results):
+        assert _median_rel(
+            all_results["serial"].accelerations, all_results["direct"].accelerations
+        ) < 1e-3
+
+    def test_parallel_vs_direct(self, all_results):
+        assert _median_rel(
+            all_results["parallel"].accelerations, all_results["direct"].accelerations
+        ) < 1e-3
+
+    def test_ooc_vs_serial_identical(self, all_results):
+        # Same virtual tree, same MAC, same kernels: bitwise-grade match.
+        assert np.allclose(
+            all_results["ooc"].accelerations,
+            all_results["serial"].accelerations,
+            rtol=1e-12, atol=1e-14,
+        )
+
+    def test_parallel_vs_serial(self, all_results):
+        assert _median_rel(
+            all_results["parallel"].accelerations, all_results["serial"].accelerations
+        ) < 2e-3
+
+    def test_potentials_consistent(self, all_results):
+        ref = all_results["direct"].potentials
+        for name in ("serial", "parallel", "ooc"):
+            ours = all_results[name].potentials
+            assert np.allclose(ours, ref, rtol=1e-2, atol=1e-8), name
+
+    def test_momentum_conservation_everywhere(self, problem, all_results):
+        _, masses = problem
+        for name in ("direct", "serial", "parallel", "ooc"):
+            net = (masses[:, None] * all_results[name].accelerations).sum(axis=0)
+            scale = np.abs(all_results[name].accelerations).max()
+            # Approximate methods conserve momentum only to MAC error.
+            tol = 1e-12 if name == "direct" else 1e-2
+            assert np.linalg.norm(net) < tol * scale * masses.sum() + 1e-12, name
+
+    def test_kernel_agrees_with_direct_row(self, problem):
+        # The Table 5 micro-kernel computes the same physics as one row
+        # of the direct sum.
+        pos, masses = problem
+        sink_idx = 17
+        others = np.delete(np.arange(N), sink_idx)
+        acc, pot = interaction_kernel(
+            pos[sink_idx], pos[others], masses[others], eps=EPS, method="karp"
+        )
+        ref = direct_accelerations(pos, masses, eps=EPS)
+        assert np.allclose(acc, ref.accelerations[sink_idx], rtol=1e-10)
+        assert pot == pytest.approx(ref.potentials[sink_idx], rel=1e-10)

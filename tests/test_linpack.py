@@ -1,0 +1,121 @@
+"""Tests for repro.linpack: LU kernel and cluster HPL model."""
+
+import numpy as np
+import pytest
+
+from repro.linpack import (
+    PAPER_LAM_GFLOPS,
+    PAPER_MPICH_GFLOPS,
+    ClusterHplModel,
+    calibrated_space_simulator_model,
+    hpl_flops,
+    lu_factor_blocked,
+    lu_solve,
+    predicted_mpich_gflops,
+    run_hpl,
+)
+from repro.network import LAM_O, MPICH_125
+
+
+class TestLuKernel:
+    def test_factor_solve_small(self):
+        rng = np.random.default_rng(0)
+        a = rng.random((50, 50)) + np.eye(50)
+        b = rng.random(50)
+        lu, piv = lu_factor_blocked(a.copy(), block=8)
+        x = lu_solve(lu, piv, b)
+        assert np.allclose(a @ x, b, atol=1e-10)
+
+    def test_matches_numpy_solution(self):
+        rng = np.random.default_rng(1)
+        a = rng.random((80, 80)) - 0.5
+        b = rng.random(80)
+        lu, piv = lu_factor_blocked(a.copy(), block=32)
+        x = lu_solve(lu, piv, b)
+        assert np.allclose(x, np.linalg.solve(a, b), atol=1e-8)
+
+    def test_block_size_irrelevant_to_result(self):
+        rng = np.random.default_rng(2)
+        a = rng.random((64, 64)) - 0.5
+        b = rng.random(64)
+        xs = []
+        for block in (1, 7, 64, 200):
+            lu, piv = lu_factor_blocked(a.copy(), block=block)
+            xs.append(lu_solve(lu, piv, b))
+        for x in xs[1:]:
+            assert np.allclose(x, xs[0], atol=1e-9)
+
+    def test_pivoting_handles_zero_leading_entry(self):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        lu, piv = lu_factor_blocked(a.copy(), block=2)
+        x = lu_solve(lu, piv, np.array([2.0, 3.0]))
+        assert np.allclose(x, [3.0, 2.0])
+
+    def test_singular_detected(self):
+        a = np.ones((4, 4))
+        with pytest.raises(np.linalg.LinAlgError):
+            lu_factor_blocked(a, block=2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lu_factor_blocked(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            lu_factor_blocked(np.eye(4), block=0)
+
+    def test_run_hpl_passes_residual_check(self):
+        r = run_hpl(n=192, block=48)
+        assert r.passed
+        assert r.residual < 16.0
+        assert r.gflops > 0
+
+    def test_hpl_flops_formula(self):
+        assert hpl_flops(10) == pytest.approx(2.0 / 3.0 * 1000 + 200)
+
+
+class TestClusterModel:
+    def test_calibration_reproduces_lam_result(self):
+        model = calibrated_space_simulator_model()
+        assert model.gflops() == pytest.approx(PAPER_LAM_GFLOPS, rel=1e-6)
+
+    def test_mpich_prediction_direction_and_magnitude(self):
+        # MPICH's slower large-message path must cost performance; the
+        # prediction should land within 10% of the measured 665.1.
+        predicted = predicted_mpich_gflops()
+        assert predicted < PAPER_LAM_GFLOPS
+        assert predicted == pytest.approx(PAPER_MPICH_GFLOPS, rel=0.10)
+
+    def test_price_performance_milestone(self):
+        # The headline: < $1 per Mflop/s (63.9 cents with the LAM run).
+        cost = 483_855.0
+        cents_per_mflops = 100.0 * cost / (PAPER_LAM_GFLOPS * 1000.0)
+        assert cents_per_mflops == pytest.approx(63.9, rel=0.01)
+        assert cents_per_mflops < 100.0
+
+    def test_problem_size_from_memory(self):
+        model = ClusterHplModel()
+        n = model.problem_size()
+        # 288 GB at 80%: N ~ 170k.
+        assert 150_000 < n < 190_000
+
+    def test_efficiency_declines_with_procs_at_fixed_n(self):
+        model = calibrated_space_simulator_model()
+        n = 50_000
+        e64 = model.with_procs(64).efficiency(n)
+        e288 = model.with_procs(288).efficiency(n)
+        assert e288 < e64 <= 1.0
+
+    def test_gflops_grows_with_problem_size(self):
+        model = calibrated_space_simulator_model()
+        assert model.gflops(170_000) > model.gflops(40_000)
+
+    def test_stack_swap(self):
+        model = calibrated_space_simulator_model()
+        assert model.with_stack(MPICH_125).gflops() < model.with_stack(LAM_O).gflops()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterHplModel(n_procs=0)
+        with pytest.raises(ValueError):
+            ClusterHplModel().problem_size(mem_fraction=0.0)
+        with pytest.raises(ValueError):
+            ClusterHplModel().time_s(0)

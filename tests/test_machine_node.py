@@ -1,0 +1,83 @@
+"""Tests for repro.machine.node: node hardware specifications."""
+
+import pytest
+
+from repro.machine import LOKI_NODE, SPACE_SIMULATOR_NODE, DiskSpec, NicSpec, NodeSpec
+
+
+class TestNodeSpec:
+    def test_space_simulator_peak_matches_paper(self):
+        # Table 1: 5.06 Gflop/s peak per node.
+        assert SPACE_SIMULATOR_NODE.peak_gflops == pytest.approx(5.06, rel=1e-3)
+
+    def test_loki_peak_matches_paper(self):
+        # Table 7: 200 Mflop/s peak per node.
+        assert LOKI_NODE.peak_mflops == pytest.approx(200.0)
+
+    def test_stream_bandwidth_calibration(self):
+        # Table 2 "normal" STREAM copy: 1203.5 Mbyte/s; the calibrated
+        # efficiency should land within a percent.
+        assert SPACE_SIMULATOR_NODE.stream_mbytes_s == pytest.approx(1204, rel=0.01)
+
+    def test_with_clocks_scales_cpu_only(self):
+        slow = SPACE_SIMULATOR_NODE.with_clocks(cpu_scale=0.75)
+        assert slow.cpu_mhz == pytest.approx(2530 * 0.75)
+        assert slow.mem_mhz == SPACE_SIMULATOR_NODE.mem_mhz
+        assert slow.peak_mflops == pytest.approx(SPACE_SIMULATOR_NODE.peak_mflops * 0.75)
+
+    def test_with_clocks_scales_memory_only(self):
+        slow = SPACE_SIMULATOR_NODE.with_clocks(mem_scale=0.6)
+        assert slow.stream_mbytes_s == pytest.approx(SPACE_SIMULATOR_NODE.stream_mbytes_s * 0.6)
+        assert slow.cpu_mhz == SPACE_SIMULATOR_NODE.cpu_mhz
+
+    def test_with_clocks_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            SPACE_SIMULATOR_NODE.with_clocks(cpu_scale=0.0)
+        with pytest.raises(ValueError):
+            SPACE_SIMULATOR_NODE.with_clocks(mem_scale=-1.0)
+
+    def test_vga_disable_buys_ten_percent_bandwidth(self):
+        # Section 3.2: disabling the on-board VGA raises memory copy
+        # bandwidth by 10% (at the cost of needing an AGP card to boot).
+        tweaked = SPACE_SIMULATOR_NODE.without_onboard_vga()
+        assert tweaked.stream_mbytes_s == pytest.approx(
+            1.10 * SPACE_SIMULATOR_NODE.stream_mbytes_s
+        )
+        assert tweaked.peak_mflops == SPACE_SIMULATOR_NODE.peak_mflops
+
+    def test_original_is_immutable(self):
+        before = SPACE_SIMULATOR_NODE.cpu_mhz
+        SPACE_SIMULATOR_NODE.with_clocks(cpu_scale=2.0)
+        assert SPACE_SIMULATOR_NODE.cpu_mhz == before
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            NodeSpec(cpu_mhz=-1.0)
+        with pytest.raises(ValueError):
+            NodeSpec(mem_efficiency=0.0)
+        with pytest.raises(ValueError):
+            NodeSpec(mem_efficiency=1.5)
+
+
+class TestDiskSpec:
+    def test_read_time_includes_seek(self):
+        disk = DiskSpec(sustained_mbytes_s=50.0, seek_ms=10.0)
+        assert disk.read_time_s(0.0) == pytest.approx(0.010)
+        assert disk.read_time_s(500.0) == pytest.approx(0.010 + 10.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            DiskSpec().read_time_s(-1.0)
+
+    def test_cosmology_io_rate(self):
+        # Section 4.3: peak parallel I/O near 7 Gbyte/s over 250 disks
+        # implies ~28 Mbyte/s per local disk.
+        assert 250 * DiskSpec().sustained_mbytes_s == pytest.approx(7000, rel=0.01)
+
+
+class TestNicSpec:
+    def test_effective_is_min_of_wire_and_pci(self):
+        nic = NicSpec(wire_mbits_s=1000.0, pci_mbits_s=800.0)
+        assert nic.effective_mbits_s == 800.0
+        nic = NicSpec(wire_mbits_s=100.0, pci_mbits_s=1014.0)
+        assert nic.effective_mbits_s == 100.0

@@ -1,0 +1,83 @@
+"""Tests for repro.machine.perfmodel: roofline timing."""
+
+import pytest
+
+from repro.machine import PerfModel, SPACE_SIMULATOR_NODE, Workload
+
+
+class TestWorkload:
+    def test_arithmetic_intensity(self):
+        w = Workload(flops=100.0, mem_bytes=50.0)
+        assert w.arithmetic_intensity == pytest.approx(2.0)
+
+    def test_in_cache_intensity_is_infinite(self):
+        assert Workload(flops=1.0, mem_bytes=0.0).arithmetic_intensity == float("inf")
+
+    def test_scaled_preserves_intensity(self):
+        w = Workload(flops=100.0, mem_bytes=40.0, flop_efficiency=0.5)
+        s = w.scaled(3.0)
+        assert s.flops == 300.0
+        assert s.mem_bytes == 120.0
+        assert s.arithmetic_intensity == w.arithmetic_intensity
+        assert s.flop_efficiency == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Workload(flops=-1.0)
+        with pytest.raises(ValueError):
+            Workload(flops=1.0, flop_efficiency=0.0)
+        with pytest.raises(ValueError):
+            Workload(flops=1.0, overlap_fraction=2.0)
+        with pytest.raises(ValueError):
+            Workload(flops=1.0).scaled(-2.0)
+
+
+class TestPerfModel:
+    def setup_method(self):
+        self.model = PerfModel(SPACE_SIMULATOR_NODE)
+
+    def test_compute_bound_time(self):
+        # 5.06e9 flops at peak should take 1 second.
+        w = Workload(flops=5.06e9, mem_bytes=0.0)
+        assert self.model.time_s(w) == pytest.approx(1.0, rel=1e-3)
+
+    def test_memory_bound_time(self):
+        # Moving the STREAM bandwidth's worth of bytes takes 1 second.
+        nbytes = SPACE_SIMULATOR_NODE.stream_mbytes_s * 1e6
+        w = Workload(flops=1.0, mem_bytes=nbytes)
+        assert self.model.time_s(w) == pytest.approx(1.0, rel=1e-3)
+
+    def test_overlap_is_max_serial_is_sum(self):
+        nbytes = SPACE_SIMULATOR_NODE.stream_mbytes_s * 1e6
+        overlap = Workload(flops=5.06e9, mem_bytes=nbytes, overlap_fraction=1.0)
+        serial = Workload(flops=5.06e9, mem_bytes=nbytes, overlap_fraction=0.0)
+        assert self.model.time_s(overlap) == pytest.approx(1.0, rel=1e-3)
+        assert self.model.time_s(serial) == pytest.approx(2.0, rel=1e-3)
+
+    def test_interpolated_overlap(self):
+        nbytes = SPACE_SIMULATOR_NODE.stream_mbytes_s * 1e6
+        half = Workload(flops=5.06e9, mem_bytes=nbytes, overlap_fraction=0.5)
+        assert self.model.time_s(half) == pytest.approx(1.5, rel=1e-3)
+
+    def test_flop_efficiency_slows_compute(self):
+        fast = Workload(flops=1e9, flop_efficiency=1.0)
+        slow = Workload(flops=1e9, flop_efficiency=0.5)
+        assert self.model.time_s(slow) == pytest.approx(2 * self.model.time_s(fast))
+
+    def test_mflops_at_peak(self):
+        w = Workload(flops=1e9, mem_bytes=0.0)
+        assert self.model.mflops(w) == pytest.approx(SPACE_SIMULATOR_NODE.peak_mflops, rel=1e-6)
+
+    def test_ridge_point(self):
+        # SS node: 5060 Mflop/s over ~1204 Mbyte/s => ridge near 4.2
+        # flops/byte, the number quoted in the module documentation.
+        assert self.model.ridge_intensity() == pytest.approx(4.2, rel=0.02)
+
+    def test_memory_bound_workload_insensitive_to_cpu(self):
+        slow_cpu = PerfModel(SPACE_SIMULATOR_NODE.with_clocks(cpu_scale=0.5))
+        w = Workload(flops=1e6, mem_bytes=1e9)
+        assert slow_cpu.time_s(w) == pytest.approx(self.model.time_s(w), rel=1e-3)
+
+    def test_zero_flops_zero_time(self):
+        assert self.model.time_s(Workload(flops=0.0)) == 0.0
+        assert self.model.mflops(Workload(flops=0.0)) == 0.0

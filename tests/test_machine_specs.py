@@ -1,0 +1,111 @@
+"""Tests for repro.machine.specs: Table 5 / Table 6 catalogs."""
+
+import pytest
+
+from repro.machine import (
+    ASCI_Q_NODE,
+    FLOPS_PER_INTERACTION,
+    TABLE5_PROCESSORS,
+    TABLE6_MACHINES,
+    MachineRecord,
+    ProcessorSpec,
+)
+
+
+class TestProcessorSpec:
+    def test_eleven_rows_as_in_paper(self):
+        assert len(TABLE5_PROCESSORS) == 11
+
+    def test_paper_endpoints(self):
+        first, last = TABLE5_PROCESSORS[0], TABLE5_PROCESSORS[-1]
+        assert first.name.startswith("533-MHz Alpha")
+        assert first.measured_libm_mflops == pytest.approx(76.2)
+        assert last.name.endswith("(icc)")
+        assert last.measured_karp_mflops == pytest.approx(1357.0)
+
+    def test_karp_speedup_largest_on_ev56(self):
+        # The EV56's slow sqrt makes Karp's trick worth 3.2x there —
+        # the largest win in the table.
+        speedups = {p.name: p.karp_speedup for p in TABLE5_PROCESSORS}
+        assert max(speedups, key=speedups.get) == "533-MHz Alpha EV56"
+        assert speedups["533-MHz Alpha EV56"] == pytest.approx(3.18, rel=0.01)
+
+    def test_icc_boost_over_gcc_on_p4(self):
+        # Paper: "Note the significant improvement obtained through the
+        # use of the Intel compiler, which enables the P4 SSE and SSE2".
+        gcc = next(p for p in TABLE5_PROCESSORS if p.name == "2530-MHz Intel P4")
+        icc = next(p for p in TABLE5_PROCESSORS if p.name == "2530-MHz Intel P4 (icc)")
+        assert icc.measured_libm_mflops / gcc.measured_libm_mflops > 1.4
+        assert icc.effective_flops_per_cycle > gcc.effective_flops_per_cycle
+
+    def test_model_inverts_calibration(self):
+        for p in TABLE5_PROCESSORS:
+            assert p.model_mflops("karp") == pytest.approx(p.measured_karp_mflops, rel=1e-9)
+            # libm model reproduces measurement wherever the implied
+            # sqrt latency is positive (all but hardware-rsqrt cases).
+            if p.implied_sqrtdiv_cycles > 0:
+                assert p.model_mflops("libm") == pytest.approx(p.measured_libm_mflops, rel=1e-9)
+
+    def test_model_linear_in_clock(self):
+        p = TABLE5_PROCESSORS[0]
+        doubled = ProcessorSpec(p.name, p.mhz * 2, p.measured_libm_mflops * 2, p.measured_karp_mflops * 2)
+        assert doubled.model_mflops("karp") == pytest.approx(2 * p.model_mflops("karp"))
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            TABLE5_PROCESSORS[0].model_mflops("sse")
+
+    def test_implied_sqrt_latency_physical(self):
+        # Implied sqrt+div costs should be tens of cycles on the old
+        # Alphas and small on chips with fast hardware paths.
+        ev56 = TABLE5_PROCESSORS[0]
+        assert 50 < ev56.implied_sqrtdiv_cycles < 250
+        for p in TABLE5_PROCESSORS:
+            assert p.implied_sqrtdiv_cycles >= 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcessorSpec("bad", -100.0, 10.0, 10.0)
+        with pytest.raises(ValueError):
+            ProcessorSpec("bad", 100.0, 0.0, 10.0)
+
+
+class TestMachineRecords:
+    def test_twelve_rows_spanning_decade(self):
+        assert len(TABLE6_MACHINES) == 12
+        years = [m.year for m in TABLE6_MACHINES]
+        assert max(years) == 2003 and min(years) == 1993
+
+    def test_space_simulator_row(self):
+        ss = next(m for m in TABLE6_MACHINES if m.machine == "Space Simulator")
+        assert ss.procs == 288
+        assert ss.gflops == pytest.approx(179.7)
+        assert ss.mflops_per_proc == pytest.approx(623.9)
+
+    def test_rows_self_consistent(self):
+        # gflops ~ procs * mflops_per_proc for every row (the paper
+        # rounds each independently; allow 3%).
+        for m in TABLE6_MACHINES:
+            assert m.parallel_consistency == pytest.approx(1.0, rel=0.03), m.machine
+
+    def test_per_proc_performance_grew_40x_over_decade(self):
+        first = TABLE6_MACHINES[-1]  # Intel Delta, 1993
+        best_2003 = max(m.mflops_per_proc for m in TABLE6_MACHINES if m.year == 2003)
+        assert best_2003 / first.mflops_per_proc > 35
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineRecord(2000, "x", "y", 0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            MachineRecord(2000, "x", "y", 10, -1.0, 1.0)
+
+
+class TestAsciQNode:
+    def test_peak_per_cpu(self):
+        # EV68 1.25 GHz, 2 flops/cycle = 2.5 Gflop/s peak.
+        assert ASCI_Q_NODE.peak_gflops == pytest.approx(2.5)
+
+    def test_more_memory_bandwidth_than_p4(self):
+        from repro.machine import SPACE_SIMULATOR_NODE
+
+        assert ASCI_Q_NODE.stream_mbytes_s > SPACE_SIMULATOR_NODE.stream_mbytes_s

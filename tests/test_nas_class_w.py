@@ -1,0 +1,62 @@
+"""Class-W NPB kernel verification: the mini-kernels at a real size.
+
+Class S proves correctness cheaply; class W (the workstation class) is
+8-60x larger and exercises deeper recursions (MG descends two more
+levels), larger sparse systems (CG n=7000), and genuinely multi-MB
+working sets — where vectorization or indexing bugs that class S can
+hide would surface.
+"""
+
+import pytest
+
+from repro.nas import (
+    problem,
+    run_cg,
+    run_ft,
+    run_is,
+    run_lu,
+    run_mg,
+    run_sp,
+    run_bt,
+    total_ops,
+)
+
+
+@pytest.mark.slow
+class TestClassW:
+    def test_cg_w(self):
+        r = run_cg("W")
+        assert r.verified
+        assert 10.0 < r.zeta < 100.0
+
+    def test_mg_w(self):
+        r = run_mg("W")  # 128^3 grid, 4 V-cycles
+        assert r.verified
+        assert r.rnorms[-1] < 2e-3 * r.rnorms[0]
+
+    def test_ft_w(self):
+        r = run_ft("W")  # 128 x 128 x 32
+        assert r.verified
+
+    def test_is_w(self):
+        assert run_is("W").verified  # 2^20 keys
+
+    def test_bt_w(self):
+        r = run_bt("W")  # 24^3 ADI
+        assert r.verified
+        assert r.amplitude_error < 1e-10
+
+    def test_sp_w(self):
+        assert run_sp("W").verified  # 36^3 pentadiagonal ADI
+
+    def test_lu_w(self):
+        r = run_lu("W")  # 33^3 SSOR (no direct reference at this size)
+        assert r.verified
+        assert r.final_residual < 1e-9
+
+    def test_w_is_substantially_bigger_than_s(self):
+        # FT's official W class (128x128x32) is only 2x its S class;
+        # every other benchmark grows by 5x or more.
+        for bench in ("CG", "MG", "IS", "BT", "SP", "LU"):
+            assert total_ops(problem(bench, "W")) > 5.0 * total_ops(problem(bench, "S")), bench
+        assert total_ops(problem("FT", "W")) > 1.5 * total_ops(problem("FT", "S"))

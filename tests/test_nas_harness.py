@@ -1,0 +1,42 @@
+"""Tests for repro.nas.harness: timed NPB execution."""
+
+import pytest
+
+from repro.nas.harness import RUNNERS, NpbReport, run_benchmark, run_suite
+
+
+class TestRunBenchmark:
+    def test_all_eight_class_s(self):
+        for name in RUNNERS:
+            report = run_benchmark(name, "S")
+            assert report.verified, name
+            assert report.seconds > 0
+            assert report.mops > 0
+
+    def test_summary_format(self):
+        report = run_benchmark("CG", "S")
+        s = report.summary()
+        assert "CG class S" in s
+        assert "SUCCESSFUL" in s
+        assert "Mop/s" in s
+
+    def test_case_insensitive(self):
+        assert run_benchmark("cg", "S").benchmark == "CG"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            run_benchmark("ZZ", "S")
+        with pytest.raises(ValueError):
+            run_benchmark("CG", "Q")
+
+    def test_report_mops_accounting(self):
+        r = NpbReport("CG", "S", seconds=2.0, ops=4e6, verified=True)
+        assert r.mops == pytest.approx(2.0)
+        assert NpbReport("CG", "S", 0.0, 1.0, True).mops == 0.0
+
+
+class TestRunSuite:
+    def test_subset(self):
+        reports = run_suite("S", benchmarks=("CG", "IS"))
+        assert [r.benchmark for r in reports] == ["CG", "IS"]
+        assert all(r.verified for r in reports)

@@ -1,0 +1,175 @@
+"""Tests for the NPB mini-kernels: real numerics, verified."""
+
+import numpy as np
+import pytest
+
+from repro.nas import (
+    adi_step_pentadiagonal,
+    adi_step_tridiagonal,
+    cg_solve,
+    make_matrix,
+    problem,
+    rank_keys,
+    run_bt,
+    run_cg,
+    run_ep,
+    run_ft,
+    run_is,
+    run_lu,
+    run_mg,
+    run_sp,
+    ssor_solve,
+    total_ops,
+)
+from repro.nas.mg import laplacian_periodic, prolongate, restrict_full_weighting
+
+
+class TestClasses:
+    def test_known_sizes(self):
+        assert problem("CG", "A").size == (14000, 11, 20.0)
+        assert problem("MG", "C").size == (512,)
+        assert problem("FT", "D").size == (2048, 1024, 1024)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            problem("XX", "A")
+        with pytest.raises(ValueError):
+            problem("CG", "Z")
+
+    def test_ops_grow_with_class(self):
+        for bench in ("BT", "SP", "LU", "MG", "CG", "FT", "IS"):
+            ops = [total_ops(problem(bench, k)) for k in ("S", "A", "C")]
+            assert ops[0] < ops[1] < ops[2], bench
+
+    def test_bt_class_a_matches_published_count(self):
+        # NPB reference: BT.A ~ 168.3 Gop.
+        assert total_ops(problem("BT", "A")) == pytest.approx(168.3e9, rel=0.01)
+
+
+class TestCg:
+    def test_cg_solver_reduces_residual(self):
+        a = make_matrix(500, 7, 10.0)
+        b = np.ones(500)
+        x, rnorm = cg_solve(a, b, iters=25)
+        assert rnorm < 1e-6 * np.linalg.norm(b)
+        assert np.allclose(a @ x, b, atol=1e-5)
+
+    def test_run_cg_class_s(self):
+        r = run_cg("S")
+        assert r.verified
+        assert np.isfinite(r.zeta)
+        # zeta = shift + 1/(x.z): above the diagonal shift (the matrix
+        # exceeds shift*I) and of the same order.
+        assert 10.0 < r.zeta < 100.0
+
+    def test_matrix_is_symmetric(self):
+        a = make_matrix(200, 5, 5.0)
+        assert abs(a - a.T).max() < 1e-12
+
+    def test_matrix_validation(self):
+        with pytest.raises(ValueError):
+            make_matrix(1, 5, 1.0)
+
+
+class TestMg:
+    def test_laplacian_of_constant_is_zero(self):
+        u = np.full((8, 8, 8), 3.0)
+        assert np.allclose(laplacian_periodic(u, 0.125), 0.0)
+
+    def test_restrict_prolongate_shapes(self):
+        r = np.random.default_rng(0).random((16, 16, 16))
+        c = restrict_full_weighting(r)
+        assert c.shape == (8, 8, 8)
+        f = prolongate(c)
+        assert f.shape == (16, 16, 16)
+
+    def test_prolongate_injects_coarse_points(self):
+        c = np.random.default_rng(1).random((4, 4, 4))
+        f = prolongate(c)
+        assert np.allclose(f[::2, ::2, ::2], c)
+
+    def test_restrict_odd_grid_rejected(self):
+        with pytest.raises(ValueError):
+            restrict_full_weighting(np.zeros((7, 7, 7)))
+
+    def test_run_mg_class_s_contracts(self):
+        r = run_mg("S")
+        assert r.verified
+        # 4 V-cycles at <=0.35 contraction each: > 600x total reduction.
+        assert r.rnorms[-1] < 2e-3 * r.rnorms[0]
+
+
+class TestFt:
+    def test_run_ft_class_s(self):
+        r = run_ft("S")
+        assert r.verified
+        assert len(r.checksums) == 6
+
+    def test_diffusion_damps(self):
+        r = run_ft("S")
+        assert r.norms[-1] < r.norms[0]
+
+
+class TestIs:
+    def test_rank_keys_sorts(self):
+        rng = np.random.default_rng(2)
+        keys = rng.integers(0, 100, 1000)
+        ranks = rank_keys(keys, 100)
+        out = np.empty_like(keys)
+        out[ranks] = keys
+        assert np.all(np.diff(out) >= 0)
+
+    def test_rank_keys_stable_permutation(self):
+        keys = np.array([5, 3, 5, 3, 5])
+        ranks = rank_keys(keys, 10)
+        assert sorted(ranks.tolist()) == [0, 1, 2, 3, 4]
+        # Stability: equal keys keep input order.
+        assert ranks[0] < ranks[2] < ranks[4]
+        assert ranks[1] < ranks[3]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            rank_keys(np.array([5]), 5)
+
+    def test_run_is_class_s(self):
+        assert run_is("S").verified
+
+
+class TestEp:
+    def test_run_ep_statistics(self):
+        r = run_ep("S")
+        assert r.verified
+        assert r.counts.sum() == r.accepted
+        # Nearly all Gaussian maxima fall below 6 sigma.
+        assert r.counts[:6].sum() > 0.999 * r.accepted
+
+
+class TestAdiAndSsor:
+    def test_bt_exact_decay(self):
+        r = run_bt("S")
+        assert r.verified
+        assert r.amplitude_error < 1e-10
+
+    def test_sp_fourth_order_decay(self):
+        r = run_sp("S")
+        assert r.verified
+
+    def test_adi_step_preserves_zero(self):
+        u = np.zeros((8, 8, 8))
+        assert np.allclose(adi_step_tridiagonal(u, 0.3), 0.0)
+        assert np.allclose(adi_step_pentadiagonal(u, 0.3), 0.0)
+
+    def test_adi_damps_any_field(self):
+        rng = np.random.default_rng(3)
+        u = rng.random((10, 10, 10))
+        v = adi_step_tridiagonal(u, 0.5)
+        assert np.linalg.norm(v) < np.linalg.norm(u)
+
+    def test_lu_ssor_matches_direct(self):
+        r = run_lu("S")
+        assert r.verified
+        assert r.direct_error < 1e-6
+
+    def test_ssor_validation(self):
+        with pytest.raises(ValueError):
+            ssor_solve(np.zeros((4, 4, 4)), 0.1, omega=2.5)

@@ -1,0 +1,113 @@
+"""Tests for repro.nas.perf: the Tables 3-4 / Figures 4-5 model."""
+
+import pytest
+
+from repro.nas import (
+    Q_MEASURED_C64,
+    Q_MEASURED_D256,
+    SS_MEASURED_C64,
+    SS_MEASURED_D256,
+    NetworkParams,
+    asci_q_npb_model,
+    space_simulator_npb_model,
+)
+
+
+@pytest.fixture(scope="module")
+def ss():
+    return space_simulator_npb_model()
+
+
+@pytest.fixture(scope="module")
+def q():
+    return asci_q_npb_model()
+
+
+class TestCalibration:
+    def test_table3_ss_column_exact(self, ss):
+        for bench, measured in SS_MEASURED_C64.items():
+            assert ss.mops(bench, "C", 64) == pytest.approx(measured, rel=1e-6), bench
+
+    def test_table3_q_column_exact(self, q):
+        for bench, measured in Q_MEASURED_C64.items():
+            assert q.mops(bench, "C", 64) == pytest.approx(measured, rel=1e-6), bench
+
+    def test_comm_constants_nonnegative(self, ss, q):
+        assert all(k >= 0 for k in ss.k_comm.values())
+        assert all(k >= 0 for k in q.k_comm.values())
+
+
+class TestTable4Predictions:
+    """Class D at 256 processors is a pure prediction of the model."""
+
+    def test_ss_within_factor_two(self, ss):
+        for bench, measured in SS_MEASURED_D256.items():
+            predicted = ss.mops(bench, "D", 256)
+            assert 0.5 < predicted / measured < 2.0, (bench, predicted, measured)
+
+    def test_q_within_factor_two(self, q):
+        for bench, measured in Q_MEASURED_D256.items():
+            predicted = q.mops(bench, "D", 256)
+            assert 0.5 < predicted / measured < 2.0, (bench, predicted, measured)
+
+    def test_benchmark_ordering_preserved_ss(self, ss):
+        # Paper ordering at D/256: LU > BT > SP > FT > CG.
+        vals = {b: ss.mops(b, "D", 256) for b in SS_MEASURED_D256}
+        ranked = sorted(vals, key=vals.get, reverse=True)
+        assert ranked == ["LU", "BT", "SP", "FT", "CG"]
+
+    def test_q_beats_ss_where_paper_says(self, ss, q):
+        # Table 4: Q wins every class D benchmark.
+        for bench in SS_MEASURED_D256:
+            assert q.mops(bench, "D", 256) > ss.mops(bench, "D", 256), bench
+
+    def test_ss_beats_q_on_ft_class_c(self, ss, q):
+        # Table 3's surprise: SS FT 9860 > Q 7275.
+        assert ss.mops("FT", "C", 64) > q.mops("FT", "C", 64)
+
+
+class TestScalingShapes:
+    def test_class_d_scales_better_than_class_c(self, ss):
+        # Fig 4 vs Fig 5: the bigger problem keeps per-proc rates
+        # higher at 256 procs.
+        for bench in ("BT", "LU", "FT"):
+            eff_d = ss.mops_per_proc(bench, "D", 256) / ss.mops_per_proc(bench, "D", 16)
+            eff_c = ss.mops_per_proc(bench, "C", 256) / ss.mops_per_proc(bench, "C", 16)
+            assert eff_d > eff_c, bench
+
+    def test_lu_superlinear_bump_class_c(self, ss):
+        # The Figure 5 feature: per-proc LU rate at 64 procs exceeds
+        # the single-processor rate (local planes drop into L2).
+        assert ss.mops_per_proc("LU", "C", 64) > ss.mops_per_proc("LU", "C", 1)
+
+    def test_per_proc_rate_declines_past_trunk(self, ss):
+        # >224 procs spans the trunk: per-proc rates sag (Fig 4/5 tails).
+        for bench in ("CG", "FT"):
+            assert ss.mops_per_proc(bench, "C", 256) < ss.mops_per_proc(bench, "C", 128), bench
+
+    def test_total_mops_grow_with_procs_class_d(self, ss):
+        for bench in ("BT", "SP", "LU"):
+            rates = [ss.mops(bench, "D", p) for p in (16, 64, 256)]
+            assert rates[0] < rates[1] < rates[2], bench
+
+    def test_single_proc_has_no_comm(self, ss):
+        from repro.nas import problem
+
+        assert ss.comm_time(problem("CG", "S"), 1) == 0.0
+
+
+class TestNetworkParams:
+    def test_no_trunk_is_flat(self):
+        net = NetworkParams(latency_s=1e-5, bytes_s=1e8)
+        assert net.effective_bytes_s(1000) == 1e8
+
+    def test_trunk_degrades_large_jobs(self):
+        net = NetworkParams(latency_s=1e-5, bytes_s=1e8, trunk_bytes_s=1e9)
+        assert net.effective_bytes_s(224) == 1e8
+        assert net.effective_bytes_s(294) < 1e8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkParams(latency_s=-1.0, bytes_s=1e8)
+        with pytest.raises(ValueError):
+            NetworkParams(latency_s=1e-5, bytes_s=1e8, trunk_bytes_s=0.0)

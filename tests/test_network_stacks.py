@@ -1,0 +1,106 @@
+"""Tests for repro.network.stacks and netpipe: the Figure 2 models."""
+
+import numpy as np
+import pytest
+
+from repro.network import (
+    FIGURE2_STACKS,
+    LAM,
+    LAM_O,
+    MPICH2_092,
+    MPICH_125,
+    TCP,
+    MessagingStack,
+    message_sizes,
+    summarize,
+    sweep,
+)
+
+
+class TestMessagingStack:
+    def test_time_is_monotone_in_size(self):
+        sizes = [0, 1, 100, 10_000, 1_000_000, 16_000_000]
+        for stack in FIGURE2_STACKS:
+            times = [stack.time_s(n) for n in sizes]
+            assert all(b >= a for a, b in zip(times, times[1:])), stack.name
+
+    def test_zero_byte_message_costs_latency(self):
+        assert TCP.time_s(0) == pytest.approx(79e-6)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            TCP.time_s(-1)
+
+    def test_asymptotic_bandwidth_of_tcp(self):
+        # Fig 2: TCP achieves 779 Mbit/s.
+        assert TCP.asymptotic_mbits_s == pytest.approx(779.0, rel=1e-6)
+        assert TCP.bandwidth_mbits_s(16 * 1024 * 1024) == pytest.approx(779.0, rel=0.01)
+
+    def test_copy_overhead_lowers_asymptote(self):
+        base = MessagingStack("a", 80.0, 779.0, copies=0.0)
+        copying = MessagingStack("b", 80.0, 779.0, copies=1.0)
+        assert copying.asymptotic_mbits_s < base.asymptotic_mbits_s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MessagingStack("bad", -1.0, 779.0)
+        with pytest.raises(ValueError):
+            MessagingStack("bad", 80.0, 779.0, copies=-1.0)
+
+
+class TestFigure2Features:
+    """The qualitative features called out in the Figure 2 caption."""
+
+    def test_latency_ordering(self):
+        # 79 us TCP, 83 us LAM, 87 us mpich/mpich2.
+        assert summarize(TCP).latency_us == pytest.approx(79.0, rel=0.01)
+        assert summarize(LAM).latency_us == pytest.approx(83.0, rel=0.01)
+        assert summarize(MPICH_125).latency_us == pytest.approx(87.0, rel=0.01)
+        assert summarize(MPICH2_092).latency_us == pytest.approx(87.0, rel=0.01)
+
+    def test_tcp_has_highest_peak(self):
+        peaks = {s.name: summarize(s).peak_mbits_s for s in FIGURE2_STACKS}
+        assert max(peaks, key=peaks.get) == "TCP"
+        assert peaks["TCP"] == pytest.approx(779.0, rel=0.01)
+
+    def test_mpich125_slowest_for_large_messages(self):
+        big = 8 * 1024 * 1024
+        rates = {s.name: s.bandwidth_mbits_s(big) for s in FIGURE2_STACKS}
+        assert min(rates, key=rates.get) == "mpich 1.2.5"
+
+    def test_mpich2_solved_the_large_message_problem(self):
+        big = 8 * 1024 * 1024
+        assert MPICH2_092.bandwidth_mbits_s(big) > 1.2 * MPICH_125.bandwidth_mbits_s(big)
+
+    def test_lam_O_flag_improves_performance(self):
+        big = 4 * 1024 * 1024
+        assert LAM_O.bandwidth_mbits_s(big) > LAM.bandwidth_mbits_s(big)
+
+
+class TestNetpipe:
+    def test_message_sizes_ladder(self):
+        sizes = message_sizes(max_bytes=1024, points_per_octave=1)
+        assert sizes[0] == 1
+        assert sizes[-1] == 1024
+        assert list(sizes) == sorted(set(sizes))
+
+    def test_message_sizes_validation(self):
+        with pytest.raises(ValueError):
+            message_sizes(max_bytes=0)
+        with pytest.raises(ValueError):
+            message_sizes(points_per_octave=0)
+
+    def test_sweep_bandwidth_monotone_nondecreasing_without_rendezvous(self):
+        points = sweep(TCP)
+        rates = [p.mbits_s for p in points]
+        assert all(b >= a - 1e-9 for a, b in zip(rates, rates[1:]))
+
+    def test_sweep_custom_sizes(self):
+        points = sweep(TCP, sizes=np.array([1, 1024]))
+        assert [p.nbytes for p in points] == [1, 1024]
+
+    def test_half_bandwidth_point(self):
+        s = summarize(TCP)
+        n_half = int(s.half_bandwidth_bytes)
+        achieved = TCP.bandwidth_mbits_s(n_half)
+        assert achieved == pytest.approx(TCP.asymptotic_mbits_s / 2, rel=0.01)

@@ -1,0 +1,118 @@
+"""Tests for repro.simmpi.cost: the virtual-time cost models."""
+
+import numpy as np
+import pytest
+
+from repro.machine import Workload
+from repro.network import LAM_O, MPICH_125
+from repro.simmpi import SpaceSimulatorCost, UniformCost, ZeroCost, run
+
+
+class TestZeroCost:
+    def test_everything_free(self):
+        cost = ZeroCost()
+        assert cost.compute_time(0, Workload(1e12)) == 0.0
+        assert cost.p2p_time(0, 1, 10**9) == 0.0
+        assert cost.collective_time("allreduce", 64, 10**6) == 0.0
+
+    def test_simulation_finishes_at_time_zero(self):
+        def prog(comm):
+            yield comm.compute(flops=1e15)
+            yield comm.allreduce(1)
+
+        assert run(prog, 4).elapsed == 0.0
+
+
+class TestUniformCost:
+    def test_compute_rate(self):
+        cost = UniformCost(mflops=250.0)
+        assert cost.compute_time(0, Workload(1e9)) == pytest.approx(4.0)
+
+    def test_p2p_latency_bandwidth(self):
+        cost = UniformCost(latency_s=1e-4, mbytes_s=50.0)
+        assert cost.p2p_time(0, 1, 0) == pytest.approx(1e-4)
+        assert cost.p2p_time(0, 1, 5_000_000) == pytest.approx(0.1001)
+
+    def test_collective_scaling(self):
+        cost = UniformCost(latency_s=1e-4, mbytes_s=50.0)
+        # Tree collectives scale ~log2(P) in latency.
+        t8 = cost.collective_time("bcast", 8, 0)
+        t64 = cost.collective_time("bcast", 64, 0)
+        assert t64 == pytest.approx(2.0 * t8)
+        # Single rank: free.
+        assert cost.collective_time("barrier", 1, 0) == 0.0
+
+    def test_unknown_collective(self):
+        with pytest.raises(ValueError):
+            UniformCost().collective_time("allfoo", 4, 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformCost(mbytes_s=0.0)
+        with pytest.raises(ValueError):
+            UniformCost(latency_s=-1.0)
+
+
+class TestSpaceSimulatorCost:
+    def test_compute_uses_node_roofline(self):
+        cost = SpaceSimulatorCost()
+        # 5.06e9 flops at peak = 1 s on the P4 node.
+        assert cost.compute_time(0, Workload(5.06e9)) == pytest.approx(1.0, rel=1e-3)
+
+    def test_small_message_is_stack_latency(self):
+        cost = SpaceSimulatorCost()
+        assert cost.p2p_time(0, 1, 0) == pytest.approx(83e-6, rel=0.01)
+
+    def test_locality_hierarchy(self):
+        # Same module < cross module (uncontended same) < cross trunk
+        # under congestion.
+        big = 4 * 1024 * 1024
+        free = SpaceSimulatorCost(congestion=0)
+        busy = SpaceSimulatorCost(congestion=15)
+        same_module = free.p2p_time(0, 1, big)
+        cross_module = free.p2p_time(0, 20, big)
+        cross_trunk_busy = busy.p2p_time(0, 250, big)
+        cross_module_busy = busy.p2p_time(0, 20, big)
+        assert same_module <= cross_module + 1e-12
+        assert cross_module_busy > cross_module
+        # A cross-trunk path traverses backplanes AND the trunk: under
+        # contention it can never beat the intra-switch path.
+        assert cross_trunk_busy >= cross_module_busy
+
+    def test_self_message_is_memory_copy(self):
+        cost = SpaceSimulatorCost()
+        t = cost.p2p_time(3, 3, 1_204_000_000)
+        assert t == pytest.approx(1.0, rel=0.01)  # one second at STREAM rate
+
+    def test_stack_choice_matters(self):
+        big = 8 * 1024 * 1024
+        lam = SpaceSimulatorCost(stack=LAM_O).p2p_time(0, 1, big)
+        mpich = SpaceSimulatorCost(stack=MPICH_125).p2p_time(0, 1, big)
+        assert mpich > 1.2 * lam
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpaceSimulatorCost(congestion=-1)
+
+
+class TestEagerThreshold:
+    def test_cost_model_can_force_rendezvous(self):
+        # A cost model advertising eager_nbytes=0 makes every blocking
+        # send wait for its receiver.
+        class Rendezvous(UniformCost):
+            eager_nbytes = 0
+
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.send(b"tiny", dest=1)
+                t = yield comm.now()
+                return t
+            yield comm.elapse(3.0)
+            yield comm.recv(source=0)
+            return None
+
+        t_sender = run(prog, 2, Rendezvous()).returns[0]
+        assert t_sender >= 3.0
+        # Default engine threshold: the same tiny send is eager.
+        t_eager = run(prog, 2, UniformCost()).returns[0]
+        assert t_eager < 1.0

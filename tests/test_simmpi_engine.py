@@ -1,0 +1,386 @@
+"""Tests for repro.simmpi: MPI semantics and virtual-time accounting."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import (
+    ANY_SOURCE,
+    MAX,
+    Comm,
+    DeadlockError,
+    CollectiveMismatchError,
+    UniformCost,
+    ZeroCost,
+    payload_nbytes,
+    run,
+)
+
+
+class TestPointToPoint:
+    def test_simple_send_recv(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.send({"a": 7}, dest=1, tag=11)
+                return None
+            data = yield comm.recv(source=0, tag=11)
+            return data
+
+        result = run(prog, 2)
+        assert result.returns[1] == {"a": 7}
+
+    def test_numpy_payload(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.send(np.arange(5.0), dest=1)
+                return None
+            data = yield comm.recv(source=0)
+            return float(data.sum())
+
+        assert run(prog, 2).returns[1] == 10.0
+
+    def test_ring_exchange(self):
+        def prog(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            yield comm.isend(comm.rank, dest=right, tag=5)
+            value = yield comm.recv(source=left, tag=5)
+            return value
+
+        result = run(prog, 6)
+        assert result.returns == [5, 0, 1, 2, 3, 4]
+
+    def test_message_order_preserved_same_pair(self):
+        def prog(comm):
+            if comm.rank == 0:
+                for i in range(5):
+                    yield comm.send(i, dest=1, tag=0)
+                return None
+            got = []
+            for _ in range(5):
+                got.append((yield comm.recv(source=0, tag=0)))
+            return got
+
+        assert run(prog, 2).returns[1] == [0, 1, 2, 3, 4]
+
+    def test_tag_selectivity(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.send("first", dest=1, tag=1)
+                yield comm.send("second", dest=1, tag=2)
+                return None
+            b = yield comm.recv(source=0, tag=2)
+            a = yield comm.recv(source=0, tag=1)
+            return (a, b)
+
+        assert run(prog, 2).returns[1] == ("first", "second")
+
+    def test_any_source_wildcard(self):
+        def prog(comm):
+            if comm.rank == 0:
+                got = []
+                for _ in range(comm.size - 1):
+                    got.append((yield comm.recv(source=ANY_SOURCE)))
+                return sorted(got)
+            yield comm.send(comm.rank, dest=0)
+            return None
+
+        assert run(prog, 4).returns[0] == [1, 2, 3]
+
+    def test_nonblocking_wait(self):
+        def prog(comm):
+            if comm.rank == 0:
+                req = yield comm.isend(np.ones(3), dest=1)
+                yield comm.wait(req)
+                return None
+            req = yield comm.irecv(source=0)
+            data = yield comm.wait(req)
+            return float(data.sum())
+
+        assert run(prog, 2).returns[1] == 3.0
+
+    def test_waitall_returns_in_request_order(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.send("x", dest=1, tag=1)
+                yield comm.send("y", dest=1, tag=2)
+                return None
+            r2 = yield comm.irecv(source=0, tag=2)
+            r1 = yield comm.irecv(source=0, tag=1)
+            values = yield comm.waitall([r1, r2])
+            return values
+
+        assert run(prog, 2).returns[1] == ["x", "y"]
+
+    def test_probe_sees_pending_message(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.send(b"data", dest=1, tag=9)
+                yield comm.barrier()
+                return None
+            yield comm.barrier()
+            info = yield comm.probe()
+            yield comm.recv(source=0, tag=9)
+            return info
+
+        src, tag, nbytes = run(prog, 2).returns[1]
+        assert (src, tag, nbytes) == (0, 9, 4)
+
+    def test_probe_empty_returns_none(self):
+        def prog(comm):
+            info = yield comm.probe()
+            return info
+
+        assert run(prog, 1).returns[0] is None
+
+    def test_invalid_peer_rejected(self):
+        comm = Comm(rank=0, size=2)
+        with pytest.raises(ValueError):
+            comm.send(1, dest=2)
+        with pytest.raises(ValueError):
+            comm.recv(source=5)
+
+
+class TestCollectives:
+    def test_barrier_synchronizes_clocks(self):
+        def prog(comm):
+            yield comm.elapse(float(comm.rank))
+            yield comm.barrier()
+            t = yield comm.now()
+            return t
+
+        result = run(prog, 4)
+        # Everyone leaves the barrier at the latest arrival time.
+        assert all(t == pytest.approx(3.0) for t in result.returns)
+
+    def test_bcast(self):
+        def prog(comm):
+            data = yield comm.bcast({"k": [1, 2]} if comm.rank == 1 else None, root=1)
+            return data
+
+        result = run(prog, 3)
+        assert all(r == {"k": [1, 2]} for r in result.returns)
+
+    def test_reduce_sum_to_root(self):
+        def prog(comm):
+            total = yield comm.reduce(comm.rank + 1, root=0)
+            return total
+
+        result = run(prog, 4)
+        assert result.returns[0] == 10
+        assert result.returns[1] is None
+
+    def test_allreduce_max(self):
+        def prog(comm):
+            value = yield comm.allreduce(comm.rank * 2, op=MAX)
+            return value
+
+        assert run(prog, 5).returns == [8] * 5
+
+    def test_allreduce_numpy_elementwise(self):
+        def prog(comm):
+            arr = np.full(3, float(comm.rank))
+            out = yield comm.allreduce(arr)
+            return out.tolist()
+
+        assert run(prog, 3).returns[0] == [3.0, 3.0, 3.0]
+
+    def test_gather(self):
+        def prog(comm):
+            data = yield comm.gather(comm.rank**2, root=2)
+            return data
+
+        result = run(prog, 3)
+        assert result.returns[2] == [0, 1, 4]
+        assert result.returns[0] is None
+
+    def test_allgather(self):
+        def prog(comm):
+            data = yield comm.allgather(chr(ord("a") + comm.rank))
+            return "".join(data)
+
+        assert run(prog, 4).returns == ["abcd"] * 4
+
+    def test_scatter(self):
+        def prog(comm):
+            items = [i * 10 for i in range(comm.size)] if comm.rank == 0 else None
+            mine = yield comm.scatter(items, root=0)
+            return mine
+
+        assert run(prog, 4).returns == [0, 10, 20, 30]
+
+    def test_scatter_requires_full_list_at_root(self):
+        comm = Comm(rank=0, size=3)
+        with pytest.raises(ValueError):
+            comm.scatter([1, 2], root=0)
+
+    def test_alltoall(self):
+        def prog(comm):
+            out = [(comm.rank, dst) for dst in range(comm.size)]
+            got = yield comm.alltoall(out)
+            return got
+
+        result = run(prog, 3)
+        assert result.returns[1] == [(0, 1), (1, 1), (2, 1)]
+
+    def test_collective_kind_mismatch_detected(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.barrier()
+            else:
+                yield comm.allreduce(1)
+
+        with pytest.raises(CollectiveMismatchError):
+            run(prog, 2)
+
+
+class TestErrors:
+    def test_deadlock_detected(self):
+        def prog(comm):
+            # Everyone receives, nobody sends.
+            yield comm.recv(source=(comm.rank + 1) % comm.size)
+
+        with pytest.raises(DeadlockError, match="rank 0"):
+            run(prog, 2)
+
+    def test_non_generator_program_rejected(self):
+        def not_a_generator(comm):
+            return 42
+
+        with pytest.raises(TypeError, match="generator"):
+            run(not_a_generator, 2)
+
+    def test_yield_garbage_raises_into_program(self):
+        def prog(comm):
+            with pytest.raises(TypeError):
+                yield "not an op"
+            return "survived"
+
+        assert run(prog, 1).returns == ["survived"]
+
+    def test_spmd_requires_ranks(self):
+        def prog(comm):
+            yield comm.barrier()
+
+        with pytest.raises(ValueError):
+            run(prog)
+
+
+class TestVirtualTime:
+    def test_compute_advances_clock(self):
+        cost = UniformCost(mflops=1000.0)
+
+        def prog(comm):
+            yield comm.compute(flops=2e9)
+            t = yield comm.now()
+            return t
+
+        assert run(prog, 1, cost).returns[0] == pytest.approx(2.0)
+
+    def test_message_time_latency_plus_bandwidth(self):
+        cost = UniformCost(latency_s=1e-3, mbytes_s=10.0)
+
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.send(np.zeros(1_250_000), dest=1)  # 10 MB
+                return None
+            yield comm.recv(source=0)
+            t = yield comm.now()
+            return t
+
+        # 1 ms latency + 10 MB / 10 MB/s = 1.001 s at the receiver.
+        assert run(prog, 2, cost).returns[1] == pytest.approx(1.001, rel=1e-3)
+
+    def test_eager_send_completes_locally(self):
+        cost = UniformCost(latency_s=1e-3, mbytes_s=10.0)
+
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.send(b"small", dest=1)
+                t = yield comm.now()
+                yield comm.barrier()
+                return t
+            yield comm.elapse(5.0)  # receiver shows up late
+            yield comm.recv(source=0)
+            yield comm.barrier()
+            return None
+
+        # The eager sender must not wait 5 s for the receiver.
+        assert run(prog, 2, cost).returns[0] < 1.0
+
+    def test_rendezvous_send_blocks_for_receiver(self):
+        cost = UniformCost(latency_s=1e-3, mbytes_s=100.0)
+
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.send(np.zeros(200_000), dest=1)  # 1.6 MB > eager
+                t = yield comm.now()
+                return t
+            yield comm.elapse(5.0)
+            yield comm.recv(source=0)
+            return None
+
+        assert run(prog, 2, cost).returns[0] >= 5.0
+
+    def test_blocked_time_accounted(self):
+        cost = UniformCost(latency_s=0.0, mbytes_s=1000.0)
+
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.elapse(2.0)
+                yield comm.send(b"x", dest=1)
+                return None
+            yield comm.recv(source=0)
+
+        result = run(prog, 2, cost)
+        assert result.stats[1].blocked_s == pytest.approx(2.0, abs=1e-6)
+
+    def test_parallel_efficiency_of_embarrassing_work(self):
+        def prog(comm):
+            yield comm.compute(flops=1e9)
+
+        result = run(prog, 4, UniformCost())
+        assert result.parallel_efficiency() == pytest.approx(1.0)
+
+    def test_determinism(self):
+        def prog(comm):
+            rng = np.random.default_rng(comm.rank)
+            total = 0.0
+            for i in range(5):
+                partner = int(rng.integers(0, comm.size))
+                yield comm.isend(float(comm.rank + i), dest=partner, tag=i)
+            yield comm.barrier()
+            while True:
+                info = yield comm.probe()
+                if info is None:
+                    break
+                total += yield comm.recv(source=info[0], tag=info[1])
+            value = yield comm.allreduce(total)
+            return value
+
+        a = run(prog, 8, UniformCost())
+        b = run(prog, 8, UniformCost())
+        assert a.returns == b.returns
+        assert a.clocks == b.clocks
+
+
+class TestPayloadNbytes:
+    def test_numpy(self):
+        assert payload_nbytes(np.zeros(10)) == 80
+
+    def test_scalars_and_none(self):
+        assert payload_nbytes(None) == 0
+        assert payload_nbytes(3) == 8
+        assert payload_nbytes(2.5) == 8
+
+    def test_containers(self):
+        assert payload_nbytes([np.zeros(2), np.zeros(3)]) == 16 + 24 + 16
+
+    def test_bytes_and_str(self):
+        assert payload_nbytes(b"abcd") == 4
+        assert payload_nbytes("abcd") == 4
+
+    def test_opaque_object(self):
+        class Thing:
+            pass
+
+        assert payload_nbytes(Thing()) == 64

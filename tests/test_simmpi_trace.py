@@ -1,0 +1,106 @@
+"""Tests for repro.simmpi.trace: execution traces and timelines."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi import (
+    TraceEvent,
+    UniformCost,
+    render_timeline,
+    run,
+    utilization,
+)
+
+
+def _staggered(comm):
+    """Rank 0 computes then sends; rank 1 waits then computes."""
+    if comm.rank == 0:
+        yield comm.compute(flops=1e9)
+        yield comm.send(b"x" * 200_000, dest=1)
+    else:
+        data = yield comm.recv(source=0)
+        yield comm.compute(flops=2e9)
+        assert len(data) == 200_000
+
+
+class TestTraceCapture:
+    def test_compute_intervals_recorded(self):
+        result = run(_staggered, 2, UniformCost(mflops=1000.0))
+        compute = [e for e in result.trace if e.kind == "compute"]
+        assert len(compute) == 2
+        r0 = next(e for e in compute if e.rank == 0)
+        assert r0.duration == pytest.approx(1.0)
+        r1 = next(e for e in compute if e.rank == 1)
+        assert r1.duration == pytest.approx(2.0)
+
+    def test_blocked_interval_matches_stats(self):
+        result = run(_staggered, 2, UniformCost(mflops=1000.0))
+        blocked = [e for e in result.trace if e.kind == "blocked" and e.rank == 1]
+        assert len(blocked) >= 1
+        assert sum(e.duration for e in blocked) == pytest.approx(result.stats[1].blocked_s)
+        assert "recv" in blocked[0].detail
+
+    def test_intervals_within_elapsed(self):
+        result = run(_staggered, 2, UniformCost(mflops=1000.0))
+        for e in result.trace:
+            assert 0.0 <= e.t_start <= e.t_end <= result.elapsed + 1e-12
+
+    def test_trace_disabled(self):
+        from repro.simmpi import Engine
+
+        result = Engine([_staggered, _staggered], UniformCost(), record_trace=False).run()
+        assert result.trace == []
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            TraceEvent(0, 1.0, 0.5, "compute")
+
+
+class TestUtilization:
+    def test_fractions_sum_to_one(self):
+        result = run(_staggered, 2, UniformCost(mflops=1000.0))
+        for row in utilization(result.trace, result.elapsed, 2):
+            total = row["compute"] + row["blocked"] + row["idle"]
+            assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_waiting_rank_shows_blocked_time(self):
+        result = run(_staggered, 2, UniformCost(mflops=1000.0))
+        rows = utilization(result.trace, result.elapsed, 2)
+        assert rows[1]["blocked"] > 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            utilization([], 0.0, 1)
+
+
+class TestTimeline:
+    def test_renders_rows_per_rank(self):
+        result = run(_staggered, 2, UniformCost(mflops=1000.0))
+        art = render_timeline(result.trace, result.elapsed, width=40)
+        lines = art.splitlines()
+        assert len(lines) == 3  # header + 2 ranks
+        assert "#" in lines[1]
+        assert "." in lines[2]  # rank 1 spent time blocked
+
+    def test_empty_trace(self):
+        assert render_timeline([], 1.0) == "(empty trace)"
+
+    def test_validation(self):
+        result = run(_staggered, 2, UniformCost(mflops=1000.0))
+        with pytest.raises(ValueError):
+            render_timeline(result.trace, 0.0)
+        with pytest.raises(ValueError):
+            render_timeline(result.trace, 1.0, width=5)
+
+    def test_parallel_treecode_trace(self):
+        # End-to-end: the parallel treecode produces a coherent trace.
+        from repro.core import parallel_tree_accelerations
+        from repro.simmpi import SpaceSimulatorCost
+
+        rng = np.random.default_rng(0)
+        pos = rng.random((600, 3))
+        m = np.full(600, 1.0 / 600)
+        result = parallel_tree_accelerations(pos, m, n_ranks=3, cost=SpaceSimulatorCost())
+        assert len(result.sim.trace) > 0
+        art = render_timeline(result.sim.trace, result.sim.elapsed)
+        assert art.count("rank") == 3

@@ -1,0 +1,60 @@
+"""Tests for repro.spec: SPEC CPU2000 model."""
+
+import pytest
+
+from repro.machine import NORMAL, OVERCLOCK, SLOW_CPU, SLOW_MEM
+from repro.spec import (
+    SPECFP2000_SS,
+    SPECINT2000_SS,
+    breakeven_price_vs,
+    price_per_specfp,
+    spec_scores,
+)
+
+
+class TestScores:
+    def test_normal_scores_match_paper(self):
+        scores = spec_scores(NORMAL)
+        assert scores["CINT2000"] == pytest.approx(SPECINT2000_SS)
+        assert scores["CFP2000"] == pytest.approx(SPECFP2000_SS)
+
+    def test_table2_columns_reproduced(self):
+        # slow mem: 655 / 527; slow CPU: 640 / 646 (within fit slack).
+        slow_mem = spec_scores(SLOW_MEM)
+        assert slow_mem["CINT2000"] == pytest.approx(655.0, rel=0.03)
+        assert slow_mem["CFP2000"] == pytest.approx(527.0, rel=0.03)
+        slow_cpu = spec_scores(SLOW_CPU)
+        assert slow_cpu["CINT2000"] == pytest.approx(640.0, rel=0.03)
+        assert slow_cpu["CFP2000"] == pytest.approx(646.0, rel=0.03)
+
+    def test_overclock_prediction(self):
+        # Paper: 830 / 782.
+        over = spec_scores(OVERCLOCK)
+        assert over["CINT2000"] == pytest.approx(830.0, rel=0.03)
+        assert over["CFP2000"] == pytest.approx(782.0, rel=0.03)
+
+    def test_fp_more_memory_bound_than_int(self):
+        from repro.spec import spec_profiles
+
+        p = spec_profiles()
+        assert p["CFP2000"].memory_boundedness > p["CINT2000"].memory_boundedness
+
+
+class TestPricePerformance:
+    def test_dollars_per_specfp(self):
+        # Section 3.5: $888 node / 742 SPECfp = $1.20.
+        assert price_per_specfp() == pytest.approx(1.20, abs=0.01)
+
+    def test_hp_breakeven_near_2500(self):
+        assert breakeven_price_vs() == pytest.approx(2536.0, rel=0.02)
+
+    def test_july_2003_price_drop(self):
+        # "the per node cost has decreased over $200, so SPECfp
+        # price/performance ... would be better than $1.00".
+        assert price_per_specfp(node_cost=888.0 - 200.0) < 1.00
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            price_per_specfp(node_cost=0.0)
+        with pytest.raises(ValueError):
+            breakeven_price_vs(competitor_specfp=-1.0)

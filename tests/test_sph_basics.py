@@ -1,0 +1,223 @@
+"""Tests for SPH kernels, neighbors, density, and EOS."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_tree
+from repro.sph import (
+    SUPPORT_RADIUS,
+    HybridCollapseEOS,
+    IdealGas,
+    Polytrope,
+    adapt_smoothing,
+    density_sum,
+    dw_dr_cubic,
+    find_neighbors,
+    flux_limiter,
+    initial_smoothing,
+    kernel_self_value,
+    w_cubic,
+)
+
+
+class TestKernel:
+    def test_normalization(self):
+        # Integral of W over all space = 1 (radial quadrature).
+        h = 1.0
+        r = np.linspace(0, SUPPORT_RADIUS * h, 20001)
+        w = w_cubic(r, h)
+        integral = np.trapezoid(4 * np.pi * r**2 * w, r)
+        assert integral == pytest.approx(1.0, rel=1e-5)
+
+    def test_compact_support(self):
+        assert w_cubic(np.array([2.0, 2.5, 100.0]), 1.0).tolist() == [0.0, 0.0, 0.0]
+        assert dw_dr_cubic(np.array([2.0, 3.0]), 1.0).tolist() == [0.0, 0.0]
+
+    def test_self_value(self):
+        assert kernel_self_value(1.0) == pytest.approx(w_cubic(np.array([0.0]), 1.0)[0])
+        assert kernel_self_value(2.0) == pytest.approx(kernel_self_value(1.0) / 8.0)
+
+    def test_monotone_decreasing(self):
+        r = np.linspace(0, 2, 400)
+        w = w_cubic(r, 1.0)
+        assert np.all(np.diff(w) <= 1e-15)
+
+    def test_gradient_nonpositive(self):
+        r = np.linspace(1e-6, 2.5, 500)
+        assert np.all(dw_dr_cubic(r, 1.0) <= 0.0)
+
+    def test_gradient_matches_finite_difference(self):
+        r = np.linspace(0.05, 1.95, 200)
+        eps = 1e-7
+        fd = (w_cubic(r + eps, 1.0) - w_cubic(r - eps, 1.0)) / (2 * eps)
+        assert np.allclose(dw_dr_cubic(r, 1.0), fd, atol=1e-5)
+
+    def test_h_scaling(self):
+        # W(r, h) = W(r/h, 1) / h^3.
+        r = np.linspace(0, 3, 50)
+        assert np.allclose(w_cubic(r, 2.0), w_cubic(r / 2.0, 1.0) / 8.0)
+
+    def test_invalid_h(self):
+        with pytest.raises(ValueError):
+            w_cubic(np.array([1.0]), 0.0)
+
+    @given(st.floats(0.01, 5.0), st.floats(0.1, 3.0))
+    @settings(max_examples=100, deadline=None)
+    def test_property_nonnegative(self, r, h):
+        assert float(w_cubic(np.array([r]), h)[0]) >= 0.0
+
+
+class TestNeighbors:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        pos = rng.random((150, 3))
+        tree = build_tree(pos, np.ones(150), bucket_size=8)
+        radii = np.full(150, 0.25)
+        lists = find_neighbors(tree, radii)
+        d2 = ((tree.positions[:, None, :] - tree.positions[None, :, :]) ** 2).sum(-1)
+        for i in range(150):
+            expected = set(np.flatnonzero(d2[i] <= 0.25**2).tolist())
+            assert set(lists.of(i).tolist()) == expected, i
+
+    def test_includes_self(self):
+        rng = np.random.default_rng(1)
+        pos = rng.random((60, 3))
+        tree = build_tree(pos, np.ones(60), bucket_size=4)
+        lists = find_neighbors(tree, np.full(60, 0.1))
+        for i in range(60):
+            assert i in lists.of(i)
+
+    def test_per_particle_radii(self):
+        rng = np.random.default_rng(2)
+        pos = rng.random((100, 3))
+        tree = build_tree(pos, np.ones(100), bucket_size=8)
+        radii = rng.random(100) * 0.2 + 0.05
+        lists = find_neighbors(tree, radii)
+        d2 = ((tree.positions[:, None, :] - tree.positions[None, :, :]) ** 2).sum(-1)
+        for i in range(0, 100, 7):
+            expected = set(np.flatnonzero(d2[i] <= radii[i] ** 2).tolist())
+            assert set(lists.of(i).tolist()) == expected
+
+    def test_validation(self):
+        rng = np.random.default_rng(3)
+        tree = build_tree(rng.random((10, 3)), np.ones(10))
+        with pytest.raises(ValueError):
+            find_neighbors(tree, np.full(5, 0.1))
+        with pytest.raises(ValueError):
+            find_neighbors(tree, np.zeros(10))
+
+
+class TestDensity:
+    def test_uniform_lattice_density(self):
+        # A periodic-ish uniform lattice should give rho ~ n m in the
+        # interior.
+        n_side = 8
+        g = (np.arange(n_side) + 0.5) / n_side
+        pos = np.stack(np.meshgrid(g, g, g), axis=-1).reshape(-1, 3)
+        m = np.full(pos.shape[0], 1.0 / pos.shape[0])
+        tree, result = adapt_smoothing(pos, m, n_target=40)
+        # Expected density: total mass / unit volume = 1.
+        interior = np.all((tree.positions > 0.25) & (tree.positions < 0.75), axis=1)
+        assert np.median(result.rho[interior]) == pytest.approx(1.0, rel=0.05)
+
+    def test_neighbor_count_near_target(self):
+        rng = np.random.default_rng(4)
+        pos = rng.random((500, 3))
+        m = np.ones(500)
+        _, result = adapt_smoothing(pos, m, n_target=40)
+        counts = result.neighbors.counts()
+        assert 25 < np.median(counts) < 60
+
+    def test_density_positive_everywhere(self):
+        rng = np.random.default_rng(5)
+        pos = rng.standard_normal((300, 3))
+        m = np.ones(300)
+        _, result = adapt_smoothing(pos, m)
+        assert np.all(result.rho > 0)
+
+    def test_density_scales_with_mass(self):
+        rng = np.random.default_rng(6)
+        pos = rng.random((200, 3))
+        tree1, r1 = adapt_smoothing(pos, np.ones(200))
+        tree2, r2 = adapt_smoothing(pos, 3.0 * np.ones(200), h=r1.h[np.argsort(tree1.order)])
+        # Same positions, same smoothing: rho scales linearly in m.
+        assert np.allclose(r2.rho, 3.0 * r1.rho, rtol=1e-10)
+
+    def test_initial_smoothing_positive(self):
+        rng = np.random.default_rng(7)
+        h = initial_smoothing(rng.random((100, 3)))
+        assert np.all(h > 0)
+
+    def test_validation(self):
+        rng = np.random.default_rng(8)
+        pos = rng.random((10, 3))
+        with pytest.raises(ValueError):
+            adapt_smoothing(pos, np.ones(10), n_target=0)
+        with pytest.raises(ValueError):
+            adapt_smoothing(pos, np.ones(10), h=np.zeros(10))
+
+
+class TestEos:
+    def test_ideal_gas(self):
+        gas = IdealGas(gamma=5.0 / 3.0)
+        assert gas.pressure(np.array([2.0]), np.array([3.0]))[0] == pytest.approx(4.0)
+        assert gas.sound_speed(np.array([1.0]), np.array([1.0]))[0] == pytest.approx(
+            np.sqrt(5.0 / 3.0 * 2.0 / 3.0)
+        )
+
+    def test_polytrope(self):
+        poly = Polytrope(k=2.0, gamma=2.0)
+        assert poly.pressure(np.array([3.0]))[0] == pytest.approx(18.0)
+
+    def test_hybrid_continuity_at_nuclear_density(self):
+        eos = HybridCollapseEOS(k1=1.0, rho_nuc=10.0)
+        below = eos.cold_pressure(np.array([10.0 - 1e-9]))[0]
+        above = eos.cold_pressure(np.array([10.0 + 1e-9]))[0]
+        assert below == pytest.approx(above, rel=1e-6)
+
+    def test_hybrid_stiffens_above_nuclear(self):
+        eos = HybridCollapseEOS(k1=1.0, gamma1=4.0 / 3.0, gamma2=3.0, rho_nuc=10.0)
+        # Effective gamma = dlnP/dlnrho jumps above rho_nuc.
+        rho = np.array([5.0, 20.0])
+        p = eos.cold_pressure(rho)
+        g_below = np.log(eos.cold_pressure(np.array([5.05]))[0] / p[0]) / np.log(5.05 / 5.0)
+        g_above = np.log(eos.cold_pressure(np.array([20.2]))[0] / p[1]) / np.log(20.2 / 20.0)
+        assert g_below == pytest.approx(4.0 / 3.0, rel=1e-3)
+        assert g_above == pytest.approx(3.0, rel=1e-3)
+
+    def test_thermal_component_adds(self):
+        eos = HybridCollapseEOS()
+        rho = np.array([1.0])
+        cold = eos.pressure(rho, np.array([0.0]))[0]
+        hot = eos.pressure(rho, np.array([1.0]))[0]
+        assert hot > cold
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IdealGas(gamma=1.0)
+        with pytest.raises(ValueError):
+            HybridCollapseEOS(gamma1=2.0, gamma2=1.5)
+        with pytest.raises(ValueError):
+            Polytrope(k=-1.0)
+
+
+class TestFluxLimiter:
+    def test_diffusion_limit(self):
+        # R -> 0: lambda -> 1/3 (optically thick diffusion).
+        assert flux_limiter(np.array([0.0]))[0] == pytest.approx(1.0 / 3.0)
+
+    def test_streaming_limit(self):
+        # R -> inf: lambda -> 1/R (flux capped at c E).
+        big = 1e6
+        assert flux_limiter(np.array([big]))[0] == pytest.approx(1.0 / big, rel=0.01)
+
+    def test_monotone_decreasing(self):
+        r = np.linspace(0, 100, 1000)
+        lam = flux_limiter(r)
+        assert np.all(np.diff(lam) < 0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            flux_limiter(np.array([-1.0]))

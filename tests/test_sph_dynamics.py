@@ -1,0 +1,263 @@
+"""Tests for SPH forces, neutrino transport, and the collapse driver."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_tree
+from repro.sph import (
+    CollapseConfig,
+    CollapseSimulation,
+    FldParams,
+    HybridCollapseEOS,
+    IdealGas,
+    ViscosityParams,
+    adapt_smoothing,
+    add_rotation,
+    angular_momentum_by_angle,
+    compute_sph_forces,
+    cone_vs_equator_angular_momentum,
+    find_neighbors,
+    lane_emden,
+    neutrino_step,
+    polytrope_particles,
+)
+
+
+def _gas_ball(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    pos = rng.standard_normal((n, 3)) * 0.3
+    m = np.full(n, 1.0 / n)
+    tree, dens = adapt_smoothing(pos, m, n_target=32)
+    u = np.full(n, 1.0)
+    gas = IdealGas()
+    rho = dens.rho
+    return tree, dens, rho, gas.pressure(rho, u), gas.sound_speed(rho, u), dens.h
+
+
+class TestSphForces:
+    def test_momentum_conservation(self):
+        tree, dens, rho, p, cs, h = _gas_ball()
+        vel = np.zeros((tree.n_particles, 3))
+        f = compute_sph_forces(tree, dens.neighbors, rho=rho, pressure=p,
+                               sound_speed=cs, velocities=vel, h=h)
+        net = (tree.masses[:, None] * f.dv_dt).sum(axis=0)
+        assert np.allclose(net, 0.0, atol=1e-12)
+
+    def test_energy_conservation_with_viscosity(self):
+        tree, dens, rho, p, cs, h = _gas_ball(seed=1)
+        rng = np.random.default_rng(2)
+        vel = rng.standard_normal((tree.n_particles, 3)) * 0.2
+        f = compute_sph_forces(tree, dens.neighbors, rho=rho, pressure=p,
+                               sound_speed=cs, velocities=vel, h=h)
+        # d(KE)/dt + d(U)/dt = 0 for the compatible discretization.
+        dke = float(np.sum(tree.masses[:, None] * vel * f.dv_dt))
+        du = float(np.sum(tree.masses * f.du_dt))
+        assert dke + du == pytest.approx(0.0, abs=1e-10 * max(abs(dke), 1.0))
+
+    def test_pressure_gradient_pushes_outward(self):
+        # A dense hot center must accelerate particles outward.
+        tree, dens, rho, p, cs, h = _gas_ball(seed=3)
+        vel = np.zeros((tree.n_particles, 3))
+        f = compute_sph_forces(tree, dens.neighbors, rho=rho, pressure=p,
+                               sound_speed=cs, velocities=vel, h=h)
+        radial = np.einsum("ij,ij->i", f.dv_dt, tree.positions)
+        # Mass-weighted mean radial acceleration is positive (expansion).
+        assert np.average(radial, weights=tree.masses) > 0
+
+    def test_uniform_pressure_no_net_force(self):
+        # Uniform lattice, uniform pressure: interior forces vanish.
+        n_side = 7
+        g = (np.arange(n_side) + 0.5) / n_side
+        pos = np.stack(np.meshgrid(g, g, g), axis=-1).reshape(-1, 3)
+        n = pos.shape[0]
+        m = np.full(n, 1.0 / n)
+        tree, dens = adapt_smoothing(pos, m, n_target=40)
+        rho = np.full(n, 1.0)  # force uniform state
+        p = np.full(n, 2.0)
+        cs = np.ones(n)
+        f = compute_sph_forces(tree, dens.neighbors, rho=rho, pressure=p,
+                               sound_speed=cs, velocities=np.zeros((n, 3)), h=dens.h)
+        interior = np.all((tree.positions > 0.3) & (tree.positions < 0.7), axis=1)
+        typical = np.abs(f.dv_dt[~interior]).max()
+        assert np.abs(f.dv_dt[interior]).max() < 0.05 * typical
+
+    def test_viscosity_only_in_compression(self):
+        tree, dens, rho, p, cs, h = _gas_ball(seed=4)
+        n = tree.n_particles
+        # Pure expansion: v = r. No pair approaches, so viscosity off;
+        # du/dt reduces to adiabatic cooling (negative everywhere).
+        vel = tree.positions.copy()
+        f = compute_sph_forces(tree, dens.neighbors, rho=rho, pressure=p,
+                               sound_speed=cs, velocities=vel, h=h,
+                               visc=ViscosityParams(alpha=1.0, beta=2.0))
+        assert np.all(f.du_dt < 1e-12)
+        # Pure compression: v = -r. Heating (shock + adiabatic) positive.
+        f2 = compute_sph_forces(tree, dens.neighbors, rho=rho, pressure=p,
+                                sound_speed=cs, velocities=-vel, h=h)
+        assert np.all(f2.du_dt > -1e-12)
+        assert f2.max_signal_speed > f.max_signal_speed  # viscous signal
+
+    def test_validation(self):
+        tree, dens, rho, p, cs, h = _gas_ball(seed=5)
+        with pytest.raises(ValueError):
+            compute_sph_forces(tree, dens.neighbors, rho=rho[:-1], pressure=p,
+                               sound_speed=cs, velocities=np.zeros((tree.n_particles, 3)), h=h)
+        with pytest.raises(ValueError):
+            ViscosityParams(alpha=-1.0)
+
+
+class TestNeutrinoTransport:
+    def test_total_energy_conserved_minus_escape(self):
+        tree, dens, rho, p, cs, h = _gas_ball(seed=6)
+        n = tree.n_particles
+        u = np.full(n, 2.0)
+        e_nu = np.full(n, 0.1)
+        dt = 1e-3
+        before = float(np.sum(tree.masses * (u + e_nu)))
+        step = neutrino_step(tree, dens.neighbors, rho=rho, u=u, e_nu=e_nu, h=h, dt=dt)
+        after = float(
+            np.sum(tree.masses * (u + step.du_dt_gas * dt + step.e_nu))
+        ) + step.luminosity * dt
+        assert after == pytest.approx(before, rel=1e-10)
+
+    def test_emission_fills_field_toward_equilibrium(self):
+        tree, dens, rho, p, cs, h = _gas_ball(seed=7)
+        n = tree.n_particles
+        u = np.full(n, 2.0)
+        step = neutrino_step(tree, dens.neighbors, rho=rho, u=u,
+                             e_nu=np.zeros(n), h=h, dt=1e-3,
+                             surface_rho=0.0)  # no escape
+        assert np.all(step.e_nu >= 0)
+        assert step.e_nu.max() > 0  # gas emitted neutrinos
+        assert np.all(step.du_dt_gas <= 1e-15)  # gas cooled
+
+    def test_diffusion_smooths_gradients(self):
+        tree, dens, rho, p, cs, h = _gas_ball(seed=8)
+        n = tree.n_particles
+        e_nu = np.zeros(n)
+        hot = np.argmax(rho)
+        e_nu[hot] = 1.0
+        step = neutrino_step(
+            tree, dens.neighbors, rho=rho, u=np.zeros(n), e_nu=e_nu, h=h,
+            dt=1e-4, params=FldParams(emit_rate=1e-12), surface_rho=0.0,
+        )
+        assert step.e_nu[hot] < 1.0  # peak spread out
+        assert (step.e_nu > 0).sum() > 1
+
+    def test_luminosity_from_surface(self):
+        tree, dens, rho, p, cs, h = _gas_ball(seed=9)
+        n = tree.n_particles
+        step = neutrino_step(tree, dens.neighbors, rho=rho, u=np.full(n, 2.0),
+                             e_nu=np.full(n, 0.5), h=h, dt=1e-3)
+        assert step.luminosity > 0
+
+    def test_validation(self):
+        tree, dens, rho, p, cs, h = _gas_ball(seed=10)
+        n = tree.n_particles
+        with pytest.raises(ValueError):
+            neutrino_step(tree, dens.neighbors, rho=rho, u=np.zeros(n),
+                          e_nu=np.zeros(n), h=h, dt=0.0)
+        with pytest.raises(ValueError):
+            FldParams(c_light=0.0)
+
+
+class TestLaneEmden:
+    def test_n0_analytic(self):
+        # n=0: theta = 1 - xi^2/6, zero at sqrt(6).
+        _, _, xi1, _ = lane_emden(0.0)
+        assert xi1 == pytest.approx(np.sqrt(6.0), rel=1e-3)
+
+    def test_n1_analytic(self):
+        # n=1: theta = sin(xi)/xi, zero at pi.
+        _, _, xi1, _ = lane_emden(1.0)
+        assert xi1 == pytest.approx(np.pi, rel=1e-3)
+
+    def test_n3_standard_value(self):
+        # The n=3 polytrope: xi1 = 6.8968.
+        _, _, xi1, _ = lane_emden(3.0)
+        assert xi1 == pytest.approx(6.897, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lane_emden(-1.0)
+
+
+class TestPolytropeSampling:
+    def test_unit_mass_and_radius(self):
+        pos, m, u = polytrope_particles(2000, seed=0)
+        assert m.sum() == pytest.approx(1.0)
+        r = np.linalg.norm(pos, axis=1)
+        assert r.max() <= 1.0 + 1e-9
+        assert r.min() > 0.0
+
+    def test_centrally_condensed(self):
+        pos, m, _ = polytrope_particles(4000, seed=1)
+        r = np.linalg.norm(pos, axis=1)
+        # Half the mass of an n=3 polytrope sits inside ~0.28 R.
+        assert np.median(r) == pytest.approx(0.28, abs=0.05)
+
+    def test_internal_energy_decreases_outward(self):
+        pos, _, u = polytrope_particles(3000, seed=2)
+        r = np.linalg.norm(pos, axis=1)
+        inner = u[r < 0.2].mean()
+        outer = u[r > 0.8].mean()
+        assert inner > outer
+
+    def test_rotation_profile(self):
+        pos, _, _ = polytrope_particles(1000, seed=3)
+        vel = add_rotation(pos, omega0=0.4, r0=0.3)
+        # v is azimuthal: v . r_cyl = 0, v_z = 0.
+        assert np.allclose(vel[:, 2], 0.0)
+        dot = vel[:, 0] * pos[:, 0] + vel[:, 1] * pos[:, 1]
+        assert np.allclose(dot, 0.0, atol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            polytrope_particles(0)
+        with pytest.raises(ValueError):
+            add_rotation(np.zeros((3, 3)), omega0=-1.0)
+
+
+@pytest.mark.slow
+class TestCollapse:
+    def test_collapse_reaches_bounce(self):
+        pos, m, u = polytrope_particles(300, seed=1)
+        vel = add_rotation(pos, omega0=0.4)
+        cfg = CollapseConfig()
+        sim = CollapseSimulation(pos, vel, m, u, cfg)
+        for _ in range(200):
+            sim.step()
+            if sim.history.bounced(cfg.eos.rho_nuc):
+                break
+        assert sim.history.bounced(cfg.eos.rho_nuc)
+        assert sim.history.max_density > cfg.eos.rho_nuc
+
+    def test_angular_momentum_concentrates_at_equator(self):
+        pos, m, u = polytrope_particles(300, seed=2)
+        vel = add_rotation(pos, omega0=0.4)
+        sim = CollapseSimulation(pos, vel, m, u)
+        for _ in range(60):
+            sim.step()
+        centers, j = angular_momentum_by_angle(sim.positions, sim.velocities, m)
+        assert j[-1] > 5.0 * max(j[0], 1e-12)  # equator >> pole
+        l_cone, l_eq = cone_vs_equator_angular_momentum(sim.positions, sim.velocities, m)
+        assert l_eq > 10.0 * max(l_cone, 1e-12)
+
+    def test_neutrino_luminosity_rises_during_collapse(self):
+        pos, m, u = polytrope_particles(250, seed=3)
+        vel = add_rotation(pos, omega0=0.3)
+        sim = CollapseSimulation(pos, vel, m, u)
+        for _ in range(40):
+            sim.step()
+        lum = sim.history.neutrino_luminosity
+        assert max(lum[20:]) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CollapseConfig(pressure_deficit=0.0)
+        pos, m, u = polytrope_particles(50, seed=4)
+        sim = CollapseSimulation(pos, np.zeros_like(pos), m, u)
+        with pytest.raises(ValueError):
+            sim.step(dt=-1.0)
+        with pytest.raises(ValueError):
+            sim.run(-1)
