@@ -26,7 +26,13 @@ from dataclasses import dataclass
 from ..machine.node import NodeSpec, SPACE_SIMULATOR_NODE
 from .reliability import SS_COMPONENTS, ComponentPopulation
 
-__all__ = ["job_mtbf_hours", "young_interval", "expected_runtime", "CheckpointPlan"]
+__all__ = [
+    "job_mtbf_hours",
+    "young_interval",
+    "young_interval_seconds",
+    "expected_runtime",
+    "CheckpointPlan",
+]
 
 
 def job_mtbf_hours(
@@ -54,6 +60,23 @@ def young_interval(dump_hours: float, mtbf_hours: float) -> float:
     if dump_hours <= 0 or mtbf_hours <= 0:
         raise ValueError("dump cost and MTBF must be positive")
     return math.sqrt(2.0 * dump_hours * mtbf_hours)
+
+
+def young_interval_seconds(
+    n_nodes: int,
+    state_bytes_per_node: float,
+    node: NodeSpec = SPACE_SIMULATOR_NODE,
+) -> float:
+    """Young's interval, in virtual seconds, for a live SimMPI job.
+
+    Convenience bridge for :mod:`repro.resilience`: the dump cost comes
+    from the node's local-disk write bandwidth (the paper's parallel
+    local-I/O strategy) and the MTBF from the §2.1 component rates.
+    """
+    if state_bytes_per_node <= 0:
+        raise ValueError("state_bytes_per_node must be positive")
+    dump_hours = node.disk.write_time_s(state_bytes_per_node / 1e6) / 3600.0
+    return young_interval(dump_hours, job_mtbf_hours(n_nodes)) * 3600.0
 
 
 def expected_runtime(

@@ -29,11 +29,20 @@ __all__ = [
     "SS_COMPONENTS",
     "INSTALL_DEFECTS",
     "SERVICE_FAILURES_9MO",
+    "SOFT_NODE_ERRORS_9MO",
+    "SWITCH_PORT_SOFT_FAILURES_9MO",
     "FailureModel",
     "SimulatedLife",
 ]
 
 HOURS_9MO = 9 * 30 * 24.0
+
+#: §2.1's transient failures, not tied to a replaced component: "<10"
+#: soft node errors (taken at the bound) and 4 switch ports that went
+#: soft until power-cycled.  These drive the slow-node and degraded-link
+#: fault kinds in :mod:`repro.simmpi.faults`.
+SOFT_NODE_ERRORS_9MO = 10
+SWITCH_PORT_SOFT_FAILURES_9MO = 4
 
 
 @dataclass(frozen=True)

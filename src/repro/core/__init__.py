@@ -75,7 +75,7 @@ from .outofcore import (
     OutOfCoreResult,
     out_of_core_accelerations,
 )
-from .snapshot import Snapshot, SnapshotError, read_snapshot, write_snapshot
+from .snapshot import Snapshot, SnapshotError, read_snapshot, snapshot_nbytes, write_snapshot
 from .parallel import (
     ParallelConfig,
     ParallelGravityResult,
@@ -143,5 +143,6 @@ __all__ = [
     "Snapshot",
     "SnapshotError",
     "read_snapshot",
+    "snapshot_nbytes",
     "write_snapshot",
 ]

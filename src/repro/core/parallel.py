@@ -32,13 +32,28 @@ interaction counts (38 flops per particle-particle, 70 per
 particle-cell — the paper's accounting), so
 :class:`~repro.simmpi.engine.SimResult` timings are meaningful and feed
 the Table 6 benchmark.
+
+Resilience: the rank program optionally carries a
+:class:`~repro.resilience.checkpoint.Checkpointer`.  Right after the
+particle exchange — the point where the expensive-to-recreate
+*distributed* state (sorted keyed particles plus the splitter
+agreement) first exists — each rank dumps that state through the
+two-phase checkpoint store.  On an injected node crash
+(:class:`~repro.simmpi.faults.RankFailedError`), the restart loop in
+:mod:`repro.resilience.runner` relaunches the program, which restores
+the decomposition from its committed snapshot and redoes only the
+traversal.  Because the traversal is a deterministic function of that
+state, the recovered accelerations are **bit-for-bit identical** to the
+fault-free run's — the property ``tests/test_cross_consistency.py``
+pins.
 """
 
 from __future__ import annotations
 
 import bisect
+import tempfile
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -46,6 +61,11 @@ from ..simmpi.api import MAX as MPI_MAX
 from ..simmpi.api import MIN as MPI_MIN
 from ..simmpi.cost import CostModel
 from ..simmpi.engine import SimResult, run
+from ..simmpi.faults import FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (resilience -> core)
+    from ..resilience.checkpoint import Checkpointer
+    from ..resilience.runner import ResilienceConfig, ResilientResult
 from .abm import ABMChannel
 from .cellserver import CellRecord, CellServer, combine_records, cover_interval, key_interval
 from .keys import ROOT_KEY, BoundingBox, key_level, keys_from_positions
@@ -94,6 +114,8 @@ class ParallelGravityResult:
     potentials: np.ndarray
     counts: InteractionCounts
     sim: SimResult
+    #: Restart bookkeeping when the run executed under a fault plan.
+    resilience: "ResilientResult | None" = None
 
     @property
     def mflops_per_proc(self) -> float:
@@ -239,64 +261,99 @@ class _GroupWalk:
 def _make_program(
     chunks: list[tuple[np.ndarray, np.ndarray, np.ndarray]],
     config: ParallelConfig,
+    ckpt: "Checkpointer | None" = None,
 ):
-    """Build the SPMD rank program closure over the scattered input."""
+    """Build the SPMD rank program closure over the scattered input.
+
+    With a checkpointer, the program dumps its post-exchange particle
+    state (the recovery point) and, when handed a restored snapshot,
+    skips straight past decomposition to the traversal.
+    """
 
     def program(comm):
         rank, size = comm.rank, comm.size
-        my_pos, my_mass, my_ids = chunks[rank]
-        n_local = my_pos.shape[0]
-
-        # -- global bounding box by reduction --------------------------
-        lo = my_pos.min(axis=0) if n_local else np.full(3, np.inf)
-        hi = my_pos.max(axis=0) if n_local else np.full(3, -np.inf)
-        glo = yield comm.allreduce(lo, op=MPI_MIN)
-        ghi = yield comm.allreduce(hi, op=MPI_MAX)
-        span = float((ghi - glo).max())
-        span = span if span > 0 else 1.0
-        box = BoundingBox(glo - 1e-6 * span, span * (1.0 + 2e-6))
-
-        # -- key assignment and local sort ------------------------------
-        keys = keys_from_positions(my_pos, box) if n_local else np.empty(0, dtype=np.uint64)
-        order = np.argsort(keys, kind="stable")
-        keys, pos, mass, ids = keys[order], my_pos[order], my_mass[order], my_ids[order]
-        yield comm.compute(flops=30.0 * n_local * max(np.log2(max(n_local, 2)), 1.0),
-                           mem_bytes=48.0 * n_local)
-
-        # -- splitter agreement (sample sort) ---------------------------
-        if n_local:
-            k = min(n_local, config.oversample * size)
-            sample = keys[np.linspace(0, n_local - 1, k).astype(np.int64)]
+        snap = ckpt.restored(rank) if ckpt is not None else None
+        if snap is not None:
+            # -- restart: resume the step from the committed checkpoint --
+            keys = snap["keys"]
+            pos = snap["pos"]
+            mass = snap["mass"]
+            ids = snap["ids"]
+            n_owned = keys.shape[0]
+            splitters = [int(s) for s in snap.meta["splitters"]]
+            box = BoundingBox(np.asarray(snap.meta["box_corner"]), snap.meta["box_size"])
+            nbytes = keys.nbytes + pos.nbytes + mass.nbytes + ids.nbytes
+            # Reading the dump back from local disk costs real time.
+            yield comm.elapse(ckpt.dump_time_s(nbytes))
         else:
-            sample = np.empty(0, dtype=np.uint64)
-        all_samples = yield comm.allgather(sample)
-        merged = np.sort(np.concatenate([s for s in all_samples if s.size]))
-        if merged.size == 0:
-            raise RuntimeError("no particles anywhere")
-        picks = (np.arange(1, size) * merged.size) // size
-        splitters = [int(_MIN_PKEY)] + [int(merged[p]) for p in picks] + [int(_END_PKEY)]
-        # Enforce monotonicity (duplicate samples give empty ranges).
-        for i in range(1, len(splitters)):
-            splitters[i] = max(splitters[i], splitters[i - 1])
+            my_pos, my_mass, my_ids = chunks[rank]
+            n_local = my_pos.shape[0]
 
-        # -- particle exchange ------------------------------------------
-        bounds = np.searchsorted(keys, np.array(splitters[1:-1], dtype=np.uint64), side="left")
-        bounds = np.concatenate([[0], bounds, [n_local]]).astype(np.int64)
-        sendbuf = [
-            (keys[bounds[d]:bounds[d + 1]], pos[bounds[d]:bounds[d + 1]],
-             mass[bounds[d]:bounds[d + 1]], ids[bounds[d]:bounds[d + 1]])
-            for d in range(size)
-        ]
-        received = yield comm.alltoall(sendbuf)
-        keys = np.concatenate([r[0] for r in received])
-        pos = np.concatenate([r[1] for r in received]) if keys.size else np.empty((0, 3))
-        mass = np.concatenate([r[2] for r in received])
-        ids = np.concatenate([r[3] for r in received])
-        order = np.argsort(keys, kind="stable")
-        keys, pos, mass, ids = keys[order], pos[order], mass[order], ids[order]
-        n_owned = keys.shape[0]
-        yield comm.compute(flops=30.0 * n_owned * max(np.log2(max(n_owned, 2)), 1.0),
-                           mem_bytes=48.0 * n_owned)
+            # -- global bounding box by reduction --------------------------
+            lo = my_pos.min(axis=0) if n_local else np.full(3, np.inf)
+            hi = my_pos.max(axis=0) if n_local else np.full(3, -np.inf)
+            glo = yield comm.allreduce(lo, op=MPI_MIN)
+            ghi = yield comm.allreduce(hi, op=MPI_MAX)
+            span = float((ghi - glo).max())
+            span = span if span > 0 else 1.0
+            box = BoundingBox(glo - 1e-6 * span, span * (1.0 + 2e-6))
+
+            # -- key assignment and local sort ------------------------------
+            keys = keys_from_positions(my_pos, box) if n_local else np.empty(0, dtype=np.uint64)
+            order = np.argsort(keys, kind="stable")
+            keys, pos, mass, ids = keys[order], my_pos[order], my_mass[order], my_ids[order]
+            yield comm.compute(flops=30.0 * n_local * max(np.log2(max(n_local, 2)), 1.0),
+                               mem_bytes=48.0 * n_local)
+
+            # -- splitter agreement (sample sort) ---------------------------
+            if n_local:
+                k = min(n_local, config.oversample * size)
+                sample = keys[np.linspace(0, n_local - 1, k).astype(np.int64)]
+            else:
+                sample = np.empty(0, dtype=np.uint64)
+            all_samples = yield comm.allgather(sample)
+            merged = np.sort(np.concatenate([s for s in all_samples if s.size]))
+            if merged.size == 0:
+                raise RuntimeError("no particles anywhere")
+            picks = (np.arange(1, size) * merged.size) // size
+            splitters = [int(_MIN_PKEY)] + [int(merged[p]) for p in picks] + [int(_END_PKEY)]
+            # Enforce monotonicity (duplicate samples give empty ranges).
+            for i in range(1, len(splitters)):
+                splitters[i] = max(splitters[i], splitters[i - 1])
+
+            # -- particle exchange ------------------------------------------
+            bounds = np.searchsorted(keys, np.array(splitters[1:-1], dtype=np.uint64), side="left")
+            bounds = np.concatenate([[0], bounds, [n_local]]).astype(np.int64)
+            sendbuf = [
+                (keys[bounds[d]:bounds[d + 1]], pos[bounds[d]:bounds[d + 1]],
+                 mass[bounds[d]:bounds[d + 1]], ids[bounds[d]:bounds[d + 1]])
+                for d in range(size)
+            ]
+            received = yield comm.alltoall(sendbuf)
+            keys = np.concatenate([r[0] for r in received])
+            pos = np.concatenate([r[1] for r in received]) if keys.size else np.empty((0, 3))
+            mass = np.concatenate([r[2] for r in received])
+            ids = np.concatenate([r[3] for r in received])
+            order = np.argsort(keys, kind="stable")
+            keys, pos, mass, ids = keys[order], pos[order], mass[order], ids[order]
+            n_owned = keys.shape[0]
+            yield comm.compute(flops=30.0 * n_owned * max(np.log2(max(n_owned, 2)), 1.0),
+                               mem_bytes=48.0 * n_owned)
+
+            if ckpt is not None:
+                # The decomposition is the state worth protecting: dump
+                # it the moment it exists (gated by the configured
+                # interval), so a crash only ever repeats the traversal.
+                yield from ckpt.save(
+                    comm,
+                    {"keys": keys, "pos": pos, "mass": mass, "ids": ids},
+                    meta={
+                        "phase": "post-exchange",
+                        "splitters": [int(s) for s in splitters],
+                        "box_corner": box.corner.tolist(),
+                        "box_size": box.size,
+                    },
+                )
 
         # -- server, branches, frame -------------------------------------
         server = CellServer(keys, pos, mass, box, bucket_size=config.bucket_size)
@@ -442,6 +499,8 @@ def parallel_tree_accelerations(
     n_ranks: int,
     config: ParallelConfig | None = None,
     cost: CostModel | None = None,
+    faults: FaultPlan | None = None,
+    resilience: "ResilienceConfig | None" = None,
 ) -> ParallelGravityResult:
     """Run the parallel treecode on a simulated cluster.
 
@@ -450,6 +509,14 @@ def parallel_tree_accelerations(
     :class:`~repro.simmpi.cost.SpaceSimulatorCost` (or any cost model)
     to obtain meaningful virtual timings; the default ``ZeroCost``
     checks algorithm semantics only.
+
+    With ``faults`` (and optionally an explicit ``resilience``
+    configuration) the run executes under the injected failure
+    schedule: ranks checkpoint their post-exchange state, node crashes
+    abort the job, and the restart loop resumes from the last committed
+    epoch until the calculation completes.  The returned result then
+    carries the :class:`~repro.resilience.runner.ResilientResult`
+    bookkeeping, and its forces are bit-for-bit the fault-free ones.
     """
     positions = np.ascontiguousarray(positions, dtype=np.float64)
     n = positions.shape[0]
@@ -474,7 +541,24 @@ def parallel_tree_accelerations(
          ids[bounds[r]:bounds[r + 1]])
         for r in range(n_ranks)
     ]
-    sim = run(_make_program(chunks, config), n_ranks, cost)
+    resilient: "ResilientResult | None" = None
+    if faults is not None or resilience is not None:
+        from ..resilience.runner import ResilienceConfig, run_resilient
+
+        if resilience is None:
+            resilience = ResilienceConfig(
+                checkpoint_dir=tempfile.mkdtemp(prefix="ss-treecode-ckpt-")
+            )
+        resilient = run_resilient(
+            lambda ckpt: _make_program(chunks, config, ckpt),
+            n_ranks,
+            cost=cost,
+            faults=faults,
+            config=resilience,
+        )
+        sim = resilient.sim
+    else:
+        sim = run(_make_program(chunks, config), n_ranks, cost)
 
     acc = np.zeros((n, 3))
     pot = np.zeros(n)
@@ -483,4 +567,4 @@ def parallel_tree_accelerations(
         acc[ret["ids"]] = ret["acc"]
         pot[ret["ids"]] = ret["pot"]
         counts = counts.merged(InteractionCounts(*ret["counts"]))
-    return ParallelGravityResult(acc, pot, counts, sim)
+    return ParallelGravityResult(acc, pot, counts, sim, resilience=resilient)

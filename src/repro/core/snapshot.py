@@ -24,7 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["SnapshotError", "write_snapshot", "read_snapshot", "Snapshot"]
+__all__ = ["SnapshotError", "write_snapshot", "read_snapshot", "snapshot_nbytes", "Snapshot"]
 
 _HEADER = "snapshot.json"
 _FORMAT_VERSION = 1
@@ -47,6 +47,16 @@ class Snapshot:
 
 def _checksum(arr: np.ndarray) -> str:
     return hashlib.sha256(np.ascontiguousarray(arr).tobytes()).hexdigest()
+
+
+def snapshot_nbytes(arrays: dict[str, np.ndarray]) -> int:
+    """Payload size of a snapshot — what a dump writes to local disk.
+
+    The resilience layer uses this to charge checkpoint I/O into
+    virtual time (see :mod:`repro.cluster.checkpoint` for why the dump
+    cost sets Young's interval).
+    """
+    return int(sum(np.asarray(a).nbytes for a in arrays.values()))
 
 
 def write_snapshot(directory: str, arrays: dict[str, np.ndarray], meta: dict | None = None) -> str:

@@ -1,0 +1,120 @@
+"""Sample fault schedules from the §2.1 failure statistics.
+
+This is the bridge between the analytic reliability model
+(:mod:`repro.cluster.reliability`) and the executable fault taxonomy
+(:mod:`repro.simmpi.faults`): given a job of ``n_ranks`` simulated
+nodes and a virtual duration, draw a deterministic, seeded
+:class:`~repro.simmpi.faults.FaultPlan` whose event rates are the
+paper's measured ones.
+
+* **Node crashes** follow a per-node exponential process at the summed
+  per-node component failure rate (the same rate that underlies
+  :func:`repro.cluster.checkpoint.job_mtbf_hours`); a crashed node is
+  repaired after ``repair_hours`` and can fail again.
+* **Slow nodes** replay the "<10 soft node errors" as Poisson arrivals;
+  each event throttles the node's compute by a sampled factor for a
+  sampled window (soft errors of the era meant ECC storms, thermal
+  throttling, or a wedged daemon stealing cycles).
+* **Degraded links** replay the 4 soft switch-port failures: the
+  affected rank's point-to-point traffic is slowed until the virtual
+  power-cycle ends the window.
+
+Sampling is rank-major with a fixed draw order, so a plan is a pure
+function of ``(n_ranks, hours, seed, model)`` — rerunning a failed job
+with the same seed reproduces the identical failure schedule, which is
+what makes resilience regressions testable at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.reliability import (
+    HOURS_9MO,
+    SOFT_NODE_ERRORS_9MO,
+    SWITCH_PORT_SOFT_FAILURES_9MO,
+    FailureModel,
+)
+from ..simmpi.faults import FaultEvent, FaultPlan
+
+__all__ = ["node_crash_rate_per_hour", "sample_fault_plan"]
+
+
+def node_crash_rate_per_hour(model: FailureModel | None = None) -> float:
+    """Summed per-node hard-failure rate (any component downs the node)."""
+    model = model or FailureModel()
+    return sum(
+        c.failures_per_hour * c.count / model.n_nodes for c in model.components
+    )
+
+
+def _poisson_times(rng: np.random.Generator, rate_per_hour: float, hours: float) -> list[float]:
+    """Arrival times (hours) of a Poisson process on [0, hours)."""
+    times: list[float] = []
+    if rate_per_hour <= 0:
+        return times
+    t = float(rng.exponential(1.0 / rate_per_hour))
+    while t < hours:
+        times.append(t)
+        t += float(rng.exponential(1.0 / rate_per_hour))
+    return times
+
+
+def sample_fault_plan(
+    n_ranks: int,
+    hours: float,
+    *,
+    seed: int = 0,
+    model: FailureModel | None = None,
+    crash_rate_scale: float = 1.0,
+    repair_hours: float = 24.0,
+    soft_rate_per_node_hour: float | None = None,
+    link_rate_per_node_hour: float | None = None,
+    slow_factor_range: tuple[float, float] = (2.0, 8.0),
+    slow_hours_range: tuple[float, float] = (0.25, 2.0),
+    link_factor_range: tuple[float, float] = (4.0, 20.0),
+    link_hours_range: tuple[float, float] = (0.5, 6.0),
+) -> FaultPlan:
+    """Draw a seeded fault schedule for an ``n_ranks``-node virtual job.
+
+    ``crash_rate_scale`` compresses the nine-month statistics into
+    test-sized windows (e.g. ``1e4`` makes crashes likely within a few
+    virtual hours) without distorting the relative §2.1 rates.  The
+    soft/link rates default to the paper's counts over the 294-node,
+    nine-month observation.
+    """
+    if n_ranks < 1:
+        raise ValueError("n_ranks must be >= 1")
+    if hours <= 0:
+        raise ValueError("hours must be positive")
+    if crash_rate_scale < 0:
+        raise ValueError("crash_rate_scale must be non-negative")
+    model = model or FailureModel()
+    rng = np.random.default_rng(seed)
+    crash_rate = node_crash_rate_per_hour(model) * crash_rate_scale
+    if soft_rate_per_node_hour is None:
+        soft_rate_per_node_hour = (
+            SOFT_NODE_ERRORS_9MO / (294.0 * HOURS_9MO) * crash_rate_scale
+        )
+    if link_rate_per_node_hour is None:
+        link_rate_per_node_hour = (
+            SWITCH_PORT_SOFT_FAILURES_9MO / (294.0 * HOURS_9MO) * crash_rate_scale
+        )
+
+    events: list[FaultEvent] = []
+    for rank in range(n_ranks):
+        # Crashes: renewal process with a repair gap after each failure.
+        if crash_rate > 0:
+            t = float(rng.exponential(1.0 / crash_rate))
+            while t < hours:
+                events.append(FaultEvent("crash", rank, t * 3600.0))
+                t += repair_hours + float(rng.exponential(1.0 / crash_rate))
+        for t in _poisson_times(rng, soft_rate_per_node_hour, hours):
+            factor = float(rng.uniform(*slow_factor_range))
+            dur = float(rng.uniform(*slow_hours_range)) * 3600.0
+            events.append(FaultEvent("slow", rank, t * 3600.0, factor, dur))
+        for t in _poisson_times(rng, link_rate_per_node_hour, hours):
+            factor = float(rng.uniform(*link_factor_range))
+            dur = float(rng.uniform(*link_hours_range)) * 3600.0
+            events.append(FaultEvent("link", rank, t * 3600.0, factor, dur))
+    return FaultPlan(events)

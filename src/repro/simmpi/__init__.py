@@ -45,6 +45,7 @@ from .engine import (
     SimResult,
     run,
 )
+from .faults import FaultEvent, FaultPlan, RankFailedError
 from .trace import TraceEvent, render_timeline, utilization
 
 __all__ = [
@@ -67,6 +68,9 @@ __all__ = [
     "RankStats",
     "DeadlockError",
     "CollectiveMismatchError",
+    "FaultEvent",
+    "FaultPlan",
+    "RankFailedError",
     "patterns",
     "TraceEvent",
     "render_timeline",

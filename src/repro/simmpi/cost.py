@@ -31,6 +31,10 @@ __all__ = ["CostModel", "ZeroCost", "UniformCost", "SpaceSimulatorCost"]
 class CostModel:
     """Interface the engine consumes."""
 
+    #: Eager-protocol threshold (bytes): sends at or below complete at
+    #: the sender.  Subclasses may override to model a different stack.
+    eager_nbytes: int = 64 * 1024
+
     def compute_time(self, rank: int, workload: Workload) -> float:
         raise NotImplementedError
 

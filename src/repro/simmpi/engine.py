@@ -20,6 +20,15 @@ Time accounting: each rank carries its own clock; a resumed rank's
 blocked interval is charged to ``blocked_s`` so benches can separate
 compute from communication wait, which is exactly the decomposition the
 paper's scaling discussions rely on.
+
+Fault injection: an optional :class:`~repro.simmpi.faults.FaultPlan`
+schedules §2.1-style failures against the run.  Slow-node and
+link-degradation events stretch compute segments and transfers while
+active; a node crash aborts the whole job (the 2003 MPI reality) by
+raising :class:`~repro.simmpi.faults.RankFailedError` at exactly the
+crash's virtual time — unless the doomed rank already finished, in
+which case its node dying no longer takes the job down.  Checkpoint /
+restart on top of this lives in :mod:`repro.resilience`.
 """
 
 from __future__ import annotations
@@ -51,9 +60,21 @@ from .api import (
     Waitall,
 )
 from .cost import CostModel, ZeroCost
+from .faults import FaultPlan, RankFailedError
 from .trace import TraceEvent
 
-__all__ = ["DeadlockError", "CollectiveMismatchError", "RankStats", "SimResult", "Engine", "run"]
+__all__ = [
+    "DeadlockError",
+    "CollectiveMismatchError",
+    "RankFailedError",
+    "RankStats",
+    "SimResult",
+    "Engine",
+    "run",
+]
+
+#: Heap sentinel marking a scheduled node-crash event.
+_CRASH = object()
 
 #: Messages at or below this size complete at the sender immediately
 #: (models MPI eager-protocol buffering). Cost models may override via
@@ -160,11 +181,15 @@ class Engine:
         programs: Sequence[Callable[[Comm], Generator]],
         cost: CostModel | None = None,
         record_trace: bool = True,
+        faults: FaultPlan | None = None,
     ):
         if not programs:
             raise ValueError("at least one rank program is required")
         self.cost = cost if cost is not None else ZeroCost()
         self.record_trace = record_trace
+        self.faults = faults
+        if faults is not None:
+            faults.validate_ranks(len(programs))
         self.trace: list[TraceEvent] = []
         self.eager_nbytes = getattr(self.cost, "eager_nbytes", DEFAULT_EAGER_NBYTES)
         self.size = len(programs)
@@ -221,6 +246,8 @@ class Engine:
         t = state.clock
         if isinstance(op, Compute):
             dt = self.cost.compute_time(rank, Workload(op.flops, op.mem_bytes, op.flop_efficiency))
+            if self.faults is not None:
+                dt *= self.faults.compute_factor(rank, t)
             state.stats.compute_s += dt
             if self.record_trace and dt > 0:
                 self.trace.append(TraceEvent(rank, t, t + dt, "compute"))
@@ -272,7 +299,10 @@ class Engine:
         if eager:
             # Buffered: sender's obligation ends after the injection
             # overhead, match or no match.
-            req.complete_time = t + self.cost.p2p_time(rank, op.dest, 0)
+            inject = self.cost.p2p_time(rank, op.dest, 0)
+            if self.faults is not None:
+                inject *= self.faults.link_factor(rank, op.dest, t)
+            req.complete_time = t + inject
         self._pending_sends[op.dest].append(rec)
         self._try_match(op.dest)
         if isinstance(op, Isend):
@@ -329,6 +359,8 @@ class Engine:
     def _complete_transfer(self, send: _SendRec, recv: _RecvRec) -> None:
         start = max(send.t_posted, recv.t_posted)
         transfer = self.cost.p2p_time(send.src, recv.dst, send.nbytes)
+        if self.faults is not None:
+            transfer *= self.faults.link_factor(send.src, recv.dst, start)
         t_done = start + transfer
         recv.request.complete_time = t_done
         recv.request.value = send.payload
@@ -439,11 +471,22 @@ class Engine:
 
     # -- main loop ----------------------------------------------------------
     def run(self, max_events: int = 50_000_000) -> SimResult:
+        if self.faults is not None:
+            # Armed before the t=0 resumes so a crash sorts ahead of any
+            # rank activity at the same virtual time.
+            for crash in self.faults.crashes():
+                self._schedule(crash.time, crash.rank, _CRASH)
         for rank in range(self.size):
             self._schedule(0.0, rank)
         processed = 0
         while self._events:
             time, _, rank, value = heapq.heappop(self._events)
+            if value is _CRASH:
+                if self._ranks[rank].done:
+                    continue  # node died after its rank finished: job survives
+                if self.record_trace:
+                    self.trace.append(TraceEvent(rank, time, time, "failed", "node crash"))
+                raise RankFailedError(rank, time)
             if self._ranks[rank].done:
                 continue
             self._resume(rank, time, value)
@@ -469,11 +512,14 @@ def run(
     n_ranks: int | None = None,
     cost: CostModel | None = None,
     max_events: int = 50_000_000,
+    faults: FaultPlan | None = None,
 ) -> SimResult:
     """Convenience front door: run one program SPMD-style or a list MPMD-style.
 
     ``run(worker, 8)`` launches eight ranks of ``worker``;
     ``run([master, worker, worker])`` launches heterogeneous programs.
+    With ``faults``, the run executes under an injected failure schedule
+    and may raise :class:`~repro.simmpi.faults.RankFailedError`.
     """
     if callable(program):
         if n_ranks is None or n_ranks <= 0:
@@ -483,4 +529,4 @@ def run(
         programs = list(program)
         if n_ranks is not None and n_ranks != len(programs):
             raise ValueError("n_ranks disagrees with the number of programs")
-    return Engine(programs, cost).run(max_events=max_events)
+    return Engine(programs, cost, faults=faults).run(max_events=max_events)

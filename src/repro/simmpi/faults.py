@@ -1,0 +1,162 @@
+"""Fault taxonomy for SimMPI runs — the §2.1 failure record made executable.
+
+The paper devotes Section 2.1 to nine months of component failures on
+the 294-node cluster because surviving them is what a multi-month
+production run actually requires.  :mod:`repro.cluster.reliability`
+models that record analytically; this module is the injection side: a
+:class:`FaultPlan` is a deterministic schedule of fault events that the
+engine (:mod:`repro.simmpi.engine`) replays against a running
+simulation, so the resilience machinery in :mod:`repro.resilience` can
+be tested against the same failure statistics the paper reports.
+
+Three fault kinds cover the paper's observations:
+
+* ``"crash"`` — a node (rank) dies at a virtual time.  SimMPI models
+  2003-era MPI: any rank death kills the whole job, surfaced as
+  :class:`RankFailedError` from ``Engine.run`` at exactly the crash's
+  virtual time.  Recovery is the application's problem (checkpoint /
+  restart — see :mod:`repro.resilience.runner`).
+* ``"slow"`` — a soft-error / thermally-throttled node: the rank's
+  compute segments are stretched by ``factor`` for ``duration``
+  seconds.  The paper counts "<10 soft node errors" in nine months.
+* ``"link"`` — a degraded switch port: point-to-point transfers
+  touching the rank are stretched by ``factor`` for ``duration``
+  seconds (the paper's 4 soft switch-port failures cured by a power
+  cycle).
+
+Plans are plain data — sampling them from the measured §2.1 rates lives
+in :func:`repro.resilience.sampling.sample_fault_plan`, keeping this
+module free of any dependency above the engine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["FAULT_KINDS", "FaultEvent", "FaultPlan", "RankFailedError"]
+
+FAULT_KINDS = ("crash", "slow", "link")
+
+
+class RankFailedError(RuntimeError):
+    """A rank died mid-run (injected node crash); the job is lost.
+
+    Mirrors what LAM/MPICH of the paper's era did on node death: the
+    whole job aborts.  Carries the failed ``rank`` and the virtual
+    ``time`` of the crash so a restart layer can account for lost work.
+    """
+
+    def __init__(self, rank: int, time: float):
+        super().__init__(f"rank {rank} failed at t={time:.6g}s; job aborted")
+        self.rank = rank
+        self.time = time
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``time`` is virtual seconds from job start.  ``factor`` / ``duration``
+    apply to ``slow`` and ``link`` events only; a crash is instantaneous
+    and terminal for the job.
+    """
+
+    kind: str
+    rank: int
+    time: float
+    factor: float = 1.0
+    duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}")
+        if self.rank < 0:
+            raise ValueError("rank must be non-negative")
+        if self.time < 0 or not math.isfinite(self.time):
+            raise ValueError("fault time must be finite and non-negative")
+        if self.kind != "crash":
+            if self.factor < 1.0:
+                raise ValueError("degradation factor must be >= 1")
+            if self.duration <= 0:
+                raise ValueError("slow/link faults need a positive duration")
+
+    @property
+    def t_end(self) -> float:
+        return self.time if self.kind == "crash" else self.time + self.duration
+
+    def active_at(self, t: float) -> bool:
+        return self.time <= t < self.t_end
+
+
+class FaultPlan:
+    """An immutable, time-sorted schedule of fault events.
+
+    The engine consumes crashes via :meth:`crashes` and queries the
+    degradation factors per operation; the restart layer rewrites plans
+    across attempts with :meth:`shifted` (repair semantics: history is
+    dropped, the future moves to the new time origin).
+    """
+
+    def __init__(self, events: tuple[FaultEvent, ...] | list[FaultEvent] = ()):
+        self.events: tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: (e.time, e.rank, e.kind))
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds = {k: sum(1 for e in self.events if e.kind == k) for k in FAULT_KINDS}
+        return f"FaultPlan({len(self.events)} events: {kinds})"
+
+    def validate_ranks(self, size: int) -> None:
+        for e in self.events:
+            if e.rank >= size:
+                raise ValueError(f"fault targets rank {e.rank} but the job has {size} ranks")
+
+    def crashes(self) -> list[FaultEvent]:
+        """Crash events in schedule order (the engine arms the first)."""
+        return [e for e in self.events if e.kind == "crash"]
+
+    def compute_factor(self, rank: int, t: float) -> float:
+        """Multiplier on compute time for ``rank`` at virtual time ``t``."""
+        f = 1.0
+        for e in self.events:
+            if e.kind == "slow" and e.rank == rank and e.active_at(t):
+                f *= e.factor
+        return f
+
+    def link_factor(self, src: int, dst: int, t: float) -> float:
+        """Multiplier on a p2p transfer touching either endpoint at ``t``."""
+        f = 1.0
+        for e in self.events:
+            if e.kind == "link" and e.rank in (src, dst) and e.active_at(t):
+                f *= e.factor
+        return f
+
+    def shifted(self, origin: float) -> "FaultPlan":
+        """The plan as seen from a restart at virtual time ``origin``.
+
+        Crashes at or before ``origin`` are consumed (the node was
+        repaired or replaced); slow/link windows still partly in the
+        future are clipped to their remainder.  Event times are
+        re-expressed relative to the new origin, matching a fresh
+        ``Engine`` whose clocks restart at zero.
+        """
+        if origin < 0:
+            raise ValueError("origin must be non-negative")
+        out: list[FaultEvent] = []
+        for e in self.events:
+            if e.kind == "crash":
+                if e.time > origin:
+                    out.append(FaultEvent("crash", e.rank, e.time - origin))
+            elif e.t_end > origin:
+                start = max(e.time, origin)
+                out.append(
+                    FaultEvent(e.kind, e.rank, start - origin, e.factor, e.t_end - start)
+                )
+        return FaultPlan(out)

@@ -26,7 +26,7 @@ class TraceEvent:
     rank: int
     t_start: float
     t_end: float
-    kind: str  # "compute" or "blocked"
+    kind: str  # "compute", "blocked", or "failed" (instantaneous crash)
     detail: str = ""
 
     def __post_init__(self) -> None:
@@ -60,7 +60,7 @@ def utilization(trace: list[TraceEvent], elapsed: float, n_ranks: int) -> list[d
 def render_timeline(
     trace: list[TraceEvent], elapsed: float, n_ranks: int | None = None, width: int = 72
 ) -> str:
-    """ASCII Gantt chart: '#' compute, '.' blocked, ' ' idle."""
+    """ASCII Gantt chart: '#' compute, '.' blocked, 'X' crash, ' ' idle."""
     if not trace:
         return "(empty trace)"
     if elapsed <= 0:
@@ -69,13 +69,16 @@ def render_timeline(
         raise ValueError("width must be >= 10")
     if n_ranks is None:
         n_ranks = max(e.rank for e in trace) + 1
-    lines = [f"timeline ({elapsed:.3g}s virtual, '#'=compute '.'=blocked):"]
+    lines = [f"timeline ({elapsed:.3g}s virtual, '#'=compute '.'=blocked 'X'=crash):"]
     for rank in range(n_ranks):
         row = [" "] * width
         for e in trace:
             if e.rank != rank:
                 continue
             lo = int(e.t_start / elapsed * width)
+            if e.kind == "failed":
+                row[min(lo, width - 1)] = "X"
+                continue
             hi = max(int(e.t_end / elapsed * width), lo + 1)
             ch = "#" if e.kind == "compute" else "."
             for i in range(lo, min(hi, width)):

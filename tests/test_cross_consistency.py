@@ -8,6 +8,8 @@ strongest regression net the codebase has: a bug in any shared layer
 (keys, tree, multipoles, MAC, evaluation) breaks at least one pairing.
 """
 
+import dataclasses
+
 import numpy as np
 import pytest
 
@@ -20,6 +22,9 @@ from repro.core import (
     tree_accelerations,
 )
 from repro.core.outofcore import OutOfCoreParticles
+from repro.machine.node import DiskSpec, SPACE_SIMULATOR_NODE
+from repro.resilience import ResilienceConfig
+from repro.simmpi import FaultEvent, FaultPlan, UniformCost
 
 THETA = 0.5
 EPS = 0.05
@@ -109,3 +114,77 @@ class TestAllPathsAgree:
         ref = direct_accelerations(pos, masses, eps=EPS)
         assert np.allclose(acc, ref.accelerations[sink_idx], rtol=1e-10)
         assert pot == pytest.approx(ref.potentials[sink_idx], rel=1e-10)
+
+
+class TestFaultInjectedRecovery:
+    """A node crash mid-run must not change the physics.
+
+    The parallel treecode checkpoints its post-exchange particle state;
+    everything downstream (tree build, traversal, force evaluation) is a
+    deterministic function of that state, so a crash + restart must
+    reproduce the fault-free forces *bit for bit* — not merely within
+    tolerance — and therefore inherit every cross-path agreement above.
+    """
+
+    @pytest.fixture(scope="class")
+    def recovered(self, problem, tmp_path_factory):
+        pos, masses = problem
+        cost = UniformCost(latency_s=20e-6, mbytes_s=150.0, mflops=800.0)
+        config = ParallelConfig(theta=THETA, eps=EPS, bucket_size=16)
+        # A fast local disk keeps the virtual dump shorter than the run,
+        # so the checkpoint commits before the injected crash lands.
+        fast_node = dataclasses.replace(
+            SPACE_SIMULATOR_NODE,
+            disk=DiskSpec(seek_ms=0.001, sustained_mbytes_s=1000.0),
+        )
+
+        free = parallel_tree_accelerations(
+            pos, masses, n_ranks=4, config=config, cost=cost
+        )
+        crash_t = free.sim.elapsed * 0.75
+        faults = FaultPlan([FaultEvent("crash", 2, crash_t)])
+
+        def run_once(sub):
+            return parallel_tree_accelerations(
+                pos, masses, n_ranks=4, config=config, cost=cost,
+                faults=faults,
+                resilience=ResilienceConfig(
+                    checkpoint_dir=str(tmp_path_factory.mktemp(sub)),
+                    restart_s=60.0,
+                    node=fast_node,
+                ),
+            )
+
+        return free, run_once("ckpt-a"), run_once("ckpt-b")
+
+    def test_crash_actually_happened_and_recovery_used_checkpoint(self, recovered):
+        _, faulty, _ = recovered
+        res = faulty.resilience
+        assert res.attempts == 2
+        assert [f.rank for f in res.failures] == [2]
+        assert res.restored_from_epoch == 0  # resumed, not recomputed
+        assert res.wall_s > res.sim.elapsed  # lost work + restart paid
+
+    def test_recovered_forces_match_fault_free_bit_for_bit(self, recovered):
+        free, faulty, _ = recovered
+        assert np.array_equal(faulty.accelerations, free.accelerations)
+        assert np.array_equal(faulty.potentials, free.potentials)
+
+    def test_recovered_run_agrees_with_serial_within_mac_tolerance(
+        self, problem, recovered
+    ):
+        pos, masses = problem
+        _, faulty, _ = recovered
+        serial = tree_accelerations(
+            pos, masses, theta=THETA, eps=EPS, bucket_size=16
+        )
+        assert _median_rel(faulty.accelerations, serial.accelerations) < 2e-3
+
+    def test_same_seedpoint_reproduces_failure_schedule_and_clocks(self, recovered):
+        _, a, b = recovered
+        assert [
+            (f.rank, f.attempt, f.cumulative_time_s) for f in a.resilience.failures
+        ] == [(f.rank, f.attempt, f.cumulative_time_s) for f in b.resilience.failures]
+        assert a.resilience.wall_s == b.resilience.wall_s
+        assert a.sim.clocks == b.sim.clocks
+        assert np.array_equal(a.accelerations, b.accelerations)

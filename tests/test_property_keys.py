@@ -1,0 +1,160 @@
+"""Property-based conformance tests for the key machinery.
+
+The Morton/Hilbert key layer is the foundation every parallel feature
+sits on (domain decomposition, the hashed tree, the ABM request
+namespace), so its algebra is pinned here with hypothesis-generated
+inputs rather than hand-picked examples: round trips, order
+preservation, parent/child/ancestor identities, and the Hilbert curve's
+defining adjacency invariant, across bit depths.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hilbert import axes_to_hilbert, hilbert_to_axes
+from repro.core.keys import (
+    KEY_BITS,
+    MAX_LEVEL,
+    ROOT_KEY,
+    BoundingBox,
+    ancestor_at_level,
+    child_keys,
+    key_level,
+    keys_from_positions,
+    octant_of,
+    parent_key,
+    positions_from_keys,
+)
+
+UNIT_BOX = BoundingBox(np.zeros(3), 1.0)
+
+coord = st.integers(min_value=0, max_value=(1 << KEY_BITS) - 1)
+triple = st.tuples(coord, coord, coord)
+triples = st.lists(triple, min_size=1, max_size=64)
+bit_depth = st.integers(min_value=1, max_value=KEY_BITS)
+
+
+def _centers(coords: np.ndarray, bits: int = KEY_BITS) -> np.ndarray:
+    """World positions at the centers of the given lattice cells."""
+    return (coords.astype(np.float64) + 0.5) / (1 << bits)
+
+
+def _morton_interleave(c: tuple[int, int, int], bits: int) -> int:
+    """Reference bit-interleave (x LSB), independent of the fast path."""
+    out = 0
+    for b in range(bits):
+        for axis in range(3):
+            out |= ((c[axis] >> b) & 1) << (3 * b + axis)
+    return out | (1 << (3 * bits))
+
+
+class TestMortonRoundTrip:
+    @given(triples)
+    @settings(max_examples=60, deadline=None)
+    def test_key_round_trip_recovers_lattice_cell(self, cs):
+        coords = np.array(cs, dtype=np.int64)
+        pos = _centers(coords)
+        keys = keys_from_positions(pos, UNIT_BOX)
+        back = positions_from_keys(keys, UNIT_BOX)
+        cell = 1.0 / (1 << KEY_BITS)
+        # positions_from_keys returns the cell corner: the center we
+        # encoded is exactly half a cell away on every axis.
+        assert np.allclose(pos - back, 0.5 * cell, atol=1e-12)
+
+    @given(triples)
+    @settings(max_examples=60, deadline=None)
+    def test_keys_match_reference_interleave(self, cs):
+        coords = np.array(cs, dtype=np.int64)
+        keys = keys_from_positions(_centers(coords), UNIT_BOX)
+        expected = [_morton_interleave(tuple(int(x) for x in c), KEY_BITS) for c in coords]
+        assert [int(k) for k in keys] == expected
+
+    @given(triple, triple)
+    @settings(max_examples=60, deadline=None)
+    def test_key_order_is_interleaved_lex_order(self, a, b):
+        ka, kb = (
+            int(keys_from_positions(_centers(np.array([c])), UNIT_BOX)[0]) for c in (a, b)
+        )
+        ia, ib = _morton_interleave(a, KEY_BITS), _morton_interleave(b, KEY_BITS)
+        assert (ka < kb) == (ia < ib) and (ka == kb) == (a == b)
+
+
+class TestKeyAlgebra:
+    @given(triple, st.integers(min_value=0, max_value=MAX_LEVEL - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_parent_child_inverse(self, c, level):
+        full = _morton_interleave(c, KEY_BITS)
+        key = full >> (3 * (MAX_LEVEL - level))  # a genuine level-`level` cell
+        kids = child_keys(key)
+        assert kids.shape == (8,)
+        assert list(kids) == list(range(key << 3, (key << 3) + 8))
+        for i, kid in enumerate(kids):
+            assert parent_key(int(kid)) == key
+            assert key_level(int(kid)) == level + 1
+            assert octant_of(int(kid)) == i
+            assert ancestor_at_level(int(kid), level) == key
+
+    @given(triple, st.integers(min_value=0, max_value=MAX_LEVEL))
+    @settings(max_examples=80, deadline=None)
+    def test_ancestor_matches_coarse_quantization(self, c, level):
+        """Truncating a deep key == re-keying at a shallower bit depth."""
+        full = _morton_interleave(c, KEY_BITS)
+        coarse = tuple(x >> (KEY_BITS - level) for x in c) if level else (0, 0, 0)
+        expected = _morton_interleave(coarse, level) if level else ROOT_KEY
+        assert ancestor_at_level(full, level) == expected
+
+    @given(triples)
+    @settings(max_examples=40, deadline=None)
+    def test_vectorized_level_and_parent_match_scalar(self, cs):
+        keys = keys_from_positions(_centers(np.array(cs, dtype=np.int64)), UNIT_BOX)
+        levels = key_level(keys)
+        parents = parent_key(keys)
+        octants = octant_of(keys)
+        for k, lvl, par, octa in zip(keys, levels, parents, octants):
+            assert key_level(int(k)) == int(lvl) == MAX_LEVEL
+            assert parent_key(int(k)) == int(par)
+            assert octant_of(int(k)) == int(octa)
+
+    @given(triple, triple, st.integers(min_value=0, max_value=MAX_LEVEL))
+    @settings(max_examples=60, deadline=None)
+    def test_order_preserved_under_truncation(self, a, b, level):
+        """Morton order is hierarchical: ancestors never invert order."""
+        ka, kb = _morton_interleave(a, KEY_BITS), _morton_interleave(b, KEY_BITS)
+        if ka > kb:
+            ka, kb = kb, ka
+        assert ancestor_at_level(ka, level) <= ancestor_at_level(kb, level)
+
+
+class TestHilbert:
+    @given(triples, bit_depth)
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_across_bit_depths(self, cs, bits):
+        coords = np.array(cs, dtype=np.int64) % (1 << bits)
+        idx = axes_to_hilbert(coords, bits)
+        assert int(idx.max()) < 1 << (3 * bits)
+        back = hilbert_to_axes(idx, bits)
+        assert np.array_equal(back.astype(np.int64), coords)
+
+    @pytest.mark.parametrize("bits", [1, 2, 3])
+    def test_curve_is_a_face_adjacent_bijection(self, bits):
+        n = 1 << bits
+        g = np.arange(n)
+        coords = np.stack(np.meshgrid(g, g, g, indexing="ij"), axis=-1).reshape(-1, 3)
+        idx = axes_to_hilbert(coords, bits)
+        # Bijection onto [0, 8**bits).
+        assert sorted(int(i) for i in idx) == list(range(n**3))
+        # Consecutive curve cells share a face (the Hilbert invariant
+        # Morton lacks — Morton jumps diagonally between octant blocks).
+        walk = coords[np.argsort(idx, kind="stable")]
+        steps = np.abs(np.diff(walk.astype(np.int64), axis=0)).sum(axis=1)
+        assert np.all(steps == 1)
+
+    @given(triple, triple, bit_depth)
+    @settings(max_examples=60, deadline=None)
+    def test_distinct_cells_distinct_indices(self, a, b, bits):
+        ca = tuple(x % (1 << bits) for x in a)
+        cb = tuple(x % (1 << bits) for x in b)
+        ia, ib = axes_to_hilbert(np.array([ca, cb], dtype=np.int64), bits)
+        assert (ia == ib) == (ca == cb)
