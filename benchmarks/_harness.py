@@ -1,0 +1,190 @@
+"""Uniform benchmark-record harness for ``benchmarks/bench_*.py``.
+
+Every bench module exposes ``main() -> dict`` built on :func:`run_main`:
+it runs the module's ``_build`` payload once, wall-times it, and returns
+a record with a fixed shape — name, params, measured seconds, virtual
+(simulated) seconds, named counters, git revision, and host — validated
+against ``benchmarks/schema.json``.  With ``REPRO_BENCH_DIR`` set, the
+record is also written to ``$REPRO_BENCH_DIR/BENCH_<name>.json`` so a
+sweep over all benches leaves one machine-readable file per figure or
+table.
+
+The schema checker is a deliberate small subset of JSON Schema
+(``type``, ``required``, ``properties``, ``additionalProperties``,
+``pattern``, ``minimum``) so the suite needs no third-party validator.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import re
+import subprocess
+import time
+from typing import Any, Callable, Mapping
+
+__all__ = [
+    "SCHEMA_PATH",
+    "SCHEMA_VERSION",
+    "bench_record",
+    "emit",
+    "git_rev",
+    "load_schema",
+    "run_main",
+    "validate_record",
+]
+
+SCHEMA_VERSION = 1
+SCHEMA_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "schema.json")
+
+_TYPES: dict[str, tuple[type, ...]] = {
+    "object": (dict,),
+    "array": (list,),
+    "string": (str,),
+    "number": (int, float),
+    "integer": (int,),
+    "boolean": (bool,),
+    "null": (type(None),),
+}
+
+
+def git_rev() -> str:
+    """Short hash of the checked-out revision, or ``"unknown"``."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    rev = proc.stdout.strip()
+    return rev if proc.returncode == 0 and re.fullmatch(r"[0-9a-f]{7,40}", rev) else "unknown"
+
+
+def load_schema() -> dict:
+    with open(SCHEMA_PATH) as fh:
+        return json.load(fh)
+
+
+def _type_ok(value: Any, name: str) -> bool:
+    if name in ("number", "integer") and isinstance(value, bool):
+        return False  # bool is an int in Python but not in JSON Schema
+    return isinstance(value, _TYPES[name])
+
+
+def _check(value: Any, schema: Mapping, path: str, errors: list[str]) -> None:
+    declared = schema.get("type")
+    if declared is not None:
+        names = [declared] if isinstance(declared, str) else list(declared)
+        if not any(_type_ok(value, n) for n in names):
+            errors.append(f"{path}: expected type {'/'.join(names)}, got {type(value).__name__}")
+            return
+    if isinstance(value, str) and "pattern" in schema:
+        if not re.search(schema["pattern"], value):
+            errors.append(f"{path}: {value!r} does not match pattern {schema['pattern']!r}")
+    if isinstance(value, (int, float)) and not isinstance(value, bool) and "minimum" in schema:
+        if value < schema["minimum"]:
+            errors.append(f"{path}: {value} is below minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        props = schema.get("properties", {})
+        for key in schema.get("required", ()):
+            if key not in value:
+                errors.append(f"{path}: missing required property {key!r}")
+        extra = schema.get("additionalProperties", True)
+        for key, item in value.items():
+            if key in props:
+                _check(item, props[key], f"{path}.{key}", errors)
+            elif extra is False:
+                errors.append(f"{path}: unexpected property {key!r}")
+            elif isinstance(extra, dict):
+                _check(item, extra, f"{path}.{key}", errors)
+
+
+def validate_record(record: Any, schema: Mapping | None = None) -> list[str]:
+    """Check ``record`` against the subset JSON Schema; returns errors."""
+    errors: list[str] = []
+    _check(record, schema if schema is not None else load_schema(), "record", errors)
+    return errors
+
+
+def bench_record(
+    name: str,
+    *,
+    params: Mapping | None = None,
+    seconds: float,
+    virtual_seconds: float = 0.0,
+    counters: Mapping[str, float] | None = None,
+    notes: str = "",
+) -> dict:
+    """Assemble (but do not validate) one uniform benchmark record."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": str(name),
+        "params": dict(params or {}),
+        "seconds": float(seconds),
+        "virtual_seconds": float(virtual_seconds),
+        "counters": {str(k): float(v) for k, v in dict(counters or {}).items()},
+        "git_rev": git_rev(),
+        "host": f"{platform.system()}-{platform.machine()}-py{platform.python_version()}",
+        "notes": str(notes),
+    }
+
+
+def emit(record: Mapping, out_dir: str | None = None) -> str | None:
+    """Write ``BENCH_<name>.json``; a no-op unless a directory is given.
+
+    ``out_dir`` defaults to the ``REPRO_BENCH_DIR`` environment
+    variable; when neither is set the record stays in memory only.
+    Returns the path written, or None.
+    """
+    out_dir = out_dir or os.environ.get("REPRO_BENCH_DIR")
+    if not out_dir:
+        return None
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{record['name']}.json")
+    with open(path, "w") as fh:
+        fh.write(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def run_main(
+    name: str,
+    build: Callable[[], Any],
+    *,
+    params: Mapping | None = None,
+    counters: Mapping[str, float] | Callable[[Any], Mapping[str, float]] | None = None,
+    virtual_seconds: float | Callable[[Any], float] | None = None,
+    notes: str = "",
+    quiet: bool = False,
+) -> dict:
+    """Run one bench payload and return its validated record.
+
+    ``counters`` and ``virtual_seconds`` may be callables taking the
+    payload's return value, so each bench derives its headline numbers
+    from what it actually computed.
+    """
+    t0 = time.perf_counter()
+    result = build()
+    seconds = time.perf_counter() - t0
+    record = bench_record(
+        name,
+        params=params,
+        seconds=seconds,
+        virtual_seconds=float(
+            virtual_seconds(result) if callable(virtual_seconds)
+            else (virtual_seconds or 0.0)
+        ),
+        counters=counters(result) if callable(counters) else counters,
+        notes=notes,
+    )
+    errors = validate_record(record)
+    if errors:
+        raise ValueError(f"bench record for {name!r} violates schema.json: {errors}")
+    emit(record)
+    if not quiet:
+        print(json.dumps(record, indent=2, sort_keys=True))
+    return record

@@ -52,3 +52,20 @@ def test_ablation_bucket_size(benchmark):
     # ~32, which is why the defaults sit there.)
     flops = [r[4] for r in rows]
     assert flops[buckets.index(64)] > 1.5 * flops[buckets.index(8)]
+
+
+def main() -> dict:
+    from _harness import run_main
+
+    return run_main(
+        "ablation_bucket", _build,
+        params={"buckets": [4, 8, 16, 32, 64, 128]},
+        counters=lambda rows: {
+            "rows": len(rows),
+            "min_mflops": min(r[4] for r in rows),
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -69,3 +69,17 @@ def test_ablation_curve(benchmark):
     assert morton[4] < 0.2 * rand[4]
     assert hilbert[4] < 0.2 * rand[4]
     assert hilbert[4] <= 1.2 * morton[4]
+
+
+def main() -> dict:
+    from _harness import run_main
+
+    return run_main(
+        "ablation_curve", _build,
+        params={"n_pieces": 8, "radius": 0.05},
+        counters=lambda rows: {"rows": len(rows)},
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -73,3 +73,17 @@ def test_ablation_mac(benchmark):
     # And tighter budgets yield tighter medians.
     meds = [r[1] for r in abs_rows]
     assert all(a >= b for a, b in zip(meds, meds[1:]))
+
+
+def main() -> dict:
+    from _harness import run_main
+
+    return run_main(
+        "ablation_mac", _build,
+        params={"thetas": [1.0, 0.8, 0.6, 0.4, 0.25]},
+        counters=lambda r: {"rows": len(r[0]), "budgets": len(r[1])},
+    )
+
+
+if __name__ == "__main__":
+    main()

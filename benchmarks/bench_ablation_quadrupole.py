@@ -53,3 +53,20 @@ def test_ablation_quadrupole(benchmark):
     # At the production theta the quadrupole buys at least ~3x accuracy.
     mid = rows[1]
     assert mid[3] > 3.0
+
+
+def main() -> dict:
+    from _harness import run_main
+
+    return run_main(
+        "ablation_quadrupole", _build,
+        params={"thetas": [0.8, 0.6, 0.4]},
+        counters=lambda rows: {
+            "rows": len(rows),
+            "max_gain": max(r[3] for r in rows),
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

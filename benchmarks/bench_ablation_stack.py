@@ -51,3 +51,18 @@ def test_ablation_message_stack(benchmark):
     # tens of percent, same order as the paper's Linpack delta.
     gap = times["mpich 1.2.5"] / times["LAM 6.5.9 -O"]
     assert 1.0 < gap < 1.6
+
+
+def main() -> dict:
+    from _harness import run_main
+
+    return run_main(
+        "ablation_stack", _build,
+        params={"n_ranks": 8, "stacks": [s.name for s in FIGURE2_STACKS]},
+        counters=lambda rows: {"rows": len(rows)},
+        virtual_seconds=lambda rows: sum(r[1] for r in rows) / 1e3,
+    )
+
+
+if __name__ == "__main__":
+    main()

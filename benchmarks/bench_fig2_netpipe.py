@@ -38,3 +38,20 @@ def test_fig2_netpipe(benchmark):
     assert abs(by_name["mpich 1.2.5"].latency_us - 87.0) < 1.0
     big = series["mpich 1.2.5"][-1]
     assert all(series[name][-1] > big for name in series if name != "mpich 1.2.5")
+
+
+def main() -> dict:
+    from _harness import run_main
+
+    return run_main(
+        "fig2_netpipe", _build,
+        params={"stacks": [s.name for s in FIGURE2_STACKS], "n_sizes": 13},
+        counters=lambda r: {
+            "series": len(r[1]),
+            "peak_mbits_s": max(max(v) for v in r[1].values()),
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

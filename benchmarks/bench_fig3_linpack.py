@@ -45,3 +45,22 @@ def test_fig3_linpack(benchmark):
     assert abs(lam - SS_LINPACK_APR2003) < 0.1
     assert abs(mpich / SS_LINPACK_NOV2002 - 1.0) < 0.10
     assert price_per_mflops_cents() < 100.0
+
+
+def main() -> dict:
+    from _harness import run_main
+
+    return run_main(
+        "fig3_linpack", _build,
+        params={"n": 384, "block": 64},
+        counters=lambda r: {
+            "kernel_gflops": r[0].gflops,
+            "kernel_residual": r[0].residual,
+            "model_gflops": r[2],
+            "mpich_gflops": r[3],
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

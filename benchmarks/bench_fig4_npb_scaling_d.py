@@ -40,3 +40,20 @@ def test_fig4_scaling_class_d(benchmark):
     assert per["SP"][-1] > 0.5 * per["SP"][0]
     for b in ("BT", "SP", "LU"):
         assert total[b][-1] > total[b][0]  # totals keep growing
+
+
+def main() -> dict:
+    from _harness import run_main
+
+    return run_main(
+        "fig4_npb_scaling_d", _build,
+        params={"benches": list(BENCHES), "procs": list(PROCS)},
+        counters=lambda r: {
+            "curves": len(r[0]),
+            "points": sum(len(v) for v in r[0].values()),
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -37,3 +37,20 @@ def test_fig5_scaling_class_c(benchmark):
         eff_c = per[b][-1] / per[b][PROCS.index(16)]
         eff_d = ss.mops_per_proc(b, "D", 256) / ss.mops_per_proc(b, "D", 16)
         assert eff_d > eff_c, b
+
+
+def main() -> dict:
+    from _harness import run_main
+
+    return run_main(
+        "fig5_npb_scaling_c", _build,
+        params={"benches": list(BENCHES), "procs": list(PROCS)},
+        counters=lambda per: {
+            "curves": len(per),
+            "points": sum(len(v) for v in per.values()),
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

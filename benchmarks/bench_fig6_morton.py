@@ -56,3 +56,23 @@ def test_fig6_morton(benchmark):
     # beyond the uniform-expectation log8(N/bucket).
     uniform_depth = np.log(pts.shape[0] / 8) / np.log(8)
     assert tree.level.max() > uniform_depth + 1
+
+
+def main() -> dict:
+    import numpy as _np
+
+    from _harness import run_main
+
+    return run_main(
+        "fig6_morton", _build,
+        params={"n_pieces": 8, "bucket_size": 8},
+        counters=lambda r: {
+            "n_points": int(r[0].shape[0]),
+            "median_jump": float(_np.median(r[1])),
+            "n_cells": int(r[3].n_cells),
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -71,3 +71,22 @@ def test_fig7_cosmology(benchmark):
     assert xi[0] > xi[1] > abs(xi[-1])  # clustering declines with scale
     assert xi[0] > 0.6                 # strongly clustered at small separations
     assert abs(model.achieved_gflops - 112.0) / 112.0 < 0.15
+
+
+def main() -> dict:
+    from _harness import run_main
+
+    return run_main(
+        "fig7_cosmology", _build,
+        params={"n_side": 20, "box_mpc_h": 125.0, "a_final": 1.0 / 1.3},
+        counters=lambda r: {
+            "rms_initial": r[1],
+            "rms_final": r[2],
+            "n_halos": r[3].n_halos,
+            "xi_bins": len(r[5]),
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -55,3 +55,21 @@ def test_fig8_supernova(benchmark):
     assert j[-1] > 5.0 * max(j[0], 1e-300)  # bulk of j along the equator
     assert ratio > 30.0                      # approaching the paper's 100x
     assert max(hist.neutrino_luminosity) > 0
+
+
+def main() -> dict:
+    from _harness import run_main
+
+    return run_main(
+        "fig8_supernova", _build,
+        params={"n_particles": 350, "max_steps": 160},
+        counters=lambda r: {
+            "l_cone": r[4],
+            "l_equator": r[5],
+            "angle_bins": len(r[2]),
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

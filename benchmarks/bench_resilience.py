@@ -111,3 +111,35 @@ def test_resilience_interval_sweep(benchmark, tmp_path):
     # Checkpointing too rarely must genuinely hurt: the longest interval
     # pays the full rework tax the short ones amortize away.
     assert mc_by_tau[INTERVALS_S[-1]] > mc_by_tau[nearest]
+
+
+def main() -> dict:
+    import tempfile
+    from pathlib import Path
+
+    from _harness import run_main
+
+    # Reduced sweep: the full 25-seed x 7-interval grid is the slow
+    # pytest benchmark; the record only needs the sweep's shape.
+    global N_SEEDS, INTERVALS_S
+    saved = (N_SEEDS, INTERVALS_S)
+    N_SEEDS, INTERVALS_S = 3, INTERVALS_S[:3]
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            return run_main(
+                "resilience", lambda: _sweep(Path(tmp)),
+                params={"n_seeds": N_SEEDS, "intervals_s": list(INTERVALS_S),
+                        "n_ranks": N_RANKS, "restart_s": RESTART_S},
+                counters=lambda rows: {
+                    "rows": len(rows),
+                    "mean_failures": sum(r[3] for r in rows) / len(rows),
+                },
+                virtual_seconds=lambda rows: sum(r[1] for r in rows),
+                notes="reduced sweep (3 seeds, 3 intervals)",
+            )
+    finally:
+        N_SEEDS, INTERVALS_S = saved
+
+
+if __name__ == "__main__":
+    main()

@@ -58,3 +58,21 @@ def test_s21_reliability(benchmark):
         ), c.kind
     assert smart > 0.5
     assert avail > 0.995
+
+
+def main() -> dict:
+    from _harness import run_main
+
+    return run_main(
+        "s21_reliability", lambda: _build(trials=100),
+        params={"trials": 100},
+        counters=lambda r: {
+            "availability": r[4],
+            "smart_predicted_ratio": r[3],
+        },
+        notes="reduced Monte-Carlo trial count",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -39,3 +39,20 @@ def test_s31_backplane(benchmark):
     by_p = dict(sweep)
     assert by_p[16] == 1000.0
     assert by_p[294] < 0.5 * by_p[224]  # the >256-processor cliff
+
+
+def main() -> dict:
+    from _harness import run_main
+
+    return run_main(
+        "s31_backplane", _build,
+        params={"n_streams": 16},
+        counters=lambda r: {
+            "cross16_mbits": r[0],
+            "sweep_points": len(r[2]),
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

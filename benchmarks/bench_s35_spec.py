@@ -39,3 +39,16 @@ def test_s35_spec(benchmark):
     assert round(table["normal"]["CFP2000"]) == 742
     assert abs(price_per_specfp() - 1.20) < 0.01
     assert price_per_specfp(688.0) < 1.00
+
+
+def main() -> dict:
+    from _harness import run_main
+
+    return run_main(
+        "s35_spec", _build,
+        counters=lambda table: {"configs": len(table)},
+    )
+
+
+if __name__ == "__main__":
+    main()

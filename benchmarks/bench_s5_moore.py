@@ -59,3 +59,20 @@ def test_s5_moore(benchmark):
     assert abs(npb["BT"] - 12.6) < 0.1 and abs(npb["LU"] - 15.5) < 0.1
     assert abs(c.performance_ratio - 140.6) < 1.0
     assert abs(c.predicted_ratio() - 150.0) < 8.0
+
+
+def main() -> dict:
+    from _harness import run_main
+
+    return run_main(
+        "s5_moore", _build,
+        params={"years": 6.0},
+        counters=lambda r: {
+            "commodities": len(r[0]),
+            "npb_benches": len(r[1]),
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -30,3 +30,20 @@ def test_table1_bom(benchmark):
     assert bom.total_cost == 483_855.0
     assert round(bom.cost_per_node) == 1646
     assert abs(bom.peak_gflops - 1487.6) < 1.0
+
+
+def main() -> dict:
+    from _harness import run_main
+
+    return run_main(
+        "table1_bom", _build,
+        counters=lambda r: {
+            "total_cost": r[0].total_cost,
+            "cost_per_node": r[0].cost_per_node,
+            "rows": len(r[1]),
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

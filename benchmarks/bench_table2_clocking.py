@@ -36,3 +36,16 @@ def test_table2_clocking(benchmark):
     # The paper's headline: most benchmarks track memory bandwidth.
     memory_bound = [n for n, p in profiles.items() if p.memory_boundedness > 0.5]
     assert {"copy", "add", "scale", "triad", "SP", "MG", "CG"} <= set(memory_bound)
+
+
+def main() -> dict:
+    from _harness import run_main
+
+    return run_main(
+        "table2_clocking", _build,
+        counters=lambda rows: {"rows": len(rows)},
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -51,3 +51,20 @@ def test_table3_npb_class_c_64(benchmark):
     for bench, ss_model, ss_paper, q_model, q_paper in rows:
         assert abs(ss_model / ss_paper - 1.0) < 1e-6, bench  # calibration column
         assert abs(q_model / q_paper - 1.0) < 1e-6, bench
+
+
+def main() -> dict:
+    from _harness import run_main
+
+    return run_main(
+        "table3_npb_c64", _build,
+        params={"klass": "C", "procs": 64},
+        counters=lambda r: {
+            "verified": sum(r[0].values()),
+            "rows": len(r[1]),
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -46,3 +46,17 @@ def test_table4_npb_class_d_256(benchmark):
         assert q_m > ss_m, bench  # Q wins every class D row, as in the paper
     ss_rank = sorted((r[0] for r in rows), key=lambda b: -dict((x[0], x[1]) for x in rows)[b])
     assert ss_rank == ["LU", "BT", "SP", "FT", "CG"]
+
+
+def main() -> dict:
+    from _harness import run_main
+
+    return run_main(
+        "table4_npb_d256", _build,
+        params={"klass": "D", "procs": 256},
+        counters=lambda rows: {"rows": len(rows)},
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -50,3 +50,21 @@ def test_table5_gravity_kernel(benchmark):
     assert by_name["533-MHz Alpha EV56"].karp_speedup > 3.0
     assert by_name["2530-MHz Intel P4 (icc)"].measured_libm_mflops > 1.4 * by_name[
         "2530-MHz Intel P4"].measured_libm_mflops
+
+
+def main() -> dict:
+    from _harness import run_main
+
+    return run_main(
+        "table5_gravity_kernel", _build,
+        params={"n_sources": 2048, "repeats": 10},
+        counters=lambda r: {
+            "agreement": r[0],
+            "libm_mflops": r[1]["libm"].mflops,
+            "karp_mflops": r[1]["karp"].mflops,
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

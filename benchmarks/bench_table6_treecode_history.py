@@ -58,3 +58,21 @@ def test_table6_treecode_history(benchmark):
     assert 0.4 * ss.mflops_per_proc < mfpp < 2.0 * ss.mflops_per_proc
     gd = next(m for m in TABLE6_MACHINES if m.machine == "Green Destiny")
     assert mfpp > gd.mflops_per_proc
+
+
+def main() -> dict:
+    from _harness import run_main
+
+    return run_main(
+        "table6_treecode_history", _build,
+        params={"n": 6000, "n_ranks": 4, "theta": 0.8},
+        counters=lambda r: {
+            "mflops_per_proc": r.mflops_per_proc,
+            "parallel_efficiency": r.sim.parallel_efficiency(),
+        },
+        virtual_seconds=lambda r: r.sim.elapsed,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -22,3 +22,16 @@ def test_table7_loki(benchmark):
                        "Table 7: Loki architecture and price (September 1996)"))
     assert LOKI_BOM.total_cost == 51_379.0
     assert round(LOKI_BOM.cost_per_node) == 3211
+
+
+def main() -> dict:
+    from _harness import run_main
+
+    return run_main(
+        "table7_loki", _build,
+        counters=lambda rows: {"total_cost": LOKI_BOM.total_cost, "rows": len(rows)},
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
+from ..obs import NULL, Recorder
 from .bt import run_bt
 from .cg import run_cg
 from .classes import problem, total_ops
@@ -75,25 +76,40 @@ class NpbReport:
         )
 
 
-def run_benchmark(benchmark: str, klass: str = "S") -> NpbReport:
-    """Execute one mini-kernel and time it."""
+def run_benchmark(
+    benchmark: str, klass: str = "S", observer: Recorder | None = None
+) -> NpbReport:
+    """Execute one mini-kernel and time it.
+
+    With ``observer``, the execution is recorded as a wall-clock span
+    (``npb.<BENCH>.<CLASS>``, cat ``bench``) plus ``npb.ops`` /
+    ``npb.verified`` counters, comparable across the whole suite.
+    """
+    obs = observer if observer is not None else NULL
     benchmark = benchmark.upper()
     if benchmark not in RUNNERS:
         raise ValueError(f"unknown benchmark {benchmark!r}; choose from {sorted(RUNNERS)}")
     prob = problem(benchmark, klass)  # validates the class too
-    t0 = time.perf_counter()
-    result = RUNNERS[benchmark](klass)
-    dt = time.perf_counter() - t0
+    with obs.span(f"npb.{benchmark}.{klass}", cat="bench"):
+        t0 = time.perf_counter()
+        result = RUNNERS[benchmark](klass)
+        dt = time.perf_counter() - t0
     # The ADI kernels truncate iterations at big classes (the decay
     # check is per-step); charge only the steps actually executed.
     ops = total_ops(prob)
     steps_run = getattr(result, "steps_run", 0)
     if steps_run and steps_run != prob.niter:
         ops *= steps_run / prob.niter
+    obs.count("npb.ops", ops)
+    obs.count("npb.verified", int(bool(result.verified)))
     return NpbReport(benchmark, klass, dt, ops, bool(result.verified))
 
 
-def run_suite(klass: str = "S", benchmarks: tuple[str, ...] | None = None) -> list[NpbReport]:
+def run_suite(
+    klass: str = "S",
+    benchmarks: tuple[str, ...] | None = None,
+    observer: Recorder | None = None,
+) -> list[NpbReport]:
     """Run several benchmarks at one class; returns their reports."""
     names = tuple(RUNNERS) if benchmarks is None else tuple(b.upper() for b in benchmarks)
-    return [run_benchmark(b, klass) for b in names]
+    return [run_benchmark(b, klass, observer=observer) for b in names]

@@ -1,0 +1,57 @@
+"""repro.obs: the unified instrumentation layer.
+
+One vocabulary — :class:`~repro.obs.model.Span`,
+:class:`~repro.obs.model.Counter`, :class:`~repro.obs.model.Gauge`,
+collected by a :class:`~repro.obs.model.Recorder` — shared by every
+measured subsystem: SimMPI's engine (virtual-time compute / blocked /
+collective spans per rank), the parallel treecode's phases, the NPB
+and Linpack host harnesses, the resilience restart loop, and the
+``benchmarks/`` record emitter.
+
+Exporters turn one recorded run into every view this repo needs:
+
+* :func:`~repro.obs.export.chrome_trace` — Chrome ``trace_event`` JSON
+  for Perfetto / ``chrome://tracing``;
+* :func:`~repro.obs.export.metrics` — a flat ``name -> number`` dict;
+* :func:`~repro.obs.ascii_art.render_spans` — the classic ASCII Gantt;
+* :func:`~repro.obs.export.dumps_canonical` — byte-stable JSON for the
+  golden-trace regression suite.
+
+When observation is off, the shared :data:`~repro.obs.model.NULL`
+recorder makes every hook a constant-time no-op.
+"""
+
+from .ascii_art import DEFAULT_SYMBOLS, render_spans
+from .export import (
+    canonical_floats,
+    chrome_trace,
+    dumps_canonical,
+    metrics,
+    parse_chrome_trace,
+)
+from .model import (
+    NULL,
+    Counter,
+    Gauge,
+    NullRecorder,
+    Recorder,
+    Span,
+    validate_nesting,
+)
+
+__all__ = [
+    "Span",
+    "Counter",
+    "Gauge",
+    "Recorder",
+    "NullRecorder",
+    "NULL",
+    "validate_nesting",
+    "chrome_trace",
+    "parse_chrome_trace",
+    "metrics",
+    "dumps_canonical",
+    "canonical_floats",
+    "render_spans",
+    "DEFAULT_SYMBOLS",
+]

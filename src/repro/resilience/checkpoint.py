@@ -182,7 +182,7 @@ class Checkpointer:
         nbytes = self.store.write_rank(epoch, rank, arrays, meta)
         dump_s = self.dump_time_s(nbytes)
         self.dump_seconds_total += dump_s
-        yield comm.elapse(dump_s)
+        yield comm.elapse(dump_s, label="checkpoint-dump")
         yield comm.barrier()
         if rank == 0:
             # Reached only when every rank survived its dump: the commit

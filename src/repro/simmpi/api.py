@@ -178,19 +178,29 @@ class Waitall(Op):
 
 @dataclass(frozen=True)
 class Compute(Op):
-    """Advance the local clock by a modeled computation."""
+    """Advance the local clock by a modeled computation.
+
+    ``label`` names the phase for the instrumentation layer (e.g.
+    ``"tree-build"``); it has no effect on timing.
+    """
 
     flops: float
     mem_bytes: float
     flop_efficiency: float = 1.0
+    label: str = ""
 
 
 @dataclass(frozen=True)
 class Elapse(Op):
     """Advance the local clock by a literal number of seconds (I/O,
-    fixed overheads, anything outside the compute model)."""
+    fixed overheads, anything outside the compute model).
+
+    ``label`` names the interval for the instrumentation layer (e.g.
+    ``"checkpoint-dump"``); it has no effect on timing.
+    """
 
     seconds: float
+    label: str = ""
 
 
 @dataclass(frozen=True)
@@ -306,11 +316,17 @@ class Comm:
         return Probe(source, tag)
 
     # -- local time -----------------------------------------------------
-    def compute(self, flops: float, mem_bytes: float = 0.0, flop_efficiency: float = 1.0) -> Compute:
-        return Compute(flops, mem_bytes, flop_efficiency)
+    def compute(
+        self,
+        flops: float,
+        mem_bytes: float = 0.0,
+        flop_efficiency: float = 1.0,
+        label: str = "",
+    ) -> Compute:
+        return Compute(flops, mem_bytes, flop_efficiency, label)
 
-    def elapse(self, seconds: float) -> Elapse:
-        return Elapse(seconds)
+    def elapse(self, seconds: float, label: str = "") -> Elapse:
+        return Elapse(seconds, label)
 
     def now(self) -> Now:
         return Now()

@@ -40,6 +40,7 @@ from functools import reduce as _fold
 from typing import Any, Callable, Generator, Sequence
 
 from ..machine.perfmodel import Workload
+from ..obs import NULL, Recorder
 from .api import (
     ANY_SOURCE,
     ANY_TAG,
@@ -61,7 +62,7 @@ from .api import (
 )
 from .cost import CostModel, ZeroCost
 from .faults import FaultPlan, RankFailedError
-from .trace import TraceEvent
+from .trace import TraceEvent, spans_to_trace
 
 __all__ = [
     "DeadlockError",
@@ -104,12 +105,19 @@ class RankStats:
 
 @dataclass
 class SimResult:
-    """Outcome of a simulation: per-rank clocks, stats, return values."""
+    """Outcome of a simulation: per-rank clocks, stats, return values.
+
+    ``observer`` is the :class:`~repro.obs.Recorder` that captured the
+    run's spans and counters (None when tracing was disabled and no
+    external observer was supplied); ``trace`` is the legacy per-rank
+    interval view derived from it.
+    """
 
     clocks: list[float]
     stats: list[RankStats]
     returns: list[Any]
     trace: list[TraceEvent] = field(default_factory=list)
+    observer: Recorder | None = None
 
     @property
     def elapsed(self) -> float:
@@ -182,6 +190,7 @@ class Engine:
         cost: CostModel | None = None,
         record_trace: bool = True,
         faults: FaultPlan | None = None,
+        observer: Recorder | None = None,
     ):
         if not programs:
             raise ValueError("at least one rank program is required")
@@ -190,6 +199,15 @@ class Engine:
         self.faults = faults
         if faults is not None:
             faults.validate_ranks(len(programs))
+        # Observation: an explicit observer wins; otherwise tracing
+        # allocates a private recorder, and disabled runs share the
+        # no-op NULL recorder (zero-cost hooks).
+        if observer is not None:
+            self.observer = observer
+        elif record_trace:
+            self.observer = Recorder()
+        else:
+            self.observer = NULL
         self.trace: list[TraceEvent] = []
         self.eager_nbytes = getattr(self.cost, "eager_nbytes", DEFAULT_EAGER_NBYTES)
         self.size = len(programs)
@@ -220,9 +238,14 @@ class Engine:
             raise RuntimeError(f"resume of finished rank {rank}")
         if state.blocked_since is not None:
             state.stats.blocked_s += max(time - state.blocked_since, 0.0)
-            if self.record_trace and time > state.blocked_since:
-                self.trace.append(
-                    TraceEvent(rank, state.blocked_since, time, "blocked", state.blocked_on)
+            if time > state.blocked_since:
+                why = state.blocked_on
+                self.observer.add_span(
+                    why or "blocked",
+                    state.blocked_since,
+                    time,
+                    track=rank,
+                    cat="collective" if why.startswith("collective") else "blocked",
                 )
             state.blocked_since = None
             state.blocked_on = ""
@@ -249,16 +272,20 @@ class Engine:
             if self.faults is not None:
                 dt *= self.faults.compute_factor(rank, t)
             state.stats.compute_s += dt
-            if self.record_trace and dt > 0:
-                self.trace.append(TraceEvent(rank, t, t + dt, "compute"))
+            if dt > 0:
+                self.observer.add_span(
+                    op.label or "compute", t, t + dt, track=rank, cat="compute"
+                )
             self._schedule(t + dt, rank)
         elif isinstance(op, Elapse):
             if op.seconds < 0:
                 self._throw(rank, ValueError("cannot elapse negative time"))
                 return
             state.stats.compute_s += op.seconds
-            if self.record_trace and op.seconds > 0:
-                self.trace.append(TraceEvent(rank, t, t + op.seconds, "compute"))
+            if op.seconds > 0:
+                self.observer.add_span(
+                    op.label or "elapse", t, t + op.seconds, track=rank, cat="compute"
+                )
             self._schedule(t + op.seconds, rank)
         elif isinstance(op, Now):
             self._schedule(t, rank, t)
@@ -295,6 +322,8 @@ class Engine:
         rec = _SendRec(rank, op.dest, op.tag, op.payload, op.nbytes, t, req.seq, req)
         self._ranks[rank].stats.bytes_sent += op.nbytes
         self._ranks[rank].stats.msgs_sent += 1
+        self.observer.count("simmpi.bytes_sent", op.nbytes)
+        self.observer.count("simmpi.msgs_sent")
         eager = op.nbytes <= self.eager_nbytes
         if eager:
             # Buffered: sender's obligation ends after the injection
@@ -367,6 +396,8 @@ class Engine:
         stats = self._ranks[recv.dst].stats
         stats.bytes_received += send.nbytes
         stats.msgs_received += 1
+        self.observer.count("simmpi.bytes_received", send.nbytes)
+        self.observer.count("simmpi.msgs_received")
         if not send.request.is_complete:
             # Rendezvous: sender is released when the transfer lands.
             send.request.complete_time = t_done
@@ -416,6 +447,8 @@ class Engine:
         state = self._ranks[rank]
         state.stats.bytes_sent += op.nbytes
         state.stats.msgs_sent += 1
+        self.observer.count("simmpi.bytes_sent", op.nbytes)
+        self.observer.count("simmpi.collective_calls")
         idx = state.coll_count
         state.coll_count += 1
         group = self._collectives.setdefault(idx, {})
@@ -484,6 +517,7 @@ class Engine:
             if value is _CRASH:
                 if self._ranks[rank].done:
                     continue  # node died after its rank finished: job survives
+                self.observer.add_span("node crash", time, time, track=rank, cat="failed")
                 if self.record_trace:
                     self.trace.append(TraceEvent(rank, time, time, "failed", "node crash"))
                 raise RankFailedError(rank, time)
@@ -499,11 +533,14 @@ class Engine:
                 f"rank {i}: {self._ranks[i].blocked_on or 'never blocked'}" for i in unfinished
             )
             raise DeadlockError(f"simulation deadlocked with {len(unfinished)} rank(s) blocked ({detail})")
+        if self.record_trace:
+            self.trace = spans_to_trace(list(self.observer.spans))
         return SimResult(
             clocks=[s.clock for s in self._ranks],
             stats=[s.stats for s in self._ranks],
             returns=[s.return_value for s in self._ranks],
             trace=self.trace,
+            observer=self.observer if self.observer is not NULL else None,
         )
 
 
@@ -513,6 +550,7 @@ def run(
     cost: CostModel | None = None,
     max_events: int = 50_000_000,
     faults: FaultPlan | None = None,
+    observer: Recorder | None = None,
 ) -> SimResult:
     """Convenience front door: run one program SPMD-style or a list MPMD-style.
 
@@ -520,6 +558,8 @@ def run(
     ``run([master, worker, worker])`` launches heterogeneous programs.
     With ``faults``, the run executes under an injected failure schedule
     and may raise :class:`~repro.simmpi.faults.RankFailedError`.
+    With ``observer``, the engine records its spans and counters into
+    the given :class:`~repro.obs.Recorder` instead of a private one.
     """
     if callable(program):
         if n_ranks is None or n_ranks <= 0:
@@ -529,4 +569,4 @@ def run(
         programs = list(program)
         if n_ranks is not None and n_ranks != len(programs):
             raise ValueError("n_ranks disagrees with the number of programs")
-    return Engine(programs, cost, faults=faults).run(max_events=max_events)
+    return Engine(programs, cost, faults=faults, observer=observer).run(max_events=max_events)

@@ -1,22 +1,35 @@
 """Execution traces and ASCII timelines for SimMPI runs.
 
-The engine records per-rank activity intervals (compute segments and
-blocked spans, with what each rank was blocked on).  This module turns
-those into the standard parallel-tools views: a Gantt-style ASCII
+The engine records per-rank activity through the unified
+:mod:`repro.obs` layer; this module keeps the historical SimMPI-facing
+surface — the :class:`TraceEvent` record, the Gantt-style ASCII
 timeline (the poor man's Vampir/Jumpshot, which is what one actually
-stared at in 2003) and per-rank utilization summaries.
+stared at in 2003), and per-rank utilization summaries — as thin
+adapters over that model.
 
 Usage::
 
     result = run(program, 8, cost)
     print(render_timeline(result.trace, result.elapsed))
+
+For richer views (Perfetto-loadable Chrome traces, flat metrics) use
+``result.observer`` with :func:`repro.obs.chrome_trace` /
+:func:`repro.obs.metrics`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["TraceEvent", "render_timeline", "utilization"]
+from ..obs import Span, render_spans
+
+__all__ = [
+    "TraceEvent",
+    "render_timeline",
+    "utilization",
+    "trace_to_spans",
+    "spans_to_trace",
+]
 
 
 @dataclass(frozen=True)
@@ -38,23 +51,69 @@ class TraceEvent:
         return self.t_end - self.t_start
 
 
+def trace_to_spans(trace: list[TraceEvent]) -> list[Span]:
+    """Lift legacy trace events into obs spans (track = rank).
+
+    Collective waits (detail ``collective #n (...)``) get their own
+    category so exporters can tell communication structure from
+    point-to-point blocking.
+    """
+    spans = []
+    for e in trace:
+        if e.kind == "blocked" and e.detail.startswith("collective"):
+            cat = "collective"
+        else:
+            cat = e.kind
+        name = e.detail if e.kind == "blocked" and e.detail else (e.detail or e.kind)
+        spans.append(Span(name, e.t_start, e.t_end, track=e.rank, cat=cat))
+    return spans
+
+
+def spans_to_trace(spans: list[Span]) -> list[TraceEvent]:
+    """Project obs spans back onto the legacy TraceEvent surface.
+
+    ``compute`` spans keep their phase label as ``detail`` (empty for
+    the anonymous ``compute``/``elapse`` defaults); ``collective``
+    spans fold back into ``blocked``, which is what the pre-obs engine
+    recorded them as.
+    """
+    out = []
+    for s in spans:
+        if s.cat == "compute":
+            detail = "" if s.name in ("compute", "elapse") else s.name
+            out.append(TraceEvent(s.track, s.t_start, s.t_end, "compute", detail))
+        elif s.cat in ("blocked", "collective"):
+            out.append(TraceEvent(s.track, s.t_start, s.t_end, "blocked", s.name))
+        elif s.cat == "failed":
+            out.append(TraceEvent(s.track, s.t_start, s.t_end, "failed", s.name))
+    return out
+
+
 def utilization(trace: list[TraceEvent], elapsed: float, n_ranks: int) -> list[dict]:
-    """Per-rank breakdown: compute / blocked / idle fractions."""
+    """Per-rank breakdown: compute / blocked / idle fractions.
+
+    Single pass over the trace grouped by rank (events from ranks
+    outside ``[0, n_ranks)`` are ignored, as before).
+    """
     if elapsed <= 0:
         raise ValueError("elapsed must be positive")
-    out = []
-    for rank in range(n_ranks):
-        compute = sum(e.duration for e in trace if e.rank == rank and e.kind == "compute")
-        blocked = sum(e.duration for e in trace if e.rank == rank and e.kind == "blocked")
-        out.append(
-            {
-                "rank": rank,
-                "compute": compute / elapsed,
-                "blocked": blocked / elapsed,
-                "idle": max(1.0 - (compute + blocked) / elapsed, 0.0),
-            }
-        )
-    return out
+    compute = [0.0] * n_ranks
+    blocked = [0.0] * n_ranks
+    for e in trace:
+        if 0 <= e.rank < n_ranks:
+            if e.kind == "compute":
+                compute[e.rank] += e.duration
+            elif e.kind == "blocked":
+                blocked[e.rank] += e.duration
+    return [
+        {
+            "rank": rank,
+            "compute": compute[rank] / elapsed,
+            "blocked": blocked[rank] / elapsed,
+            "idle": max(1.0 - (compute[rank] + blocked[rank]) / elapsed, 0.0),
+        }
+        for rank in range(n_ranks)
+    ]
 
 
 def render_timeline(
@@ -67,22 +126,6 @@ def render_timeline(
         raise ValueError("elapsed must be positive")
     if width < 10:
         raise ValueError("width must be >= 10")
-    if n_ranks is None:
-        n_ranks = max(e.rank for e in trace) + 1
-    lines = [f"timeline ({elapsed:.3g}s virtual, '#'=compute '.'=blocked 'X'=crash):"]
-    for rank in range(n_ranks):
-        row = [" "] * width
-        for e in trace:
-            if e.rank != rank:
-                continue
-            lo = int(e.t_start / elapsed * width)
-            if e.kind == "failed":
-                row[min(lo, width - 1)] = "X"
-                continue
-            hi = max(int(e.t_end / elapsed * width), lo + 1)
-            ch = "#" if e.kind == "compute" else "."
-            for i in range(lo, min(hi, width)):
-                if row[i] == " " or ch == "#":
-                    row[i] = ch
-        lines.append(f"rank {rank:3d} |{''.join(row)}|")
-    return "\n".join(lines)
+    return render_spans(
+        trace_to_spans(trace), elapsed, n_tracks=n_ranks, width=width
+    )

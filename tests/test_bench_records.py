@@ -1,0 +1,102 @@
+"""Contract tests for the uniform benchmark records.
+
+Every ``benchmarks/bench_*.py`` must expose ``main() -> dict`` built on
+``benchmarks/_harness.py``, and the record it returns must validate
+against ``benchmarks/schema.json``.  The cheap shape checks (module
+exposes a callable ``main``, the schema file itself is well-formed, the
+subset validator works) run in the default suite; actually executing
+all 24 payloads is marked slow.
+"""
+
+import importlib.util
+import json
+import os
+import sys
+
+import pytest
+
+BENCH_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "benchmarks")
+BENCH_FILES = sorted(
+    f for f in os.listdir(BENCH_DIR) if f.startswith("bench_") and f.endswith(".py")
+)
+
+
+def _load(filename):
+    if BENCH_DIR not in sys.path:
+        sys.path.insert(0, BENCH_DIR)
+    name = f"_bench_records_{filename[:-3]}"
+    spec = importlib.util.spec_from_file_location(name, os.path.join(BENCH_DIR, filename))
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+@pytest.fixture(scope="module")
+def harness():
+    if BENCH_DIR not in sys.path:
+        sys.path.insert(0, BENCH_DIR)
+    import _harness
+
+    return _harness
+
+
+def test_bench_files_found():
+    assert len(BENCH_FILES) == 24
+
+
+@pytest.mark.parametrize("filename", BENCH_FILES)
+def test_exposes_main(filename):
+    mod = _load(filename)
+    assert callable(getattr(mod, "main", None)), f"{filename} has no main()"
+
+
+class TestSchema:
+    def test_schema_file_is_valid_json(self, harness):
+        schema = harness.load_schema()
+        assert schema["type"] == "object"
+        assert schema["additionalProperties"] is False
+        assert set(schema["required"]) == set(schema["properties"])
+
+    def test_good_record_validates(self, harness):
+        record = harness.bench_record(
+            "unit_test", params={"n": 1}, seconds=0.5,
+            virtual_seconds=2.0, counters={"x": 3},
+        )
+        assert harness.validate_record(record) == []
+
+    @pytest.mark.parametrize("mutate,fragment", [
+        (lambda r: r.pop("name"), "missing required"),
+        (lambda r: r.update(name="Bad Name!"), "pattern"),
+        (lambda r: r.update(seconds=-1.0), "minimum"),
+        (lambda r: r.update(seconds="fast"), "expected type"),
+        (lambda r: r.update(counters={"x": "lots"}), "expected type"),
+        (lambda r: r.update(extra_field=1), "unexpected property"),
+        (lambda r: r.update(schema_version=True), "expected type"),
+    ])
+    def test_bad_records_rejected(self, harness, mutate, fragment):
+        record = harness.bench_record("unit_test", seconds=0.1)
+        mutate(record)
+        errors = harness.validate_record(record)
+        assert errors and any(fragment in e for e in errors), errors
+
+    def test_emit_writes_file(self, harness, tmp_path):
+        record = harness.bench_record("unit_test", seconds=0.1)
+        path = harness.emit(record, str(tmp_path))
+        assert os.path.basename(path) == "BENCH_unit_test.json"
+        with open(path) as fh:
+            assert json.load(fh) == record
+
+    def test_emit_noop_without_dir(self, harness, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_DIR", raising=False)
+        assert harness.emit(harness.bench_record("unit_test", seconds=0.1)) is None
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("filename", BENCH_FILES)
+def test_main_record_validates(filename, harness, capsys):
+    mod = _load(filename)
+    record = mod.main()
+    capsys.readouterr()  # swallow the CLI print
+    assert harness.validate_record(record) == [], filename
+    assert record["name"] in filename
+    assert record["seconds"] > 0

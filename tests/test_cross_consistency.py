@@ -116,6 +116,7 @@ class TestAllPathsAgree:
         assert pot == pytest.approx(ref.potentials[sink_idx], rel=1e-10)
 
 
+@pytest.mark.slow
 class TestFaultInjectedRecovery:
     """A node crash mid-run must not change the physics.
 

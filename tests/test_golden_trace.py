@@ -1,0 +1,121 @@
+"""Golden-trace regression suite.
+
+Two fixed-seed scenarios — a 4-rank SimMPI communication pattern and a
+small parallel treecode run — are exported as canonical Chrome-trace and
+utilization JSON and compared byte-for-byte against fixtures committed
+under ``tests/golden/``.  Floats are normalized to 9 significant digits
+(:func:`repro.obs.dumps_canonical`), so the comparison is immune to
+formatting and last-ulp noise but fails loudly on any semantic change
+to engine scheduling, cost models, or the treecode's communication
+structure.
+
+To bless an intentional change:
+
+    PYTHONPATH=src python tests/test_golden_trace.py --regen
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import ParallelConfig, parallel_tree_accelerations
+from repro.obs import chrome_trace, dumps_canonical, metrics
+from repro.simmpi import Comm, SpaceSimulatorCost, run
+from repro.simmpi.trace import utilization
+
+GOLDEN_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "golden")
+
+N_RANKS = 4
+
+
+def _simmpi_scenario():
+    """A deterministic 4-rank program exercising every span category."""
+
+    def program(comm: Comm):
+        rank = comm.rank
+        yield comm.compute(flops=2e6 * (rank + 1), mem_bytes=1e5, label="warmup")
+        yield comm.barrier()
+        req = yield comm.isend(b"p" * (1000 * (rank + 1)), dest=(rank + 1) % comm.size)
+        yield comm.recv(source=(rank - 1) % comm.size)
+        yield comm.wait(req)
+        total = yield comm.allreduce(rank)
+        yield comm.elapse(1e-4 * (total + 1), label="postprocess")
+
+    return run(program, N_RANKS, SpaceSimulatorCost())
+
+
+def _treecode_scenario():
+    """A small fixed-seed parallel treecode run (the Table 6 pipeline)."""
+    rng = np.random.default_rng(123)
+    r = rng.random(256) ** (1.0 / 3.0)
+    d = rng.standard_normal((256, 3))
+    d /= np.linalg.norm(d, axis=1, keepdims=True)
+    pos = r[:, None] * d
+    masses = np.full(256, 1.0 / 256)
+    cfg = ParallelConfig(theta=0.8, eps=0.05, bucket_size=16)
+    return parallel_tree_accelerations(
+        pos, masses, n_ranks=N_RANKS, config=cfg, cost=SpaceSimulatorCost()
+    ).sim
+
+
+def _artifacts(sim) -> dict[str, str]:
+    """Canonical byte-stable artifacts for one simulation result."""
+    doc = chrome_trace(sim.observer, process_name="golden")
+    util = utilization(sim.trace, sim.elapsed, N_RANKS)
+    return {
+        "trace": dumps_canonical(doc),
+        "utilization": dumps_canonical(
+            {"elapsed": sim.elapsed, "ranks": util, "metrics": metrics(sim.observer)}
+        ),
+    }
+
+
+SCENARIOS = {
+    "simmpi_4rank": _simmpi_scenario,
+    "treecode_small": _treecode_scenario,
+}
+
+
+def _fixture_path(scenario: str, artifact: str) -> str:
+    return os.path.join(GOLDEN_DIR, f"{scenario}_{artifact}.json")
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+@pytest.mark.parametrize("artifact", ["trace", "utilization"])
+def test_golden(scenario, artifact):
+    produced = _artifacts(SCENARIOS[scenario]())[artifact]
+    path = _fixture_path(scenario, artifact)
+    with open(path) as fh:
+        expected = fh.read()
+    assert produced == expected, (
+        f"{scenario}/{artifact} drifted from {path}; if the change is "
+        "intentional, regenerate with "
+        "`PYTHONPATH=src python tests/test_golden_trace.py --regen`"
+    )
+
+
+def test_golden_runs_are_deterministic():
+    a = _artifacts(_simmpi_scenario())
+    b = _artifacts(_simmpi_scenario())
+    assert a == b
+
+
+def regen() -> None:
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for scenario, build in sorted(SCENARIOS.items()):
+        arts = _artifacts(build())
+        for artifact, text in sorted(arts.items()):
+            path = _fixture_path(scenario, artifact)
+            with open(path, "w") as fh:
+                fh.write(text)
+            print(f"wrote {path} ({len(text)} bytes)")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        regen()
+    else:
+        print(__doc__)

@@ -1,0 +1,154 @@
+"""Property tests for repro.obs: nesting, monotonicity, round-trips.
+
+Four invariants, driven by Hypothesis:
+
+* spans produced by the context-manager API always satisfy
+  ``validate_nesting`` — the recorder cannot emit a malformed forest;
+* counters are monotone under any sequence of non-negative deltas;
+* the Chrome-trace export/parse pair round-trips any span multiset
+  after canonical float normalization;
+* every span an engine run records in virtual time lies inside
+  ``[0, SimResult.elapsed]`` for random rank programs.
+"""
+
+from collections import Counter as Multiset
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    Recorder,
+    Span,
+    canonical_floats,
+    chrome_trace,
+    parse_chrome_trace,
+    validate_nesting,
+)
+from repro.simmpi import Comm, UniformCost, run
+
+# -- strategies ------------------------------------------------------------
+
+finite_time = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+span_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz-_.", min_size=1, max_size=12
+)
+
+
+@st.composite
+def spans(draw):
+    t0 = draw(finite_time)
+    dur = draw(st.floats(min_value=0.0, max_value=1e3, allow_nan=False))
+    return Span(
+        name=draw(span_names),
+        t_start=t0,
+        t_end=t0 + dur,
+        track=draw(st.integers(min_value=0, max_value=7)),
+        cat=draw(st.sampled_from(["", "compute", "blocked", "collective", "bench"])),
+    )
+
+
+@st.composite
+def nesting_programs(draw):
+    """A random sequence of balanced push/pop operations per track."""
+    ops = []
+    depth = 0
+    for _ in range(draw(st.integers(min_value=0, max_value=30))):
+        if depth == 0 or draw(st.booleans()):
+            ops.append(("push", draw(span_names)))
+            depth += 1
+        else:
+            ops.append(("pop", None))
+            depth -= 1
+    ops.extend(("pop", None) for _ in range(depth))
+    return ops
+
+
+# -- properties ------------------------------------------------------------
+
+
+class TestNestingWellFormed:
+    @given(nesting_programs(), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=100, deadline=None)
+    def test_context_manager_spans_always_nest(self, ops, track):
+        ticks = iter(range(1, 10_000))
+        rec = Recorder(clock=lambda: 0.0)
+        rec._clock = lambda: float(next(ticks))
+        rec._origin = 0.0
+        stack = []
+        for op, name in ops:
+            if op == "push":
+                ctx = rec.span(name, track=track)
+                ctx.__enter__()
+                stack.append(ctx)
+            else:
+                stack.pop().__exit__(None, None, None)
+        validate_nesting(rec.spans)
+        assert len(rec.spans) == sum(1 for op, _ in ops if op == "push")
+
+
+class TestCounterMonotone:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+                    max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_counter_never_decreases(self, deltas):
+        rec = Recorder()
+        seen = 0.0
+        for d in deltas:
+            rec.count("c", d)
+            assert rec.counters["c"].value >= seen
+            seen = rec.counters["c"].value
+        assert seen == sum(deltas)
+
+
+class TestExportRoundTrip:
+    @given(st.lists(spans(), max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_chrome_trace_round_trips_span_multiset(self, span_list):
+        doc = chrome_trace(span_list)
+        back = parse_chrome_trace(doc)
+
+        def key(s):
+            return (s.name, s.track, s.cat,
+                    canonical_floats(s.t_start), canonical_floats(s.duration))
+
+        assert Multiset(map(key, back)) == Multiset(map(key, span_list))
+
+
+class TestVirtualTimeBounds:
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.lists(
+            st.tuples(
+                st.sampled_from(["compute", "barrier", "allreduce", "sendrecv"]),
+                st.floats(min_value=1e-6, max_value=0.1, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_engine_spans_inside_elapsed(self, n_ranks, steps):
+        def program(comm: Comm):
+            for kind, amount in steps:
+                if kind == "compute":
+                    yield comm.elapse(amount)
+                elif kind == "barrier":
+                    yield comm.barrier()
+                elif kind == "allreduce":
+                    yield comm.allreduce(comm.rank)
+                elif kind == "sendrecv" and comm.size > 1:
+                    peer = (comm.rank + 1) % comm.size
+                    req = yield comm.isend(b"x" * 64, dest=peer)
+                    yield comm.recv(source=(comm.rank - 1) % comm.size)
+                    yield comm.wait(req)
+
+        result = run(program, n_ranks, UniformCost(latency_s=1e-5, mbytes_s=100.0))
+        assert result.observer is not None
+        for span in result.observer.spans:
+            assert span.t_start >= 0.0
+            assert span.t_end <= result.elapsed + 1e-12
+            assert 0 <= span.track < n_ranks
+        validate_nesting(result.observer.spans)

@@ -109,7 +109,10 @@ class TestFaultPlan:
             run(lambda comm: iter(()), 4, faults=plan)
 
 
+@pytest.mark.slow
 class TestSampling:
+    """Monte-Carlo fault-plan sampling: slow tier with the other
+    statistical tests, the deterministic plan logic stays in the fast tier."""
     def test_deterministic_in_seed(self):
         a = sample_fault_plan(16, 24.0, seed=42, crash_rate_scale=5e3)
         b = sample_fault_plan(16, 24.0, seed=42, crash_rate_scale=5e3)

@@ -13,6 +13,9 @@ from hypothesis import strategies as st
 
 from repro.simmpi import ANY_SOURCE, UniformCost, run
 
+# Monte-Carlo stress tier: excluded from `pytest -m "not slow"` runs.
+pytestmark = pytest.mark.slow
+
 
 class TestRandomMatchedTraffic:
     @given(

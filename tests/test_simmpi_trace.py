@@ -104,3 +104,49 @@ class TestTimeline:
         assert len(result.sim.trace) > 0
         art = render_timeline(result.sim.trace, result.sim.elapsed)
         assert art.count("rank") == 3
+
+
+def _utilization_reference(trace, elapsed, n_ranks):
+    """The original O(ranks x events) implementation, kept verbatim as
+    the oracle for the single-pass rewrite."""
+    if elapsed <= 0:
+        raise ValueError("elapsed must be positive")
+    out = []
+    for rank in range(n_ranks):
+        compute = sum(e.duration for e in trace if e.rank == rank and e.kind == "compute")
+        blocked = sum(e.duration for e in trace if e.rank == rank and e.kind == "blocked")
+        out.append({
+            "rank": rank,
+            "compute": compute / elapsed,
+            "blocked": blocked / elapsed,
+            "idle": max(1.0 - (compute + blocked) / elapsed, 0.0),
+        })
+    return out
+
+
+class TestUtilizationSinglePass:
+    """The single-pass utilization must equal the old rescan exactly."""
+
+    def test_matches_reference_on_engine_trace(self):
+        result = run(_staggered, 2, UniformCost(mflops=1000.0))
+        got = utilization(result.trace, result.elapsed, 2)
+        assert got == _utilization_reference(result.trace, result.elapsed, 2)
+
+    def test_matches_reference_on_synthetic_trace(self):
+        rng = np.random.default_rng(5)
+        trace = []
+        for _ in range(500):
+            t0 = float(rng.random())
+            trace.append(TraceEvent(
+                rank=int(rng.integers(-1, 6)),  # includes out-of-range ranks
+                t_start=t0,
+                t_end=t0 + float(rng.random()) * 0.1,
+                kind=str(rng.choice(["compute", "blocked", "failed"])),
+            ))
+        got = utilization(trace, 1.2, 4)
+        assert got == _utilization_reference(trace, 1.2, 4)
+
+    def test_out_of_range_ranks_ignored(self):
+        trace = [TraceEvent(rank=9, t_start=0.0, t_end=1.0, kind="compute")]
+        rows = utilization(trace, 1.0, 2)
+        assert all(r["compute"] == 0.0 for r in rows)
