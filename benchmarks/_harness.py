@@ -25,8 +25,10 @@ import time
 from typing import Any, Callable, Mapping
 
 __all__ = [
+    "HISTORY_ENV",
     "SCHEMA_PATH",
     "SCHEMA_VERSION",
+    "append_history",
     "bench_record",
     "emit",
     "git_rev",
@@ -36,6 +38,11 @@ __all__ = [
 ]
 
 SCHEMA_VERSION = 1
+
+#: When set, every validated record is appended to this JSONL file (a
+#: directory means ``<dir>/history.jsonl``) — the longitudinal input of
+#: the ``python -m repro.obs compare`` regression gate.
+HISTORY_ENV = "REPRO_BENCH_HISTORY"
 SCHEMA_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "schema.json")
 
 _TYPES: dict[str, tuple[type, ...]] = {
@@ -151,6 +158,28 @@ def emit(record: Mapping, out_dir: str | None = None) -> str | None:
     return path
 
 
+def append_history(record: Mapping, path: str | None = None) -> str | None:
+    """Append one record (plus a UTC timestamp) to the history JSONL.
+
+    ``path`` defaults to the ``REPRO_BENCH_HISTORY`` environment
+    variable; with neither set, this is a no-op.  The file is the
+    longitudinal record ``repro.obs.history`` computes rolling baselines
+    from; lines are self-contained JSON objects, oldest first.
+    """
+    path = path or os.environ.get(HISTORY_ENV)
+    if not path:
+        return None
+    if os.path.isdir(path):
+        path = os.path.join(path, "history.jsonl")
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    entry = dict(record)
+    entry["ts"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    with open(path, "a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return path
+
+
 def run_main(
     name: str,
     build: Callable[[], Any],
@@ -185,6 +214,7 @@ def run_main(
     if errors:
         raise ValueError(f"bench record for {name!r} violates schema.json: {errors}")
     emit(record)
+    append_history(record)
     if not quiet:
         print(json.dumps(record, indent=2, sort_keys=True))
     return record

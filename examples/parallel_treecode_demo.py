@@ -10,6 +10,10 @@ Run:  python examples/parallel_treecode_demo.py
       python examples/parallel_treecode_demo.py --trace out.json
           (writes a Chrome trace_event file of the 8-rank run; open it
           at https://ui.perfetto.dev or chrome://tracing)
+      python examples/parallel_treecode_demo.py --analyze
+          (wait-state classification, per-rank load balance, and the
+          critical path of the 8-rank run — same analyses as
+          ``python -m repro.obs analyze``, without the trace file)
 """
 
 import argparse
@@ -53,10 +57,30 @@ def write_trace(path: str, sim) -> None:
           f"per-rank compute totals match engine stats to 1e-9.")
 
 
+def analyze(sim) -> None:
+    """Wait-state, load-balance, and critical-path diagnosis of a run."""
+    from repro.obs import critical_path, load_imbalance, wait_summary
+    from repro.obs.analysis import (
+        format_critical_path,
+        format_imbalance,
+        format_wait_summary,
+    )
+
+    print()
+    print(format_wait_summary(wait_summary(sim.observer)))
+    print()
+    print(format_imbalance(load_imbalance(sim.observer, sim.elapsed)))
+    print()
+    print(format_critical_path(critical_path(sim.observer, sim.elapsed)))
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--trace", metavar="OUT.json", default=None,
                         help="write the 8-rank run as Chrome trace_event JSON")
+    parser.add_argument("--analyze", action="store_true",
+                        help="print wait-state / load-balance / critical-path "
+                             "diagnosis of the 8-rank run")
     opts = parser.parse_args()
     n = 4000
     pos, masses = cosmological_sphere(n)
@@ -97,6 +121,8 @@ def main() -> None:
     )
     print()
     print(render_timeline(final.sim.trace, final.sim.elapsed))
+    if opts.analyze:
+        analyze(final.sim)
     if opts.trace:
         write_trace(opts.trace, final.sim)
 

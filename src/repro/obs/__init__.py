@@ -21,6 +21,17 @@ When observation is off, the shared :data:`~repro.obs.model.NULL`
 recorder makes every hook a constant-time no-op.
 """
 
+from .analysis import (
+    WAIT_CAUSES,
+    PathSegment,
+    WaitState,
+    attribute_phases,
+    classify_waits,
+    critical_path,
+    critical_path_summary,
+    load_imbalance,
+    wait_summary,
+)
 from .ascii_art import DEFAULT_SYMBOLS, render_spans
 from .export import (
     canonical_floats,
@@ -28,6 +39,15 @@ from .export import (
     dumps_canonical,
     metrics,
     parse_chrome_trace,
+    recorder_from_chrome_trace,
+)
+from .history import (
+    BenchComparison,
+    ComparisonReport,
+    compare_history,
+    format_comparison_report,
+    load_history,
+    robust_baseline,
 )
 from .model import (
     NULL,
@@ -38,6 +58,7 @@ from .model import (
     Span,
     validate_nesting,
 )
+from .report import html_report, svg_timeline, write_report
 
 __all__ = [
     "Span",
@@ -49,9 +70,31 @@ __all__ = [
     "validate_nesting",
     "chrome_trace",
     "parse_chrome_trace",
+    "recorder_from_chrome_trace",
     "metrics",
     "dumps_canonical",
     "canonical_floats",
     "render_spans",
     "DEFAULT_SYMBOLS",
+    # analysis
+    "WAIT_CAUSES",
+    "WaitState",
+    "PathSegment",
+    "classify_waits",
+    "wait_summary",
+    "critical_path",
+    "critical_path_summary",
+    "load_imbalance",
+    "attribute_phases",
+    # history / regression gate
+    "BenchComparison",
+    "ComparisonReport",
+    "load_history",
+    "robust_baseline",
+    "compare_history",
+    "format_comparison_report",
+    # report
+    "html_report",
+    "svg_timeline",
+    "write_report",
 ]

@@ -1,0 +1,169 @@
+"""``python -m repro.obs`` — trace analysis & regression tracking CLI.
+
+Three subcommands drive the analysis stack from the shell:
+
+``analyze TRACE.json``
+    Wait-state breakdown, per-rank load balance, and the critical path
+    of a Chrome-trace file written by :func:`repro.obs.chrome_trace`
+    (e.g. ``examples/parallel_treecode_demo.py --trace``).  With
+    ``--predict pred.json``, adds the perf-model attribution table;
+    predictions map phase names to seconds or Workload fields
+    (``{"force": {"flops": 1e9, "mem_bytes": 2e8}}``).
+
+``report TRACE.json -o out.html``
+    The same analyses as one self-contained HTML file (inline SVG
+    timeline, no external assets) — openable straight from disk.
+
+``compare HISTORY.jsonl``
+    The bench regression gate: rolling-baseline comparison of the
+    longitudinal record ``benchmarks/_harness.py`` appends under
+    ``REPRO_BENCH_HISTORY``.  Exits 1 when any bench regressed beyond
+    the threshold and the noise model, which is what CI keys off.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+from .analysis import (
+    attribute_phases,
+    critical_path,
+    format_attribution,
+    format_critical_path,
+    format_imbalance,
+    format_wait_summary,
+    load_imbalance,
+    wait_summary,
+)
+from .export import recorder_from_chrome_trace
+from .history import compare_history, format_comparison_report, load_history
+from .report import write_report
+
+
+def _load_trace(path: str):
+    with open(path) as fh:
+        doc = json.load(fh)
+    rec = recorder_from_chrome_trace(doc)
+    elapsed = max((s.t_end for s in rec.spans), default=0.0)
+    return rec, elapsed
+
+
+def _load_predictions(path: str | None) -> dict[str, Any] | None:
+    if path is None:
+        return None
+    with open(path) as fh:
+        pred = json.load(fh)
+    if not isinstance(pred, dict):
+        raise SystemExit(f"{path}: predictions must be a JSON object")
+    return pred
+
+
+def _cmd_analyze(opts: argparse.Namespace) -> int:
+    rec, elapsed = _load_trace(opts.trace)
+    print(f"{opts.trace}: {len(rec.spans)} spans, elapsed {elapsed:.6g}s")
+    print()
+    print(format_wait_summary(wait_summary(rec)))
+    print()
+    print(format_imbalance(load_imbalance(rec, elapsed)))
+    print()
+    print(format_critical_path(critical_path(rec, elapsed), max_rows=opts.max_rows))
+    predictions = _load_predictions(opts.predict)
+    if predictions:
+        print()
+        print(format_attribution(
+            attribute_phases(rec, predictions, threshold=opts.threshold)
+        ))
+    if rec.counters:
+        print()
+        print("counters: " + ", ".join(
+            f"{name}={rec.counters[name].value:g}" for name in sorted(rec.counters)
+        ))
+    return 0
+
+
+def _cmd_report(opts: argparse.Namespace) -> int:
+    rec, elapsed = _load_trace(opts.trace)
+    history_text = None
+    if opts.history:
+        report = compare_history(
+            load_history(opts.history),
+            metric=opts.metric, threshold=opts.threshold, window=opts.window,
+        )
+        history_text = format_comparison_report(report)
+    path = write_report(
+        opts.output,
+        rec,
+        title=opts.title or f"repro.obs report: {opts.trace}",
+        elapsed=elapsed,
+        predictions=_load_predictions(opts.predict),
+        history_text=history_text,
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_compare(opts: argparse.Namespace) -> int:
+    entries = load_history(opts.history)
+    report = compare_history(
+        entries,
+        metric=opts.metric,
+        threshold=opts.threshold,
+        window=opts.window,
+    )
+    if opts.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_comparison_report(report))
+    return 0 if report.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="trace analysis and bench regression tracking",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_an = sub.add_parser("analyze", help="wait states, load balance, critical path")
+    p_an.add_argument("trace", help="Chrome trace_event JSON (repro.obs.chrome_trace)")
+    p_an.add_argument("--predict", metavar="PRED.json", default=None,
+                      help="phase -> seconds or Workload-field predictions")
+    p_an.add_argument("--threshold", type=float, default=0.25,
+                      help="attribution divergence threshold (default 0.25)")
+    p_an.add_argument("--max-rows", type=int, default=20,
+                      help="critical-path rows to print (default 20)")
+    p_an.set_defaults(func=_cmd_analyze)
+
+    p_rep = sub.add_parser("report", help="self-contained HTML report")
+    p_rep.add_argument("trace", help="Chrome trace_event JSON input")
+    p_rep.add_argument("-o", "--output", required=True, help="HTML output path")
+    p_rep.add_argument("--title", default=None)
+    p_rep.add_argument("--predict", metavar="PRED.json", default=None)
+    p_rep.add_argument("--history", metavar="HISTORY.jsonl", default=None,
+                       help="also embed a bench-history comparison")
+    p_rep.add_argument("--metric", default="seconds")
+    p_rep.add_argument("--threshold", type=float, default=0.05)
+    p_rep.add_argument("--window", type=int, default=5)
+    p_rep.set_defaults(func=_cmd_report)
+
+    p_cmp = sub.add_parser("compare", help="bench-history regression gate")
+    p_cmp.add_argument("history", help="history.jsonl (see REPRO_BENCH_HISTORY)")
+    p_cmp.add_argument("--metric", default="seconds",
+                       help="record field or counters.<name> (default seconds; "
+                            "use virtual_seconds for machine-independent gating)")
+    p_cmp.add_argument("--threshold", type=float, default=0.05,
+                       help="relative slowdown that counts as a regression")
+    p_cmp.add_argument("--window", type=int, default=5,
+                       help="rolling-baseline window of prior runs")
+    p_cmp.add_argument("--json", action="store_true", help="machine-readable output")
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    opts = parser.parse_args(argv)
+    return opts.func(opts)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,7 @@ from .model import Recorder, Span
 __all__ = [
     "chrome_trace",
     "parse_chrome_trace",
+    "recorder_from_chrome_trace",
     "metrics",
     "dumps_canonical",
     "canonical_floats",
@@ -87,17 +88,40 @@ def chrome_trace(
                 "args": args,
             }
         )
-    if isinstance(source, Recorder) and source.counters:
+    if isinstance(source, Recorder):
         t_end = max((s.t_end for s in spans), default=0.0)
         for name in sorted(source.counters):
             events.append(
                 {
                     "name": name,
                     "ph": "C",
+                    "cat": "counter",
                     "ts": t_end * 1e6,
                     "pid": 0,
                     "tid": 0,
                     "args": {"value": source.counters[name].value},
+                }
+            )
+        for name in sorted(source.gauges):
+            g = source.gauges[name]
+            events.append(
+                {
+                    "name": name,
+                    "ph": "C",
+                    "cat": "gauge",
+                    "ts": t_end * 1e6,
+                    "pid": 0,
+                    "tid": 0,
+                    # Perfetto plots "value"; the min/max envelope and
+                    # sample count ride along for the round-trip (the
+                    # infinite empty-envelope sentinels are not JSON,
+                    # so an unsampled gauge exports value only).
+                    "args": (
+                        {"value": g.value, "lo": g.lo, "hi": g.hi,
+                         "samples": g.samples}
+                        if g.samples
+                        else {"value": g.value, "samples": 0}
+                    ),
                 }
             )
     return {
@@ -133,6 +157,34 @@ def parse_chrome_trace(doc: dict) -> list[Span]:
             )
         )
     return spans
+
+
+def recorder_from_chrome_trace(doc: dict) -> Recorder:
+    """Rebuild a full :class:`Recorder` from a Chrome trace document.
+
+    Spans come from :func:`parse_chrome_trace`; ``"ph": "C"`` events
+    written by :func:`chrome_trace` restore counters (``cat:
+    "counter"``) and gauges (``cat: "gauge"``, including the min/max
+    envelope and sample count) — the exporter's full inverse, so
+    ``analyze``/``report`` runs on a trace file see the same meters the
+    live run recorded.
+    """
+    rec = Recorder()
+    rec.spans = parse_chrome_trace(doc)
+    for ev in doc.get("traceEvents", []):
+        if ev.get("ph") != "C":
+            continue
+        args = ev.get("args", {})
+        if ev.get("cat") == "gauge":
+            g = rec.gauge(ev["name"])
+            g.value = float(args.get("value", 0.0))
+            g.samples = int(args.get("samples", 0))
+            if g.samples:
+                g.lo = float(args.get("lo", g.value))
+                g.hi = float(args.get("hi", g.value))
+        else:
+            rec.counter(ev["name"]).value = float(args.get("value", 0.0))
+    return rec
 
 
 def metrics(source: Recorder | Iterable[Span]) -> dict[str, float]:

@@ -1,0 +1,223 @@
+"""Longitudinal bench history: rolling baselines and a regression gate.
+
+``benchmarks/_harness.py`` appends every schema-validated bench record
+as one JSON line to a history file (``REPRO_BENCH_HISTORY``).  This
+module is the read side: it groups the lines per bench name in file
+order (oldest first), computes a rolling baseline over the most recent
+``window`` prior runs, and flags the latest run as a regression when it
+is slower than the baseline by more than both
+
+* a relative ``threshold`` (default 5%), and
+* three robust sigmas of the baseline's own noise (median absolute
+  deviation scaled to a normal sigma),
+
+so a genuinely noisy bench needs a larger excursion to trip the gate
+than a deterministic one.  Virtual (simulated) seconds are
+deterministic, which is what makes the CI gate meaningful across
+heterogeneous runners: compare with ``metric="virtual_seconds"``.
+
+Blessing an intentional change is simply appending new honest runs:
+once the new timing dominates the window, it *is* the baseline (see
+EXPERIMENTS.md for the workflow).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "BenchComparison",
+    "ComparisonReport",
+    "load_history",
+    "robust_baseline",
+    "compare_history",
+    "format_comparison_report",
+]
+
+#: How many baseline sigmas the latest run must exceed, in addition to
+#: the relative threshold, before it counts as a regression.
+NOISE_SIGMAS = 3.0
+
+#: MAD -> sigma scale factor for normally distributed noise.
+_MAD_TO_SIGMA = 1.4826
+
+
+def load_history(path: str) -> list[dict]:
+    """Parse a ``history.jsonl`` file; blank/corrupt lines are skipped.
+
+    Returns entries in file order — the longitudinal order every
+    baseline computation relies on.
+    """
+    entries: list[dict] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(entry, dict) and "name" in entry:
+                entries.append(entry)
+    return entries
+
+
+def robust_baseline(values: Iterable[float]) -> tuple[float, float]:
+    """Median and MAD-derived sigma of a sample (the noise model)."""
+    xs = sorted(values)
+    if not xs:
+        raise ValueError("baseline requires at least one value")
+    med = _median(xs)
+    mad = _median(sorted(abs(x - med) for x in xs))
+    return med, _MAD_TO_SIGMA * mad
+
+
+def _median(sorted_xs: list[float]) -> float:
+    n = len(sorted_xs)
+    mid = n // 2
+    if n % 2:
+        return sorted_xs[mid]
+    return 0.5 * (sorted_xs[mid - 1] + sorted_xs[mid])
+
+
+@dataclass(frozen=True)
+class BenchComparison:
+    """Latest run of one bench against its rolling baseline."""
+
+    name: str
+    n_runs: int
+    baseline: float | None
+    sigma: float | None
+    latest: float | None
+    delta: float | None  # latest/baseline - 1, when comparable
+    status: str  # "ok" | "regression" | "improvement" | "skipped"
+    reason: str = ""
+
+
+@dataclass
+class ComparisonReport:
+    """Outcome of a full-history comparison."""
+
+    metric: str
+    threshold: float
+    window: int
+    rows: list[BenchComparison] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[BenchComparison]:
+        return [r for r in self.rows if r.status == "regression"]
+
+    @property
+    def improvements(self) -> list[BenchComparison]:
+        return [r for r in self.rows if r.status == "improvement"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "metric": self.metric,
+            "threshold": self.threshold,
+            "window": self.window,
+            "ok": self.ok,
+            "benches": [vars(r) for r in self.rows],
+        }
+
+
+def _metric_value(entry: Mapping, metric: str) -> float | None:
+    value = entry.get(metric)
+    if metric.startswith("counters."):
+        value = entry.get("counters", {}).get(metric.split(".", 1)[1])
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def compare_history(
+    entries: Iterable[Mapping],
+    *,
+    metric: str = "seconds",
+    threshold: float = 0.05,
+    window: int = 5,
+    noise_sigmas: float = NOISE_SIGMAS,
+) -> ComparisonReport:
+    """Compare each bench's latest run against its rolling baseline.
+
+    ``metric`` names a top-level record field (``seconds``,
+    ``virtual_seconds``) or a counter via ``counters.<name>``.  Runs
+    whose metric is missing or non-positive are excluded (a bench that
+    never reports virtual time is skipped rather than failed).
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    by_name: dict[str, list[float]] = {}
+    for entry in entries:
+        value = _metric_value(entry, metric)
+        if value is not None and value > 0:
+            by_name.setdefault(str(entry["name"]), []).append(value)
+    report = ComparisonReport(metric=metric, threshold=threshold, window=window)
+    for name in sorted(by_name):
+        values = by_name[name]
+        if len(values) < 2:
+            report.rows.append(BenchComparison(
+                name, len(values), None, None, values[-1] if values else None,
+                None, "skipped", "needs at least 2 runs with this metric",
+            ))
+            continue
+        latest = values[-1]
+        base_window = values[max(0, len(values) - 1 - window):-1]
+        med, sigma = robust_baseline(base_window)
+        delta = latest / med - 1.0
+        if latest > med * (1.0 + threshold) and latest > med + noise_sigmas * sigma:
+            status = "regression"
+            reason = (
+                f"{metric} {latest:.6g} is {delta:+.1%} vs baseline {med:.6g} "
+                f"(threshold {threshold:.0%}, noise sigma {sigma:.3g})"
+            )
+        elif latest < med * (1.0 - threshold) and latest < med - noise_sigmas * sigma:
+            status = "improvement"
+            reason = f"{metric} improved {delta:+.1%} vs baseline {med:.6g}"
+        else:
+            status = "ok"
+            reason = ""
+        report.rows.append(BenchComparison(
+            name, len(values), med, sigma, latest, delta, status, reason,
+        ))
+    return report
+
+
+def format_comparison_report(report: ComparisonReport) -> str:
+    """Human-readable comparison table plus a one-line verdict."""
+    from ..analysis.tables import format_table
+
+    rows = []
+    for r in report.rows:
+        rows.append([
+            r.name,
+            r.n_runs,
+            r.baseline if r.baseline is not None else "-",
+            r.latest if r.latest is not None else "-",
+            f"{r.delta:+.1%}" if r.delta is not None else "-",
+            r.status,
+        ])
+    table = format_table(
+        ["bench", "runs", "baseline", "latest", "delta", "status"],
+        rows,
+        f"bench history: metric={report.metric} threshold={report.threshold:.0%} "
+        f"window={report.window}",
+    )
+    if report.ok:
+        verdict = (
+            f"OK: no regressions across {len(report.rows)} bench(es)"
+            + (f", {len(report.improvements)} improvement(s)" if report.improvements else "")
+        )
+    else:
+        lines = "\n".join(f"  - {r.name}: {r.reason}" for r in report.regressions)
+        verdict = f"REGRESSION in {len(report.regressions)} bench(es):\n{lines}"
+    return f"{table}\n{verdict}"

@@ -114,7 +114,7 @@ class Request:
     the received payload for irecv.
     """
 
-    __slots__ = ("rank", "kind", "seq", "complete_time", "value", "cancelled")
+    __slots__ = ("rank", "kind", "seq", "complete_time", "value", "cancelled", "match")
 
     def __init__(self, rank: int, kind: str, seq: int):
         self.rank = rank
@@ -123,6 +123,10 @@ class Request:
         self.complete_time: float | None = None
         self.value: Any = None
         self.cancelled = False
+        #: Matching metadata stamped by the engine when the transfer
+        #: completes: peer rank, tag, post times — what the wait-state
+        #: analyzer needs to reconstruct happens-before edges.
+        self.match: dict[str, Any] | None = None
 
     @property
     def is_complete(self) -> bool:

@@ -176,6 +176,7 @@ class _RankState:
     done: bool = False
     blocked_since: float | None = None
     blocked_on: str = ""
+    blocked_args: dict[str, Any] | None = None
     return_value: Any = None
     coll_count: int = 0
     stats: RankStats = field(default_factory=RankStats)
@@ -246,9 +247,11 @@ class Engine:
                     time,
                     track=rank,
                     cat="collective" if why.startswith("collective") else "blocked",
+                    args=state.blocked_args,
                 )
             state.blocked_since = None
             state.blocked_on = ""
+            state.blocked_args = None
         state.clock = max(state.clock, time)
         try:
             op = state.gen.send(value)
@@ -258,10 +261,11 @@ class Engine:
             return
         self._dispatch(rank, op)
 
-    def _block(self, rank: int, why: str) -> None:
+    def _block(self, rank: int, why: str, args: dict[str, Any] | None = None) -> None:
         state = self._ranks[rank]
         state.blocked_since = state.clock
         state.blocked_on = why
+        state.blocked_args = dict(args) if args else {}
 
     # -- operation dispatch ----------------------------------------------
     def _dispatch(self, rank: int, op: Op) -> None:
@@ -339,7 +343,11 @@ class Engine:
         elif req.is_complete:
             self._schedule(req.complete_time, rank)
         else:
-            self._block(rank, f"send to {op.dest} tag {op.tag}")
+            self._block(
+                rank,
+                f"send to {op.dest} tag {op.tag}",
+                {"wait": "send", "peer": op.dest, "tag": op.tag, "seq": req.seq},
+            )
             self._waiters.append(_Waiter(rank, (req,), t, single=True))
             self._check_waiters()
 
@@ -353,7 +361,11 @@ class Engine:
         elif req.is_complete:
             self._schedule(req.complete_time, rank, req.value)
         else:
-            self._block(rank, f"recv from {op.source} tag {op.tag}")
+            self._block(
+                rank,
+                f"recv from {op.source} tag {op.tag}",
+                {"wait": "recv", "peer": op.source, "tag": op.tag, "seq": req.seq},
+            )
             self._waiters.append(_Waiter(rank, (req,), t, single=True))
             self._check_waiters()
 
@@ -393,6 +405,20 @@ class Engine:
         t_done = start + transfer
         recv.request.complete_time = t_done
         recv.request.value = send.payload
+        # Matching metadata for the wait-state analyzer: which peer, at
+        # what post time, satisfied this operation (the happens-before
+        # edge of the message).  ``t_peer`` is always the *other* side's
+        # post time, so a late peer reads as t_peer > the wait's start.
+        recv.request.match = {
+            "req_kind": "recv", "peer": send.src, "tag": send.tag,
+            "seq": send.seq, "nbytes": send.nbytes,
+            "t_peer": send.t_posted, "t_self": recv.t_posted,
+        }
+        send.request.match = {
+            "req_kind": "send", "peer": recv.dst, "tag": send.tag,
+            "seq": send.seq, "nbytes": send.nbytes,
+            "t_peer": recv.t_posted, "t_self": send.t_posted,
+        }
         stats = self._ranks[recv.dst].stats
         stats.bytes_received += send.nbytes
         stats.msgs_received += 1
@@ -423,12 +449,23 @@ class Engine:
         waiter = _Waiter(rank, requests, t, single)
         self._waiters.append(waiter)
         if not self._fire_waiter_if_ready(waiter):
-            self._block(rank, f"wait on {len(requests)} request(s)")
+            self._block(
+                rank,
+                f"wait on {len(requests)} request(s)",
+                {"wait": "wait", "n_reqs": len(requests)},
+            )
 
     def _fire_waiter_if_ready(self, waiter: _Waiter) -> bool:
         if any(not r.is_complete for r in waiter.requests):
             return False
         t_done = max([waiter.t_posted] + [r.complete_time for r in waiter.requests])
+        state = self._ranks[waiter.rank]
+        if state.blocked_since is not None and state.blocked_args is not None:
+            # The binding request — the one completing last — decides
+            # how the blocked span is classified downstream.
+            binding = max(waiter.requests, key=lambda r: (r.complete_time, r.seq))
+            if binding.match is not None:
+                state.blocked_args.update(binding.match)
         if waiter.single:
             value = waiter.requests[0].value
         else:
@@ -453,7 +490,11 @@ class Engine:
         state.coll_count += 1
         group = self._collectives.setdefault(idx, {})
         group[rank] = (op, t)
-        self._block(rank, f"collective #{idx} ({op.kind})")
+        self._block(
+            rank,
+            f"collective #{idx} ({op.kind})",
+            {"wait": "collective", "coll": idx, "kind": op.kind, "t_arrive": t},
+        )
         if len(group) == self.size:
             self._finish_collective(idx, group)
 
@@ -466,7 +507,19 @@ class Engine:
         kind = kinds.pop()
         arrivals = [t for _, t in group.values()]
         nbytes = max(op.nbytes for op, _ in group.values())
-        t_done = max(arrivals) + self.cost.collective_time(kind, self.size, nbytes)
+        t_last = max(arrivals)
+        last_rank = max(group, key=lambda r: (group[r][1], r))
+        t_op = self.cost.collective_time(kind, self.size, nbytes)
+        t_done = t_last + t_op
+        # Stamp the synchronization structure onto every member's
+        # pending blocked span: who arrived last, and how much of the
+        # wait is the operation itself vs. waiting for stragglers.
+        for rank in group:
+            st = self._ranks[rank]
+            if st.blocked_since is not None and st.blocked_args is not None:
+                st.blocked_args.update(
+                    {"t_last": t_last, "last_rank": last_rank, "t_op": t_op}
+                )
         values = self._collective_values(kind, group)
         del self._collectives[idx]
         for rank in range(self.size):

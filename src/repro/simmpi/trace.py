@@ -93,10 +93,17 @@ def utilization(trace: list[TraceEvent], elapsed: float, n_ranks: int) -> list[d
     """Per-rank breakdown: compute / blocked / idle fractions.
 
     Single pass over the trace grouped by rank (events from ranks
-    outside ``[0, n_ranks)`` are ignored, as before).
+    outside ``[0, n_ranks)`` are ignored, as before).  A zero-elapsed
+    run — nothing ever happened — has utilization 0.0 across the board
+    rather than a division error; negative elapsed is still rejected.
     """
-    if elapsed <= 0:
-        raise ValueError("elapsed must be positive")
+    if elapsed < 0:
+        raise ValueError("elapsed must be non-negative")
+    if elapsed == 0:
+        return [
+            {"rank": rank, "compute": 0.0, "blocked": 0.0, "idle": 0.0}
+            for rank in range(n_ranks)
+        ]
     compute = [0.0] * n_ranks
     blocked = [0.0] * n_ranks
     for e in trace:

@@ -1,0 +1,185 @@
+"""Tests for repro.obs.history: rolling baselines and the regression gate.
+
+The headline acceptance check from ISSUE 3: on a synthetic history
+where the latest run is 10% slower, ``compare_history`` flags exactly
+that bench; on the unmodified history it flags nothing.  The harness
+side (``benchmarks/_harness.append_history``) is tested against a
+temporary ``REPRO_BENCH_HISTORY`` target.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+from repro.obs import compare_history, format_comparison_report, load_history, robust_baseline
+
+BENCH_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "benchmarks"
+)
+
+
+def _entries(name, values, metric="seconds", **extra):
+    return [{"name": name, metric: v, **extra} for v in values]
+
+
+class TestRobustBaseline:
+    def test_median_and_mad_sigma(self):
+        med, sigma = robust_baseline([1.0, 1.2, 0.9, 1.1, 1.0])
+        assert med == 1.0
+        assert sigma == pytest.approx(1.4826 * 0.1)
+
+    def test_even_sample_median(self):
+        med, sigma = robust_baseline([1.0, 2.0])
+        assert med == 1.5
+        assert sigma == pytest.approx(1.4826 * 0.5)
+
+    def test_deterministic_metric_has_zero_sigma(self):
+        med, sigma = robust_baseline([0.5, 0.5, 0.5])
+        assert (med, sigma) == (0.5, 0.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            robust_baseline([])
+
+
+class TestCompareHistory:
+    def test_detects_ten_percent_slowdown(self):
+        clean = _entries("treecode", [1.0, 1.0, 1.0, 1.0, 1.0])
+        report = compare_history(clean + _entries("treecode", [1.10]))
+        (row,) = report.rows
+        assert row.status == "regression"
+        assert row.delta == pytest.approx(0.10)
+        assert not report.ok
+        assert "REGRESSION" in format_comparison_report(report)
+
+    def test_unmodified_history_is_clean(self):
+        report = compare_history(_entries("treecode", [1.0] * 6))
+        (row,) = report.rows
+        assert row.status == "ok"
+        assert report.ok
+        assert "OK: no regressions" in format_comparison_report(report)
+
+    def test_improvement_flagged_but_not_failing(self):
+        report = compare_history(_entries("npb.ep", [2.0] * 5 + [1.0]))
+        (row,) = report.rows
+        assert row.status == "improvement"
+        assert report.ok
+
+    def test_noise_model_blocks_false_positive(self):
+        # Latest is +8% over the median, past the 5% threshold, but the
+        # baseline itself is noisy: 3 robust sigmas gate it to "ok".
+        noisy = _entries("wall", [1.0, 1.2, 0.9, 1.1, 1.0, 1.08])
+        (row,) = compare_history(noisy).rows
+        assert row.status == "ok"
+        # The same excursion on a deterministic baseline is a regression.
+        exact = _entries("virt", [1.0] * 5 + [1.08])
+        (row,) = compare_history(exact).rows
+        assert row.status == "regression"
+
+    def test_rolling_window_forgets_ancient_runs(self):
+        # Ancient slow runs fall outside window=3; the recent fast
+        # baseline is what the (slow again) latest run compares against.
+        values = [2.0, 2.0, 2.0, 1.0, 1.0, 1.0, 1.4]
+        (row,) = compare_history(_entries("b", values), window=3).rows
+        assert row.baseline == 1.0
+        assert row.status == "regression"
+
+    def test_single_run_is_skipped(self):
+        (row,) = compare_history(_entries("once", [1.0])).rows
+        assert row.status == "skipped"
+
+    def test_counter_metric_and_nonpositive_exclusion(self):
+        entries = [
+            {"name": "b", "seconds": 0.1, "virtual_seconds": 0.0,
+             "counters": {"ops": 100.0}}
+            for _ in range(5)
+        ] + [
+            {"name": "b", "seconds": 0.1, "virtual_seconds": 0.0,
+             "counters": {"ops": 120.0}}
+        ]
+        (row,) = compare_history(entries, metric="counters.ops").rows
+        assert row.status == "regression"  # +20% in the counter
+        # virtual_seconds is 0 on every run -> no comparable runs at all.
+        assert compare_history(entries, metric="virtual_seconds").rows == []
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            compare_history([], threshold=0.0)
+        with pytest.raises(ValueError):
+            compare_history([], window=0)
+
+    def test_per_bench_isolation(self):
+        mixed = (
+            _entries("fast", [1.0] * 6)
+            + _entries("slow", [1.0] * 5 + [1.5])
+        )
+        report = compare_history(mixed)
+        assert {r.name: r.status for r in report.rows} == {
+            "fast": "ok", "slow": "regression",
+        }
+        assert [r.name for r in report.regressions] == ["slow"]
+
+
+class TestLoadHistory:
+    def test_skips_blank_and_corrupt_lines(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text(
+            json.dumps({"name": "a", "seconds": 1.0}) + "\n"
+            "\n"
+            "{not json\n"
+            '"just a string"\n'
+            + json.dumps({"seconds": 2.0}) + "\n"  # no name -> skipped
+            + json.dumps({"name": "b", "seconds": 2.0}) + "\n"
+        )
+        entries = load_history(str(path))
+        assert [e["name"] for e in entries] == ["a", "b"]
+
+
+class TestHarnessAppendHistory:
+    @pytest.fixture()
+    def harness(self):
+        if BENCH_DIR not in sys.path:
+            sys.path.insert(0, BENCH_DIR)
+        import _harness
+
+        return _harness
+
+    def test_appends_jsonl_with_timestamp(self, harness, tmp_path):
+        path = tmp_path / "h.jsonl"
+        record = {"name": "bench.x", "seconds": 1.25}
+        assert harness.append_history(record, str(path)) == str(path)
+        harness.append_history(record, str(path))
+        entries = load_history(str(path))
+        assert len(entries) == 2
+        assert entries[0]["name"] == "bench.x"
+        assert "ts" in entries[0]
+        assert record == {"name": "bench.x", "seconds": 1.25}  # input untouched
+
+    def test_directory_target_gets_default_filename(self, harness, tmp_path):
+        out = harness.append_history({"name": "y", "seconds": 1.0}, str(tmp_path))
+        assert out == str(tmp_path / "history.jsonl")
+        assert os.path.exists(out)
+
+    def test_env_variable_default(self, harness, tmp_path, monkeypatch):
+        target = tmp_path / "envhist.jsonl"
+        monkeypatch.setenv(harness.HISTORY_ENV, str(target))
+        assert harness.append_history({"name": "z", "seconds": 1.0}) == str(target)
+        assert load_history(str(target))[0]["name"] == "z"
+
+    def test_noop_without_destination(self, harness, monkeypatch):
+        monkeypatch.delenv(harness.HISTORY_ENV, raising=False)
+        assert harness.append_history({"name": "q", "seconds": 1.0}) is None
+
+    def test_run_main_appends_history(self, harness, tmp_path, monkeypatch):
+        target = tmp_path / "run.jsonl"
+        monkeypatch.setenv(harness.HISTORY_ENV, str(target))
+        monkeypatch.delenv("REPRO_BENCH_DIR", raising=False)
+        record = harness.run_main(
+            "unit.history", lambda: 41 + 1, virtual_seconds=0.5, quiet=True
+        )
+        (entry,) = load_history(str(target))
+        assert entry["name"] == "unit.history"
+        assert entry["virtual_seconds"] == 0.5
+        assert entry["seconds"] == record["seconds"]

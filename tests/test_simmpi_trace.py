@@ -70,7 +70,21 @@ class TestUtilization:
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            utilization([], 0.0, 1)
+            utilization([], -1.0, 1)
+
+    def test_zero_elapsed_empty_run_is_all_zero(self):
+        # A run in which nothing happened has utilization 0.0 across
+        # the board — not a ZeroDivisionError (pinned per ISSUE 3).
+        rows = utilization([], 0.0, 3)
+        assert rows == [
+            {"rank": r, "compute": 0.0, "blocked": 0.0, "idle": 0.0}
+            for r in range(3)
+        ]
+        # Zero-duration events at t=0 are equally harmless.
+        trace = [TraceEvent(0, 0.0, 0.0, "compute")]
+        assert utilization(trace, 0.0, 1) == [
+            {"rank": 0, "compute": 0.0, "blocked": 0.0, "idle": 0.0}
+        ]
 
 
 class TestTimeline:
