@@ -1,18 +1,32 @@
 """Bench T5 — regenerate Table 5: the gravity micro-kernel survey.
 
-Three parts: (1) run both kernel variants for real on this host (libm
+Four parts: (1) run both kernel variants for real on this host (libm
 sqrt versus Karp's add/multiply-only reciprocal square root), verify
 they agree numerically, and report this machine's Mflop/s under the
 paper's 38-flop accounting; (2) print the paper's eleven-processor
 survey with the derived micro-architecture interpretation (effective
 flops/cycle, implied sqrt+divide latency); (3) check the survey's
-qualitative claims — Karp wins big exactly where hardware sqrt is slow.
+qualitative claims — Karp wins big exactly where hardware sqrt is slow;
+(4) time the batched interaction-list evaluation against the
+historical one-group-at-a-time tree walker at N=50k for every
+registered kernel backend, asserting identical interaction counts.
+Part (4) takes ~25 s; it runs under ``pytest --benchmark-only`` and as
+``python bench_table5_gravity_kernel.py --speedup``.
 """
+
+import time
 
 import numpy as np
 
 from repro.analysis import format_table
-from repro.core import interaction_kernel, measure_kernel_mflops
+from repro.core import (
+    available_backends,
+    build_tree,
+    compute_forces,
+    compute_forces_reference,
+    interaction_kernel,
+    measure_kernel_mflops,
+)
 from repro.machine import TABLE5_PROCESSORS
 
 
@@ -52,6 +66,56 @@ def test_table5_gravity_kernel(benchmark):
         "2530-MHz Intel P4"].measured_libm_mflops
 
 
+def _plummer(n, seed=0):
+    rng = np.random.default_rng(seed)
+    u = rng.random(n)
+    r = np.clip(1.0 / np.sqrt(u ** (-2.0 / 3.0) - 1.0), None, 10.0)
+    d = rng.standard_normal((n, 3))
+    d /= np.linalg.norm(d, axis=1, keepdims=True)
+    return r[:, None] * d, np.full(n, 1.0 / n)
+
+
+def _speedup_build(n=50_000, theta=0.6, eps=0.01, bucket=32, repeats=2):
+    """Batched evaluation vs the pre-batching walker at production N."""
+    pos, m = _plummer(n)
+    tree = build_tree(pos, m, bucket_size=bucket)
+
+    t0 = time.perf_counter()
+    ref = compute_forces_reference(tree, eps=eps)
+    t_ref = time.perf_counter() - t0
+
+    out = {"n": n, "reference_seconds": t_ref, "backends": {}}
+    for backend in available_backends():
+        best, res = np.inf, None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            res = compute_forces(tree, eps=eps, backend=backend)
+            best = min(best, time.perf_counter() - t0)
+        assert res.counts == ref.counts, backend
+        maxdiff = float(np.abs(res.accelerations - ref.accelerations).max())
+        out["backends"][backend] = {
+            "seconds": best, "speedup": t_ref / best, "maxdiff": maxdiff,
+        }
+    return out
+
+
+def test_batched_vs_walker_speedup(benchmark):
+    r = benchmark.pedantic(_speedup_build, rounds=1, iterations=1)
+    print()
+    rows = [
+        [b, r["reference_seconds"], s["seconds"], s["speedup"], s["maxdiff"]]
+        for b, s in sorted(r["backends"].items())
+    ]
+    print(format_table(
+        ["backend", "walker s", "batched s", "speedup", "max |da|"],
+        rows,
+        f"Batched interaction-list evaluation vs per-group walker, N={r['n']}",
+    ))
+    for b, s in r["backends"].items():
+        assert s["maxdiff"] < 1e-10, b
+    assert r["backends"]["numpy"]["speedup"] > 3.0
+
+
 def main() -> dict:
     from _harness import run_main
 
@@ -66,5 +130,26 @@ def main() -> dict:
     )
 
 
+def speedup_main() -> dict:
+    from _harness import run_main
+
+    def counters(r):
+        out = {"reference_seconds": r["reference_seconds"]}
+        for b, s in r["backends"].items():
+            out[f"{b}_seconds"] = s["seconds"]
+            out[f"{b}_speedup"] = s["speedup"]
+        return out
+
+    return run_main(
+        "table5_batched_speedup", _speedup_build,
+        params={"n": 50_000, "theta": 0.6, "eps": 0.01, "bucket": 32},
+        counters=counters,
+    )
+
+
 if __name__ == "__main__":
+    import sys
+
     main()
+    if "--speedup" in sys.argv:
+        speedup_main()

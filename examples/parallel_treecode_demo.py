@@ -81,10 +81,15 @@ def main() -> None:
     parser.add_argument("--analyze", action="store_true",
                         help="print wait-state / load-balance / critical-path "
                              "diagnosis of the 8-rank run")
+    parser.add_argument("--backend", default=None,
+                        help="kernel backend for the per-rank force kernels "
+                             "(numpy; numba when installed; default: "
+                             "REPRO_BACKEND or numpy)")
     opts = parser.parse_args()
     n = 4000
     pos, masses = cosmological_sphere(n)
-    cfg = ParallelConfig(theta=0.8, eps=0.01, kernel_efficiency=1357.0 / 5060.0)
+    cfg = ParallelConfig(theta=0.8, eps=0.01, kernel_efficiency=1357.0 / 5060.0,
+                         backend=opts.backend)
     print(f"spherical cosmology problem: N = {n}, theta = {cfg.theta}")
 
     exact = direct_accelerations(pos, masses, eps=cfg.eps)

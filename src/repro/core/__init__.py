@@ -9,6 +9,8 @@ Public surface:
 * :func:`~repro.core.tree.build_tree` /
   :func:`~repro.core.gravity.tree_accelerations` — serial treecode;
 * :func:`~repro.core.gravity.direct_accelerations` — O(N^2) reference;
+* kernel backends (:mod:`~repro.core.backend`) — the registry behind
+  the batched hot loops (``numpy`` reference, optional ``numba``);
 * MACs (:mod:`~repro.core.mac`), micro-kernels
   (:mod:`~repro.core.kernels`, the Table 5 benchmark), domain
   decomposition (:mod:`~repro.core.domain`, Figure 6), leapfrog
@@ -18,6 +20,13 @@ Public surface:
 """
 
 from .abm import ABMChannel
+from .backend import (
+    KernelBackend,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from .cellserver import (
     CellRecord,
     CellServer,
@@ -81,7 +90,15 @@ from .parallel import (
     ParallelGravityResult,
     parallel_tree_accelerations,
 )
-from .traversal import InteractionCounts, TraversalResult, compute_forces
+from .traversal import (
+    InteractionCounts,
+    InteractionLists,
+    TraversalResult,
+    build_interaction_lists,
+    compute_forces,
+    compute_forces_reference,
+    evaluate_interaction_lists,
+)
 from .tree import Tree, build_tree
 
 __all__ = [
@@ -105,8 +122,17 @@ __all__ = [
     "OpeningAngleMAC",
     "AbsoluteErrorMAC",
     "InteractionCounts",
+    "InteractionLists",
     "TraversalResult",
+    "build_interaction_lists",
     "compute_forces",
+    "compute_forces_reference",
+    "evaluate_interaction_lists",
+    "KernelBackend",
+    "NumpyBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "GravityResult",
     "direct_accelerations",
     "tree_accelerations",

@@ -1,0 +1,443 @@
+"""Kernel backends for the gravity/SPH hot loops.
+
+The treecode's value lives in its vectorizable inner loops — the
+38-flop gravity interaction kernel of Table 5 is what a decade of
+processors is measured against.  This module puts those inner loops
+behind a small registry so the *same* batched interaction lists can be
+evaluated by interchangeable implementations:
+
+* ``numpy`` — the always-present reference backend: dense vectorized
+  kernels, identical in arithmetic to the historical per-group walker.
+* ``numba`` — an optional JIT backend, auto-registered when numba is
+  importable.  It evaluates the flat CSR pair lists with explicit
+  loops (no temporaries), the shape the paper's hand-tuned C kernels
+  had.
+
+Selection: pass ``backend=`` (a name or a :class:`KernelBackend`
+instance) to any hot-path entry point, or set the ``REPRO_BACKEND``
+environment variable; the default is ``numpy``.  Every backend must
+satisfy the differential-physics suite
+(``tests/test_backend_differential.py``): accelerations within tight
+bounds of direct summation at every MAC setting, and
+:class:`~repro.core.traversal.InteractionCounts` identical across
+backends — the counts are a property of the traversal, never of the
+kernel that evaluates it.
+
+Interface (all arrays float64, C-contiguous; ``acc``/``pot`` are
+accumulated in place):
+
+* ``eval_cells_dense(sinks, com, mass, quad, eps2, G)`` — monopole +
+  quadrupole field of a cell list at a dense block of sinks; returns
+  ``(acc, pot)``.  Used by the per-group deferral walker in
+  :mod:`repro.core.parallel`.
+* ``eval_direct_dense(sinks, src_pos, src_mass, eps2, G)`` —
+  Plummer-softened direct sum for a dense block; zero-distance
+  unsoftened pairs contribute nothing.
+* ``eval_cell_rects(pos3, starts, counts, offsets, cell_ids, com3,
+  mass, quad6, eps2, G, acc, pot, pair_chunk)`` — evaluate flat CSR
+  interaction *rectangles*: rectangle ``r`` is the contiguous sink
+  run ``starts[r] : starts[r] + counts[r]`` against the cell list
+  ``cell_ids[offsets[r]:offsets[r+1]]``.  Every sink belongs to at
+  most one rectangle per call, so backends may reduce per sink
+  without atomics.  Positions/centres arrive *component-major*
+  (``pos3`` is ``(3, N)``, ``com3`` is ``(3, n_cells)``, ``quad6``
+  is ``(6, n_cells)``, each row C-contiguous) so kernel steps are
+  contiguous operations — the strided column access of an ``(N,
+  3)`` layout is what makes vectorized pair kernels memory-bound.
+  ``pair_chunk`` bounds the expanded (sink, source) pairs held live
+  at once.
+* ``eval_direct_rects(pos3, masses, starts, counts, offsets,
+  src_ids, eps2, G, acc, pot, pair_chunk)`` — the same rectangle
+  shape for flat (sink particle, source particle) lists.
+* ``segment_sum(values, offsets)`` — CSR segment reduction (the SPH
+  gather sum); empty segments produce exact zeros.
+* ``scatter_add(target, idx, values)`` — unordered scatter-add (the
+  SPH pairwise force accumulation).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "KernelBackend",
+    "NumpyBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "DEFAULT_BACKEND",
+    "BACKEND_ENV",
+]
+
+#: Environment variable consulted when no explicit backend is given.
+BACKEND_ENV = "REPRO_BACKEND"
+DEFAULT_BACKEND = "numpy"
+
+
+class KernelBackend:
+    """Abstract kernel backend; concrete backends override everything."""
+
+    name = "abstract"
+
+    # -- dense per-group kernels ----------------------------------------
+    def eval_cells_dense(self, sinks, com, mass, quad, eps2, G):
+        raise NotImplementedError
+
+    def eval_direct_dense(self, sinks, src_pos, src_mass, eps2, G):
+        raise NotImplementedError
+
+    # -- flat CSR rectangle kernels -------------------------------------
+    def eval_cell_rects(self, pos3, starts, counts, offsets, cell_ids, com3, mass, quad6, eps2, G, acc, pot, pair_chunk):
+        raise NotImplementedError
+
+    def eval_direct_rects(self, pos3, masses, starts, counts, offsets, src_ids, eps2, G, acc, pot, pair_chunk):
+        raise NotImplementedError
+
+    # -- reductions ------------------------------------------------------
+    def segment_sum(self, values, offsets):
+        raise NotImplementedError
+
+    def scatter_add(self, target, idx, values):
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def _pad_bins(widths: np.ndarray):
+    """Group rectangles of similar source-list width into padded bins.
+
+    Yields ``(sel, W)``: rectangle indices whose lists, padded to the
+    common width ``W``, waste at most 1/8 of the evaluated pairs.
+    Gathering source data once per (rectangle, source) and broadcasting
+    over the rectangle's sinks turns the hot loops into dense 2-D
+    kernels; the padding entries are made exact zeros by the caller.
+    """
+    live = widths > 0
+    if not np.any(live):
+        return
+    idx = np.flatnonzero(live)
+    wl = widths[idx]
+    # pad step 2^(floor(log2 w) - 3): 8 bins per octave, <= 12.5% waste
+    _, e = np.frexp(wl.astype(np.float64))
+    step = np.left_shift(1, np.maximum(e - 4, 0))
+    wpad = ((wl + step - 1) // step) * step
+    for w in np.unique(wpad):
+        yield idx[wpad == w], int(w)
+
+
+def _rect_rows(starts: np.ndarray, counts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Expand rectangle sink runs to (row -> rect, row -> particle)."""
+    n_rows = int(counts.sum())
+    local = np.arange(n_rows, dtype=np.int64)
+    local -= np.repeat(np.cumsum(counts) - counts, counts)
+    pids = np.repeat(starts, counts)
+    pids += local
+    return np.repeat(np.arange(counts.shape[0], dtype=np.int64), counts), pids
+
+
+def _chunk_rects(counts: np.ndarray, width: int, pair_chunk: int):
+    """Split rect indices into slices of <= pair_chunk padded pairs."""
+    n = counts.shape[0]
+    lo = 0
+    budget = max(1, pair_chunk // max(width, 1))
+    cum = np.concatenate([[0], np.cumsum(counts)])
+    while lo < n:
+        hi = int(np.searchsorted(cum, cum[lo] + budget, side="right")) - 1
+        hi = min(max(hi, lo + 1), n)
+        yield lo, hi
+        lo = hi
+
+
+class NumpyBackend(KernelBackend):
+    """Reference backend: dense vectorized NumPy kernels."""
+
+    name = "numpy"
+
+    def eval_cells_dense(self, sinks, com, mass, quad, eps2, G):
+        """Monopole + quadrupole field of cells at sink positions."""
+        dr = sinks[:, None, :] - com[None, :, :]  # (ns, nc, 3)
+        rs2 = np.einsum("ijk,ijk->ij", dr, dr) + eps2
+        inv_r = 1.0 / np.sqrt(rs2)
+        inv_r3 = inv_r / rs2
+        inv_r5 = inv_r3 / rs2
+        inv_r7 = inv_r5 / rs2
+
+        acc = -(G * mass)[None, :, None] * dr * inv_r3[:, :, None]
+        pot = -(G * mass)[None, :] * inv_r
+
+        # Quadrupole: Qr vector and r.Qr scalar from packed symmetric Q.
+        qxx, qyy, qzz, qxy, qxz, qyz = (quad[:, i] for i in range(6))
+        qr = np.empty_like(dr)
+        qr[:, :, 0] = qxx * dr[:, :, 0] + qxy * dr[:, :, 1] + qxz * dr[:, :, 2]
+        qr[:, :, 1] = qxy * dr[:, :, 0] + qyy * dr[:, :, 1] + qyz * dr[:, :, 2]
+        qr[:, :, 2] = qxz * dr[:, :, 0] + qyz * dr[:, :, 1] + qzz * dr[:, :, 2]
+        rqr = np.einsum("ijk,ijk->ij", dr, qr)
+        acc += G * (qr * inv_r5[:, :, None] - 2.5 * (rqr * inv_r7)[:, :, None] * dr)
+        pot += -G * 0.5 * rqr * inv_r5
+        return acc.sum(axis=1), pot.sum(axis=1)
+
+    def eval_direct_dense(self, sinks, src_pos, src_mass, eps2, G):
+        """Plummer-softened direct sum; zero-distance pairs contribute 0."""
+        dr = sinks[:, None, :] - src_pos[None, :, :]
+        r2 = np.einsum("ijk,ijk->ij", dr, dr)
+        rs2 = r2 + eps2
+        self_pair = rs2 == 0.0
+        if np.any(self_pair):
+            rs2 = np.where(self_pair, 1.0, rs2)
+        inv_r = 1.0 / np.sqrt(rs2)
+        inv_r3 = inv_r / rs2
+        if eps2 == 0.0:
+            # Unsoftened: exclude exact overlaps (self-interaction).
+            zero = r2 == 0.0
+            inv_r = np.where(zero, 0.0, inv_r)
+            inv_r3 = np.where(zero, 0.0, inv_r3)
+        elif np.any(self_pair):
+            inv_r = np.where(self_pair, 0.0, inv_r)
+            inv_r3 = np.where(self_pair, 0.0, inv_r3)
+        acc = -(G * src_mass)[None, :, None] * dr * inv_r3[:, :, None]
+        pot = -(G * src_mass)[None, :] * inv_r
+        return acc.sum(axis=1), pot.sum(axis=1)
+
+    def eval_cell_rects(self, pos3, starts, counts, offsets, cell_ids, com3, mass, quad6, eps2, G, acc, pot, pair_chunk):
+        if cell_ids.size == 0:
+            return
+        widths = np.diff(offsets)
+        col_cache = np.arange(int(widths.max()), dtype=np.int64)
+        for sel, W in _pad_bins(widths):
+            col = col_cache[:W]
+            for lo, hi in _chunk_rects(counts[sel], W, pair_chunk):
+                sub = sel[lo:hi]
+                wv = widths[sub]
+                # Gather per (rect, cell) once — amortized over the
+                # rect's sinks.  Padded slots repeat the last real cell
+                # with mass and quadrupole zeroed, so they contribute
+                # exact zeros (an accepted cell is never at zero
+                # distance: the MAC cannot accept one).
+                gi = offsets[sub][:, None] + np.minimum(col, wv[:, None] - 1)
+                cid = cell_ids[gi]
+                pad = col >= wv[:, None]
+                gm = mass[cid]
+                gm[pad] = 0.0
+                if G != 1.0:
+                    gm *= G
+                qxx = quad6[0][cid]
+                qyy = quad6[1][cid]
+                qzz = quad6[2][cid]
+                qxy = quad6[3][cid]
+                qxz = quad6[4][cid]
+                qyz = quad6[5][cid]
+                for q in (qxx, qyy, qzz, qxy, qxz, qyz):
+                    q[pad] = 0.0
+                cx = com3[0][cid]
+                cy = com3[1][cid]
+                cz = com3[2][cid]
+                rows, pids = _rect_rows(starts[sub], counts[sub])
+                # (R, W) dense arithmetic, all contiguous.  Expand the
+                # cell stream first and subtract in place: a broadcast
+                # ufunc into a fresh output is several times slower
+                # than an equal-shape in-place one.
+                dx = cx[rows]
+                np.subtract(pos3[0][pids][:, None], dx, out=dx)
+                dy = cy[rows]
+                np.subtract(pos3[1][pids][:, None], dy, out=dy)
+                dz = cz[rows]
+                np.subtract(pos3[2][pids][:, None], dz, out=dz)
+                rs2 = dx * dx
+                rs2 += dy * dy
+                rs2 += dz * dz
+                rs2 += eps2
+                inv_r = np.sqrt(rs2)
+                np.divide(1.0, inv_r, out=inv_r)
+                inv_r2 = np.divide(1.0, rs2, out=rs2)
+                inv_r3 = inv_r * inv_r2
+                inv_r5 = inv_r3 * inv_r2
+                inv_r7 = inv_r5 * inv_r2
+                gm2 = gm[rows]
+                # Qr vector and r.Qr scalar from the packed symmetric Q;
+                # the off-diagonal rows are each used twice, so expand
+                # them to (R, W) once.
+                qxy2 = qxy[rows]
+                qxz2 = qxz[rows]
+                qyz2 = qyz[rows]
+                qrx = qxx[rows] * dx
+                qrx += qxy2 * dy
+                qrx += qxz2 * dz
+                qry = qxy2 * dx
+                qry += qyy[rows] * dy
+                qry += qyz2 * dz
+                qrz = qxz2 * dx
+                qrz += qyz2 * dy
+                qrz += qzz[rows] * dz
+                rqr = qrx * dx
+                rqr += qry * dy
+                rqr += qrz * dz
+                # a = -(gm r^-3 + 2.5 G rqr r^-7) dr + G r^-5 Qr
+                c1 = gm2 * inv_r3
+                c2 = rqr * inv_r7
+                c2 *= 2.5 * G
+                c1 += c2
+                np.negative(c1, out=c1)
+                inv_r5G = inv_r5
+                if G != 1.0:
+                    inv_r5G = inv_r5 * G
+                qrx *= inv_r5G
+                qry *= inv_r5G
+                qrz *= inv_r5G
+                dx *= c1
+                qrx += dx
+                dy *= c1
+                qry += dy
+                dz *= c1
+                qrz += dz
+                # p = -gm r^-1 - 0.5 G rqr r^-5
+                gm2 *= inv_r
+                rqr *= inv_r5G
+                rqr *= 0.5
+                gm2 += rqr
+                acc[pids, 0] += qrx.sum(axis=1)
+                acc[pids, 1] += qry.sum(axis=1)
+                acc[pids, 2] += qrz.sum(axis=1)
+                pot[pids] -= gm2.sum(axis=1)
+
+    def eval_direct_rects(self, pos3, masses, starts, counts, offsets, src_ids, eps2, G, acc, pot, pair_chunk):
+        if src_ids.size == 0:
+            return
+        widths = np.diff(offsets)
+        col_cache = np.arange(int(widths.max()), dtype=np.int64)
+        for sel, W in _pad_bins(widths):
+            col = col_cache[:W]
+            for lo, hi in _chunk_rects(counts[sel], W, pair_chunk):
+                sub = sel[lo:hi]
+                wv = widths[sub]
+                # Padded slots repeat the last real source with mass
+                # zeroed: exact zero contribution (the zero-distance
+                # rule below covers an unsoftened coincident pad too).
+                gi = offsets[sub][:, None] + np.minimum(col, wv[:, None] - 1)
+                sid = src_ids[gi]
+                pad = col >= wv[:, None]
+                gm = masses[sid]
+                gm[pad] = 0.0
+                if G != 1.0:
+                    gm *= G
+                sx = pos3[0][sid]
+                sy = pos3[1][sid]
+                sz = pos3[2][sid]
+                rows, pids = _rect_rows(starts[sub], counts[sub])
+                dx = sx[rows]
+                np.subtract(pos3[0][pids][:, None], dx, out=dx)
+                dy = sy[rows]
+                np.subtract(pos3[1][pids][:, None], dy, out=dy)
+                dz = sz[rows]
+                np.subtract(pos3[2][pids][:, None], dz, out=dz)
+                rs2 = dx * dx
+                rs2 += dy * dy
+                rs2 += dz * dz
+                rs2 += eps2
+                # A pair at exactly zero softened distance is a
+                # self-interaction (or an unsoftened coincidence): it
+                # contributes nothing.  With eps2 > 0 the softened
+                # radius is strictly positive everywhere.
+                zero = None
+                if eps2 == 0.0:
+                    zero = rs2 == 0.0
+                    if np.any(zero):
+                        rs2[zero] = 1.0
+                    else:
+                        zero = None
+                inv_r = np.sqrt(rs2)
+                np.divide(1.0, inv_r, out=inv_r)
+                inv_r3 = np.divide(inv_r, rs2, out=rs2)
+                if zero is not None:
+                    inv_r[zero] = 0.0
+                    inv_r3[zero] = 0.0
+                gm2 = gm[rows]
+                c = gm2 * inv_r3
+                dx *= c
+                dy *= c
+                dz *= c
+                gm2 *= inv_r
+                acc[pids, 0] -= dx.sum(axis=1)
+                acc[pids, 1] -= dy.sum(axis=1)
+                acc[pids, 2] -= dz.sum(axis=1)
+                pot[pids] -= gm2.sum(axis=1)
+
+    def segment_sum(self, values, offsets):
+        values = np.asarray(values, dtype=np.float64)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        nseg = offsets.shape[0] - 1
+        out = np.zeros((nseg,) + values.shape[1:], dtype=np.float64)
+        if nseg == 0 or values.shape[0] == 0:
+            return out
+        nonempty = offsets[:-1] < offsets[1:]
+        if not np.any(nonempty):
+            return out
+        # Starts of the non-empty segments are strictly increasing, and
+        # the gaps between them contain exactly the skipped (empty)
+        # segments' zero elements — reduceat over them is exact.
+        out[nonempty] = np.add.reduceat(values, offsets[:-1][nonempty], axis=0)
+        return out
+
+    def scatter_add(self, target, idx, values):
+        np.add.at(target, idx, values)
+
+
+# -- registry -----------------------------------------------------------
+
+_FACTORIES: dict[str, Callable[[], KernelBackend]] = {}
+_INSTANCES: dict[str, KernelBackend] = {}
+
+
+def register_backend(name: str, factory: Callable[[], KernelBackend]) -> None:
+    """Register a backend factory under ``name`` (lower-cased)."""
+    _FACTORIES[name.lower()] = factory
+    _INSTANCES.pop(name.lower(), None)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of every registered (importable) backend, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def get_backend(backend: "str | KernelBackend | None" = None) -> KernelBackend:
+    """Resolve a backend choice to an instance.
+
+    ``None`` consults ``$REPRO_BACKEND`` and falls back to ``numpy``;
+    a :class:`KernelBackend` instance passes through unchanged.
+    """
+    if isinstance(backend, KernelBackend):
+        return backend
+    name = backend if backend is not None else os.environ.get(BACKEND_ENV) or DEFAULT_BACKEND
+    name = name.lower()
+    if name not in _FACTORIES:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; available: {', '.join(available_backends())}"
+        )
+    inst = _INSTANCES.get(name)
+    if inst is None:
+        inst = _INSTANCES[name] = _FACTORIES[name]()
+    return inst
+
+
+register_backend("numpy", NumpyBackend)
+
+
+def _numba_importable() -> bool:
+    try:
+        import numba  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def _make_numba() -> KernelBackend:
+    from .backend_numba import NumbaBackend
+
+    return NumbaBackend()
+
+
+if _numba_importable():  # pragma: no cover - exercised on the numba CI leg
+    register_backend("numba", _make_numba)

@@ -1,0 +1,226 @@
+"""Optional numba-JIT kernel backend.
+
+Imported only when numba is installed (see
+:func:`repro.core.backend.get_backend`); the base install never touches
+this module.  The kernels are explicit-loop transcriptions of the
+:class:`~repro.core.backend.NumpyBackend` arithmetic — same softening
+rules, same zero-distance exclusions — so the differential suite holds
+for both.  Loops over flat CSR pair lists run with no temporaries,
+which is the shape the paper's hand-tuned interaction kernels had.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+from .backend import KernelBackend
+
+
+@njit(cache=True)
+def _cell_rects_kernel(pos3, starts, counts, offsets, cell_ids, com, mass, quad, eps2, G, acc, pot):
+    for r in range(starts.shape[0]):
+        for i in range(starts[r], starts[r] + counts[r]):
+            px, py, pz = pos3[0, i], pos3[1, i], pos3[2, i]
+            ax = 0.0
+            ay = 0.0
+            az = 0.0
+            ph = 0.0
+            for k in range(offsets[r], offsets[r + 1]):
+                c = cell_ids[k]
+                dx = px - com[0, c]
+                dy = py - com[1, c]
+                dz = pz - com[2, c]
+                rs2 = dx * dx + dy * dy + dz * dz + eps2
+                inv_r = 1.0 / np.sqrt(rs2)
+                inv_r3 = inv_r / rs2
+                inv_r5 = inv_r3 / rs2
+                inv_r7 = inv_r5 / rs2
+                gm = G * mass[c]
+                qrx = quad[0, c] * dx + quad[3, c] * dy + quad[4, c] * dz
+                qry = quad[3, c] * dx + quad[1, c] * dy + quad[5, c] * dz
+                qrz = quad[4, c] * dx + quad[5, c] * dy + quad[2, c] * dz
+                rqr = dx * qrx + dy * qry + dz * qrz
+                f = 2.5 * rqr * inv_r7
+                ax += -gm * dx * inv_r3 + G * (qrx * inv_r5 - f * dx)
+                ay += -gm * dy * inv_r3 + G * (qry * inv_r5 - f * dy)
+                az += -gm * dz * inv_r3 + G * (qrz * inv_r5 - f * dz)
+                ph += -gm * inv_r - G * 0.5 * rqr * inv_r5
+            acc[i, 0] += ax
+            acc[i, 1] += ay
+            acc[i, 2] += az
+            pot[i] += ph
+
+
+@njit(cache=True)
+def _direct_rects_kernel(pos3, masses, starts, counts, offsets, src_ids, eps2, G, acc, pot):
+    for r in range(starts.shape[0]):
+        for i in range(starts[r], starts[r] + counts[r]):
+            px, py, pz = pos3[0, i], pos3[1, i], pos3[2, i]
+            ax = 0.0
+            ay = 0.0
+            az = 0.0
+            ph = 0.0
+            for k in range(offsets[r], offsets[r + 1]):
+                j = src_ids[k]
+                dx = px - pos3[0, j]
+                dy = py - pos3[1, j]
+                dz = pz - pos3[2, j]
+                rs2 = dx * dx + dy * dy + dz * dz + eps2
+                if rs2 == 0.0:
+                    continue  # unsoftened self/coincident pair contributes nothing
+                inv_r = 1.0 / np.sqrt(rs2)
+                inv_r3 = inv_r / rs2
+                gm = G * masses[j]
+                ax -= gm * dx * inv_r3
+                ay -= gm * dy * inv_r3
+                az -= gm * dz * inv_r3
+                ph -= gm * inv_r
+            acc[i, 0] += ax
+            acc[i, 1] += ay
+            acc[i, 2] += az
+            pot[i] += ph
+
+
+@njit(cache=True)
+def _cells_dense_kernel(sinks, com, mass, quad, eps2, G, acc, pot):
+    for i in range(sinks.shape[0]):
+        for c in range(com.shape[0]):
+            dx = sinks[i, 0] - com[c, 0]
+            dy = sinks[i, 1] - com[c, 1]
+            dz = sinks[i, 2] - com[c, 2]
+            rs2 = dx * dx + dy * dy + dz * dz + eps2
+            inv_r = 1.0 / np.sqrt(rs2)
+            inv_r3 = inv_r / rs2
+            inv_r5 = inv_r3 / rs2
+            inv_r7 = inv_r5 / rs2
+            gm = G * mass[c]
+            qrx = quad[c, 0] * dx + quad[c, 3] * dy + quad[c, 4] * dz
+            qry = quad[c, 3] * dx + quad[c, 1] * dy + quad[c, 5] * dz
+            qrz = quad[c, 4] * dx + quad[c, 5] * dy + quad[c, 2] * dz
+            rqr = dx * qrx + dy * qry + dz * qrz
+            f = 2.5 * rqr * inv_r7
+            acc[i, 0] += -gm * dx * inv_r3 + G * (qrx * inv_r5 - f * dx)
+            acc[i, 1] += -gm * dy * inv_r3 + G * (qry * inv_r5 - f * dy)
+            acc[i, 2] += -gm * dz * inv_r3 + G * (qrz * inv_r5 - f * dz)
+            pot[i] += -gm * inv_r - G * 0.5 * rqr * inv_r5
+
+
+@njit(cache=True)
+def _direct_dense_kernel(sinks, src_pos, src_mass, eps2, G, acc, pot):
+    for i in range(sinks.shape[0]):
+        for j in range(src_pos.shape[0]):
+            dx = sinks[i, 0] - src_pos[j, 0]
+            dy = sinks[i, 1] - src_pos[j, 1]
+            dz = sinks[i, 2] - src_pos[j, 2]
+            rs2 = dx * dx + dy * dy + dz * dz + eps2
+            if rs2 == 0.0:
+                continue
+            inv_r = 1.0 / np.sqrt(rs2)
+            inv_r3 = inv_r / rs2
+            gm = G * src_mass[j]
+            acc[i, 0] -= gm * dx * inv_r3
+            acc[i, 1] -= gm * dy * inv_r3
+            acc[i, 2] -= gm * dz * inv_r3
+            pot[i] -= gm * inv_r
+
+
+@njit(cache=True)
+def _segment_sum_1d(values, offsets, out):
+    for s in range(offsets.shape[0] - 1):
+        total = 0.0
+        for k in range(offsets[s], offsets[s + 1]):
+            total += values[k]
+        out[s] = total
+
+
+@njit(cache=True)
+def _segment_sum_2d(values, offsets, out):
+    for s in range(offsets.shape[0] - 1):
+        for d in range(values.shape[1]):
+            total = 0.0
+            for k in range(offsets[s], offsets[s + 1]):
+                total += values[k, d]
+            out[s, d] = total
+
+
+@njit(cache=True)
+def _scatter_add_1d(target, idx, values):
+    for k in range(idx.shape[0]):
+        target[idx[k]] += values[k]
+
+
+@njit(cache=True)
+def _scatter_add_2d(target, idx, values):
+    for k in range(idx.shape[0]):
+        for d in range(values.shape[1]):
+            target[idx[k], d] += values[k, d]
+
+
+class NumbaBackend(KernelBackend):
+    """JIT backend over the flat CSR pair lists."""
+
+    name = "numba"
+
+    def eval_cells_dense(self, sinks, com, mass, quad, eps2, G):
+        acc = np.zeros((sinks.shape[0], 3))
+        pot = np.zeros(sinks.shape[0])
+        _cells_dense_kernel(
+            np.ascontiguousarray(sinks), np.ascontiguousarray(com),
+            np.ascontiguousarray(mass), np.ascontiguousarray(quad),
+            float(eps2), float(G), acc, pot,
+        )
+        return acc, pot
+
+    def eval_direct_dense(self, sinks, src_pos, src_mass, eps2, G):
+        acc = np.zeros((sinks.shape[0], 3))
+        pot = np.zeros(sinks.shape[0])
+        _direct_dense_kernel(
+            np.ascontiguousarray(sinks), np.ascontiguousarray(src_pos),
+            np.ascontiguousarray(src_mass), float(eps2), float(G), acc, pot,
+        )
+        return acc, pot
+
+    def eval_cell_rects(self, pos3, starts, counts, offsets, cell_ids, com3, mass, quad6, eps2, G, acc, pot, pair_chunk):
+        if cell_ids.size == 0:
+            return
+        _cell_rects_kernel(
+            pos3, np.ascontiguousarray(starts, dtype=np.int64),
+            np.ascontiguousarray(counts, dtype=np.int64),
+            np.ascontiguousarray(offsets, dtype=np.int64),
+            np.ascontiguousarray(cell_ids, dtype=np.int64),
+            com3, mass, quad6, float(eps2), float(G), acc, pot,
+        )
+
+    def eval_direct_rects(self, pos3, masses, starts, counts, offsets, src_ids, eps2, G, acc, pot, pair_chunk):
+        if src_ids.size == 0:
+            return
+        _direct_rects_kernel(
+            pos3, masses, np.ascontiguousarray(starts, dtype=np.int64),
+            np.ascontiguousarray(counts, dtype=np.int64),
+            np.ascontiguousarray(offsets, dtype=np.int64),
+            np.ascontiguousarray(src_ids, dtype=np.int64), float(eps2), float(G), acc, pot,
+        )
+
+    def segment_sum(self, values, offsets):
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        nseg = offsets.shape[0] - 1
+        out = np.zeros((nseg,) + values.shape[1:], dtype=np.float64)
+        if nseg == 0:
+            return out
+        if values.ndim == 1:
+            _segment_sum_1d(values, offsets, out)
+        else:
+            _segment_sum_2d(values, offsets, out)
+        return out
+
+    def scatter_add(self, target, idx, values):
+        idx = np.ascontiguousarray(idx, dtype=np.int64)
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        if idx.size == 0:
+            return
+        if target.ndim == 1:
+            _scatter_add_1d(target, idx, values)
+        else:
+            _scatter_add_2d(target, idx, values)

@@ -11,9 +11,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import NULL
 from .keys import BoundingBox
 from .mac import OpeningAngleMAC
-from .traversal import InteractionCounts, compute_forces
+from .traversal import DEFAULT_PAIR_CHUNK, InteractionCounts, compute_forces
 from .tree import Tree, build_tree
 
 __all__ = ["GravityResult", "direct_accelerations", "tree_accelerations", "total_energy"]
@@ -44,8 +45,12 @@ def direct_accelerations(
     """Plummer-softened direct N-body sum, evaluated in memory blocks.
 
     Self-interactions are excluded exactly (zero force contribution and
-    no self-energy in the potential).
+    no self-energy in the potential).  Handles every degenerate input
+    the treecode accepts: N in {0, 1}, N not divisible by ``block``,
+    zero-mass particles, and unsoftened coincident pairs.
     """
+    if block < 1:
+        raise ValueError("block must be positive")
     positions = np.ascontiguousarray(positions, dtype=np.float64)
     masses = np.ascontiguousarray(masses, dtype=np.float64)
     n = positions.shape[0]
@@ -91,17 +96,24 @@ def tree_accelerations(
     bucket_size: int = 32,
     box: BoundingBox | None = None,
     mac=None,
+    backend=None,
+    pair_chunk: int = DEFAULT_PAIR_CHUNK,
+    observer=NULL,
 ) -> GravityResult:
     """One-call hashed oct-tree gravity.
 
     Parameters mirror the serial HOT code: ``theta`` is the Barnes–Hut
     opening angle (accuracy knob), ``eps`` the Plummer softening,
     ``bucket_size`` the leaf capacity.  Pass a custom ``mac`` to use a
-    different acceptance criterion.
+    different acceptance criterion, and ``backend`` (name, instance, or
+    ``None`` for ``$REPRO_BACKEND``/numpy) to pick the kernel backend.
     """
     tree = build_tree(positions, masses, bucket_size=bucket_size, box=box)
     mac = mac if mac is not None else OpeningAngleMAC(theta)
-    res = compute_forces(tree, mac=mac, eps=eps, G=G)
+    res = compute_forces(
+        tree, mac=mac, eps=eps, G=G,
+        backend=backend, pair_chunk=pair_chunk, observer=observer,
+    )
     return GravityResult(res.accelerations, res.potentials, res.counts, tree)
 
 

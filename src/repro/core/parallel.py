@@ -68,14 +68,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (resilience -> core)
     from ..resilience.checkpoint import Checkpointer
     from ..resilience.runner import ResilienceConfig, ResilientResult
 from .abm import ABMChannel
+from .backend import get_backend
 from .cellserver import CellRecord, CellServer, combine_records, cover_interval, key_interval
 from .keys import ROOT_KEY, BoundingBox, key_level, keys_from_positions
 from .mac import OpeningAngleMAC
 from .traversal import (
     FLOPS_PER_CELL_INTERACTION,
     InteractionCounts,
-    _eval_cells,
-    _eval_direct,
 )
 from ..machine.specs import FLOPS_PER_INTERACTION
 
@@ -99,12 +98,16 @@ class ParallelConfig:
     oversample: int = 16
     kernel_efficiency: float = 0.25  # fraction of peak the inner loop sustains
     max_rounds: int = 200
+    #: Kernel backend name (``None`` -> ``$REPRO_BACKEND``/numpy).
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.eps < 0 or self.bucket_size < 1 or self.oversample < 1:
             raise ValueError("invalid configuration")
         if not 0 < self.kernel_efficiency <= 1:
             raise ValueError("kernel_efficiency must be in (0, 1]")
+        if self.backend is not None:
+            get_backend(self.backend)  # fail fast on unknown names
 
 
 @dataclass
@@ -273,6 +276,7 @@ def _make_program(
 
     def program(comm):
         rank, size = comm.rank, comm.size
+        kb = get_backend(config.backend)
         snap = ckpt.restored(rank) if ckpt is not None else None
         if snap is not None:
             # -- restart: resume the step from the committed checkpoint --
@@ -446,7 +450,7 @@ def _make_program(
                     c_com = np.array([r.com for r in walk.cells])
                     c_mass = np.array([r.mass for r in walk.cells])
                     c_quad = np.array([r.quad for r in walk.cells])
-                    a, p = _eval_cells(sinks, c_com, c_mass, c_quad, eps2, config.G)
+                    a, p = kb.eval_cells_dense(sinks, c_com, c_mass, c_quad, eps2, config.G)
                     acc[walk.start:walk.stop] += a
                     pot[walk.start:walk.stop] += p
                     counts.p2c += ns * len(walk.cells)
@@ -456,7 +460,7 @@ def _make_program(
                     walk.direct.sort(key=lambda r: r.key)
                     src_pos = np.concatenate([r.positions for r in walk.direct])
                     src_mass = np.concatenate([r.masses for r in walk.direct])
-                    a, p = _eval_direct(sinks, src_pos, src_mass, eps2, config.G)
+                    a, p = kb.eval_direct_dense(sinks, src_pos, src_mass, eps2, config.G)
                     acc[walk.start:walk.stop] += a
                     pot[walk.start:walk.stop] += p
                     counts.p2p += ns * src_pos.shape[0]

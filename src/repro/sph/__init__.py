@@ -21,7 +21,7 @@ from .density import DensityResult, adapt_smoothing, density_sum, initial_smooth
 from .eos import HybridCollapseEOS, IdealGas, Polytrope
 from .forces import SphForces, ViscosityParams, compute_sph_forces
 from .kernel import SUPPORT_RADIUS, dw_dr_cubic, kernel_self_value, w_cubic
-from .neighbors import NeighborLists, find_neighbors
+from .neighbors import NeighborLists, find_neighbors, find_neighbors_reference
 from .hydro import HydroSimulation, sod_tube_particles
 from .neutrino import FldParams, NeutrinoStep, flux_limiter, neutrino_step
 from .riemann import (
@@ -40,6 +40,7 @@ __all__ = [
     "kernel_self_value",
     "NeighborLists",
     "find_neighbors",
+    "find_neighbors_reference",
     "DensityResult",
     "density_sum",
     "adapt_smoothing",

@@ -13,7 +13,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.backend import get_backend
 from ..core.tree import Tree, build_tree
+from ..obs import NULL
 from .kernel import SUPPORT_RADIUS, w_cubic
 from .neighbors import NeighborLists, find_neighbors
 
@@ -39,17 +41,30 @@ def initial_smoothing(positions: np.ndarray, n_target: int = 40) -> np.ndarray:
     return np.full(n, max(h0, 1e-12))
 
 
-def density_sum(tree: Tree, h: np.ndarray, neighbors: NeighborLists | None = None) -> tuple[np.ndarray, NeighborLists]:
-    """Gather-form density over tree-order particles."""
+def density_sum(
+    tree: Tree,
+    h: np.ndarray,
+    neighbors: NeighborLists | None = None,
+    *,
+    backend=None,
+    observer=NULL,
+) -> tuple[np.ndarray, NeighborLists]:
+    """Gather-form density over tree-order particles.
+
+    The neighbor lists are CSR by sink particle, so the gather sum is a
+    segment reduction through the selected kernel backend.
+    """
+    kb = get_backend(backend)
     if neighbors is None:
-        neighbors = find_neighbors(tree, SUPPORT_RADIUS * h)
-    i_idx = np.repeat(np.arange(tree.n_particles), neighbors.counts())
-    j_idx = neighbors.neighbors
-    dr = tree.positions[i_idx] - tree.positions[j_idx]
-    r = np.sqrt(np.einsum("ij,ij->i", dr, dr))
-    w = w_cubic(r, h[i_idx])
-    rho = np.zeros(tree.n_particles)
-    np.add.at(rho, i_idx, tree.masses[j_idx] * w)
+        neighbors = find_neighbors(tree, SUPPORT_RADIUS * h, observer=observer)
+    with observer.span("sph.density", cat="sph", backend=kb.name):
+        i_idx = np.repeat(np.arange(tree.n_particles), neighbors.counts())
+        j_idx = neighbors.neighbors
+        dr = tree.positions[i_idx] - tree.positions[j_idx]
+        r = np.sqrt(np.einsum("ij,ij->i", dr, dr))
+        w = w_cubic(r, h[i_idx])
+        rho = kb.segment_sum(tree.masses[j_idx] * w, neighbors.offsets)
+        observer.count("sph.density_pairs", int(j_idx.shape[0]))
     return rho, neighbors
 
 
@@ -61,6 +76,8 @@ def adapt_smoothing(
     n_target: int = 40,
     max_iters: int = 4,
     bucket_size: int = 16,
+    backend=None,
+    observer=NULL,
 ) -> tuple[Tree, DensityResult]:
     """Iterate h toward the target neighbor count; returns (tree, result).
 
@@ -80,7 +97,7 @@ def adapt_smoothing(
             raise ValueError("h must be positive with one entry per particle")
     tree = build_tree(positions, masses, bucket_size=bucket_size)
     h = h[tree.order]
-    rho, neigh = density_sum(tree, h)
+    rho, neigh = density_sum(tree, h, backend=backend, observer=observer)
     iterations = 1
     for _ in range(max_iters - 1):
         counts = neigh.counts()
@@ -89,6 +106,6 @@ def adapt_smoothing(
         # Move h toward the count target (cube-root rule), damped.
         factor = (n_target / np.maximum(counts, 1)) ** (1.0 / 3.0)
         h = h * np.clip(factor, 0.7, 1.5)
-        rho, neigh = density_sum(tree, h)
+        rho, neigh = density_sum(tree, h, backend=backend, observer=observer)
         iterations += 1
     return tree, DensityResult(rho, h, neigh, iterations)

@@ -23,7 +23,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.backend import get_backend
 from ..core.tree import Tree
+from ..obs import NULL
 from .kernel import dw_dr_cubic
 from .neighbors import NeighborLists, symmetric_pairs
 
@@ -62,9 +64,16 @@ def compute_sph_forces(
     velocities: np.ndarray,
     h: np.ndarray,
     visc: ViscosityParams | None = None,
+    backend=None,
+    observer=NULL,
 ) -> SphForces:
-    """Evaluate the SPH equations of motion (all arrays tree-order)."""
+    """Evaluate the SPH equations of motion (all arrays tree-order).
+
+    Pairwise contributions are accumulated through the selected kernel
+    backend's scatter-add.
+    """
     visc = visc or ViscosityParams()
+    kb = get_backend(backend)
     n = tree.n_particles
     for name, arr, shape in (
         ("rho", rho, (n,)),
@@ -111,18 +120,20 @@ def compute_sph_forces(
         + pi_ij
     )
     # Action on i, reaction on j (momentum conservation by construction).
-    kernel_force = (term * dw)[:, None] * unit
-    dv_dt = np.zeros((n, 3))
-    np.add.at(dv_dt, i_idx, -tree.masses[j_idx][:, None] * kernel_force)
-    np.add.at(dv_dt, j_idx, tree.masses[i_idx][:, None] * kernel_force)
+    with observer.span("sph.forces", cat="sph", backend=kb.name):
+        kernel_force = (term * dw)[:, None] * unit
+        dv_dt = np.zeros((n, 3))
+        kb.scatter_add(dv_dt, i_idx, -tree.masses[j_idx][:, None] * kernel_force)
+        kb.scatter_add(dv_dt, j_idx, tree.masses[i_idx][:, None] * kernel_force)
 
-    # Compatible thermal energy: du_i/dt gets (m_j/2) X, du_j (m_i/2) X
-    # with X = term * (v_ij . grad W) — total energy then conserves
-    # exactly against the momentum equation.
-    x_pair = term * dw * np.einsum("ij,ij->i", dv, unit)
-    du_dt = np.zeros(n)
-    np.add.at(du_dt, i_idx, 0.5 * tree.masses[j_idx] * x_pair)
-    np.add.at(du_dt, j_idx, 0.5 * tree.masses[i_idx] * x_pair)
+        # Compatible thermal energy: du_i/dt gets (m_j/2) X, du_j
+        # (m_i/2) X with X = term * (v_ij . grad W) — total energy then
+        # conserves exactly against the momentum equation.
+        x_pair = term * dw * np.einsum("ij,ij->i", dv, unit)
+        du_dt = np.zeros(n)
+        kb.scatter_add(du_dt, i_idx, 0.5 * tree.masses[j_idx] * x_pair)
+        kb.scatter_add(du_dt, j_idx, 0.5 * tree.masses[i_idx] * x_pair)
+        observer.count("sph.force_pairs", int(i_idx.shape[0]))
 
     signal = sound_speed[i_idx] + sound_speed[j_idx] - np.minimum(mu, 0.0)
     max_signal = float(signal.max()) if signal.size else float(sound_speed.max())

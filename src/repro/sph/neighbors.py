@@ -3,10 +3,20 @@
 The paper's supernova code works "by implementing the smooth particle
 hydrodynamics formalism onto the tree structure described above for
 N-body studies": neighbor finding rides on the same hashed oct-tree.
-This module does exactly that — for each leaf group of a built
-:class:`~repro.core.tree.Tree`, it walks the tree pruning cells farther
-from the group than the search radius, gathers candidate particles
-from surviving leaves, and distance-filters per particle.
+For each leaf group of a built :class:`~repro.core.tree.Tree`, the tree
+is walked pruning cells farther from the group than the search radius,
+candidate particles are gathered from surviving leaves, and
+distance-filtered per particle.
+
+:func:`find_neighbors` runs that walk *batched*: one shared frontier
+pass prunes the (group x candidate-cell) set for every group at once —
+the same level-synchronous traversal
+:func:`repro.core.traversal.build_interaction_lists` uses — and the
+candidate filter is evaluated as flat chunked pair arrays.  The
+historical per-group walker is kept as
+:func:`find_neighbors_reference`; both return the same neighbor *sets*
+(the batched path emits each particle's list sorted by candidate-leaf
+emission order, the reference by its stack order).
 
 The result is a CSR-style neighbor list (offsets + flat indices, both
 in *tree order*), which the density and force loops consume with pure
@@ -19,9 +29,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.traversal import DEFAULT_PAIR_CHUNK, _csr_by_group, _expand_children
 from ..core.tree import Tree
+from ..obs import NULL
 
-__all__ = ["NeighborLists", "find_neighbors", "symmetric_pairs"]
+__all__ = [
+    "NeighborLists",
+    "find_neighbors",
+    "find_neighbors_reference",
+    "symmetric_pairs",
+]
 
 
 @dataclass
@@ -80,19 +97,140 @@ def _candidate_leaves(tree: Tree, center: np.ndarray, radius: float) -> list[int
     return found
 
 
-def find_neighbors(tree: Tree, radii: np.ndarray) -> NeighborLists:
+def _validate_radii(tree: Tree, radii: np.ndarray) -> np.ndarray:
+    radii = np.asarray(radii, dtype=np.float64)
+    if radii.shape != (tree.n_particles,):
+        raise ValueError("radii must have one entry per particle")
+    if np.any(radii <= 0):
+        raise ValueError("search radii must be positive")
+    return radii
+
+
+def find_neighbors(
+    tree: Tree,
+    radii: np.ndarray,
+    *,
+    pair_chunk: int = DEFAULT_PAIR_CHUNK,
+    observer=NULL,
+) -> NeighborLists:
     """All particles within ``radii[i]`` of particle ``i`` (tree order).
 
     ``radii`` is per-particle (typically ``2 h_i``); the search uses
     the max radius within each leaf group so gather-scatter symmetry at
-    equal radii is exact.
+    equal radii is exact.  The tree is walked for all groups per
+    frontier pass, and the candidate distance filter runs over flat
+    (sink, candidate) pair arrays chunked to ``pair_chunk``.
     """
-    radii = np.asarray(radii, dtype=np.float64)
+    radii = _validate_radii(tree, radii)
     n = tree.n_particles
-    if radii.shape != (n,):
-        raise ValueError("radii must have one entry per particle")
-    if np.any(radii <= 0):
-        raise ValueError("search radii must be positive")
+    if pair_chunk < 1:
+        raise ValueError("pair_chunk must be positive")
+    with observer.span("sph.neighbors", cat="sph"):
+        groups = tree.leaf_ids
+        n_groups = groups.shape[0]
+        g_start = tree.start[groups]
+        g_cnt = tree.count[groups]
+
+        # Per-group search reach: the group's spatial extent around its
+        # COM plus the largest member radius.  Leaf particle runs
+        # partition [0, N) but leaf_ids is not in run order, so segment
+        # through a start-sorted view.
+        centers = tree.com[groups]
+        run_order = np.argsort(g_start, kind="stable")
+        g_of = np.repeat(run_order, g_cnt[run_order])  # particle -> group
+        d = np.linalg.norm(tree.positions - centers[g_of], axis=1)
+        reach = np.empty(n_groups)
+        reach[run_order] = (
+            np.maximum.reduceat(d, g_start[run_order])
+            + np.maximum.reduceat(radii, g_start[run_order])
+        )
+
+        # Level-synchronous pruning walk: every pass distance-tests one
+        # flat (group, cell) array against the whole frontier.
+        g_idx = np.arange(n_groups, dtype=np.int64)
+        cells = np.zeros(n_groups, dtype=np.int64)
+        out_g: list[np.ndarray] = []
+        out_c: list[np.ndarray] = []
+        mac_tests = 0
+        while cells.size:
+            mac_tests += cells.size
+            dvec = tree.com[cells] - centers[g_idx]
+            dist = np.sqrt(np.einsum("ij,ij->i", dvec, dvec))
+            keep = dist - tree.bmax[cells] <= reach[g_idx]
+            g_idx, cells = g_idx[keep], cells[keep]
+            is_leaf = tree.n_children[cells] == 0
+            out_g.append(g_idx[is_leaf])
+            out_c.append(cells[is_leaf])
+            g_idx, cells = _expand_children(tree, g_idx[~is_leaf], cells[~is_leaf])
+        og = np.concatenate(out_g) if out_g else np.empty(0, dtype=np.int64)
+        oc = np.concatenate(out_c) if out_c else np.empty(0, dtype=np.int64)
+        leaf_off, leaf_ids = _csr_by_group(og, oc, n_groups)
+
+        # Expand candidate leaves to flat particle ids, CSR by group.
+        lcnt = tree.count[leaf_ids]
+        tot = int(lcnt.sum())
+        cand_flat = np.arange(tot, dtype=np.int64)
+        cand_flat += np.repeat(tree.start[leaf_ids] - (np.cumsum(lcnt) - lcnt), lcnt)
+        # Candidates per group: total leaf counts within its leaf slice.
+        cum = np.zeros(leaf_ids.shape[0] + 1, dtype=np.int64)
+        np.cumsum(lcnt, out=cum[1:])
+        cand_off = cum[leaf_off]
+        nc = np.diff(cand_off)
+
+        # Distance filter over flat (sink, candidate) pairs, chunked.
+        # Groups are processed in particle-run order so the surviving
+        # pairs come out sorted by sink id — the CSR layout directly.
+        g_start_s = g_start[run_order]
+        g_cnt_s = g_cnt[run_order]
+        nc_s = nc[run_order]
+        cand_off_s = cand_off[run_order]
+        ppg = g_cnt_s * nc_s  # pairs per group
+        cum_p = np.zeros(n_groups + 1, dtype=np.int64)
+        np.cumsum(ppg, out=cum_p[1:])
+        neigh_counts = np.zeros(n, dtype=np.int64)
+        kept_j: list[np.ndarray] = []
+        pos = tree.positions
+        r2 = radii * radii
+        lo = 0
+        while lo < n_groups:
+            hi = int(np.searchsorted(cum_p, cum_p[lo] + pair_chunk, side="right")) - 1
+            hi = min(max(hi, lo + 1), n_groups)  # always make progress
+            sel = np.arange(lo, hi, dtype=np.int64)
+            total = int(cum_p[hi] - cum_p[lo])
+            if total == 0:
+                lo = hi
+                continue
+            gp = np.repeat(sel, ppg[sel])
+            local = np.arange(total, dtype=np.int64)
+            local -= np.repeat(cum_p[sel] - cum_p[lo], ppg[sel])
+            nc_p = nc_s[gp]
+            si = local // nc_p
+            ci = local - si * nc_p
+            i_pair = g_start_s[gp] + si
+            j_pair = cand_flat[cand_off_s[gp] + ci]
+            dx = pos[i_pair] - pos[j_pair]
+            within = np.einsum("ij,ij->i", dx, dx) <= r2[i_pair]
+            ik = i_pair[within]
+            neigh_counts += np.bincount(ik, minlength=n)
+            kept_j.append(j_pair[within])
+            lo = hi
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(neigh_counts, out=offsets[1:])
+        flat = np.concatenate(kept_j) if kept_j else np.empty(0, dtype=np.int64)
+        observer.count("sph.neighbor_mac_tests", mac_tests)
+        observer.count("sph.neighbor_candidates", int(ppg.sum()))
+    return NeighborLists(offsets, flat, radii)
+
+
+def find_neighbors_reference(tree: Tree, radii: np.ndarray) -> NeighborLists:
+    """The pre-batching per-group walker (pinning reference).
+
+    Same neighbor sets as :func:`find_neighbors`; per-particle list
+    order follows its depth-first stack order instead of the batched
+    walker's level order.
+    """
+    radii = _validate_radii(tree, radii)
+    n = tree.n_particles
     lists: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * n
     for leaf in tree.leaf_ids:
         sl = tree.particles_of(leaf)

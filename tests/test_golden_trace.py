@@ -1,28 +1,31 @@
 """Golden-trace regression suite.
 
-Two fixed-seed scenarios — a 4-rank SimMPI communication pattern and a
-small parallel treecode run — are exported as canonical Chrome-trace and
-utilization JSON and compared byte-for-byte against fixtures committed
+Three fixed-seed scenarios — a 4-rank SimMPI communication pattern, a
+small parallel treecode run, and a serial batched-kernel pipeline
+(gravity + SPH) on a deterministic tick clock — are exported as
+canonical JSON and compared byte-for-byte against fixtures committed
 under ``tests/golden/``.  Floats are normalized to 9 significant digits
 (:func:`repro.obs.dumps_canonical`), so the comparison is immune to
 formatting and last-ulp noise but fails loudly on any semantic change
-to engine scheduling, cost models, or the treecode's communication
-structure.
+to engine scheduling, cost models, the treecode's communication
+structure, or the batched kernels' span/counter emission.
 
 To bless an intentional change:
 
     PYTHONPATH=src python tests/test_golden_trace.py --regen
 """
 
+import itertools
 import os
 
 import numpy as np
 import pytest
 
-from repro.core import ParallelConfig, parallel_tree_accelerations
-from repro.obs import chrome_trace, dumps_canonical, metrics
+from repro.core import ParallelConfig, parallel_tree_accelerations, tree_accelerations
+from repro.obs import NULL, NullRecorder, Recorder, chrome_trace, dumps_canonical, metrics
 from repro.simmpi import Comm, SpaceSimulatorCost, run
 from repro.simmpi.trace import utilization
+from repro.sph import compute_sph_forces, density_sum, find_neighbors
 
 GOLDEN_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "golden")
 
@@ -59,6 +62,39 @@ def _treecode_scenario():
     ).sim
 
 
+def _serial_pipeline(observer) -> None:
+    """Run the serial batched gravity + SPH hot paths once."""
+    rng = np.random.default_rng(7)
+    pos = rng.random((192, 3))
+    masses = np.full(192, 1.0 / 192)
+    res = tree_accelerations(
+        pos, masses, theta=0.7, eps=0.02, bucket_size=16,
+        backend="numpy", observer=observer,
+    )
+    tree = res.tree
+    h = np.full(192, 0.12)
+    rho, neigh = density_sum(tree, h, backend="numpy", observer=observer)
+    rho = np.maximum(rho, 1e-9)
+    pressure = rho ** (5.0 / 3.0)
+    cs = np.sqrt(5.0 / 3.0 * pressure / rho)
+    compute_sph_forces(
+        tree, neigh, rho=rho, pressure=pressure, sound_speed=cs,
+        velocities=np.zeros((192, 3)), h=h,
+        backend="numpy", observer=observer,
+    )
+
+
+def _serial_kernels_scenario() -> dict[str, str]:
+    """The batched kernel spans/counters on a deterministic tick clock."""
+    ticks = itertools.count()
+    rec = Recorder(clock=lambda: float(next(ticks)))
+    _serial_pipeline(rec)
+    return {
+        "trace": dumps_canonical(chrome_trace(rec, process_name="golden")),
+        "metrics": dumps_canonical(metrics(rec)),
+    }
+
+
 def _artifacts(sim) -> dict[str, str]:
     """Canonical byte-stable artifacts for one simulation result."""
     doc = chrome_trace(sim.observer, process_name="golden")
@@ -72,8 +108,9 @@ def _artifacts(sim) -> dict[str, str]:
 
 
 SCENARIOS = {
-    "simmpi_4rank": _simmpi_scenario,
-    "treecode_small": _treecode_scenario,
+    "simmpi_4rank": lambda: _artifacts(_simmpi_scenario()),
+    "treecode_small": lambda: _artifacts(_treecode_scenario()),
+    "serial_kernels": _serial_kernels_scenario,
 }
 
 
@@ -82,29 +119,65 @@ def _fixture_path(scenario: str, artifact: str) -> str:
 
 
 @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
-@pytest.mark.parametrize("artifact", ["trace", "utilization"])
-def test_golden(scenario, artifact):
-    produced = _artifacts(SCENARIOS[scenario]())[artifact]
-    path = _fixture_path(scenario, artifact)
-    with open(path) as fh:
-        expected = fh.read()
-    assert produced == expected, (
-        f"{scenario}/{artifact} drifted from {path}; if the change is "
-        "intentional, regenerate with "
-        "`PYTHONPATH=src python tests/test_golden_trace.py --regen`"
-    )
+def test_golden(scenario):
+    produced = SCENARIOS[scenario]()
+    for artifact, text in sorted(produced.items()):
+        path = _fixture_path(scenario, artifact)
+        with open(path) as fh:
+            expected = fh.read()
+        assert text == expected, (
+            f"{scenario}/{artifact} drifted from {path}; if the change is "
+            "intentional, regenerate with "
+            "`PYTHONPATH=src python tests/test_golden_trace.py --regen`"
+        )
 
 
 def test_golden_runs_are_deterministic():
     a = _artifacts(_simmpi_scenario())
     b = _artifacts(_simmpi_scenario())
     assert a == b
+    assert _serial_kernels_scenario() == _serial_kernels_scenario()
+
+
+def test_serial_kernel_spans_present():
+    ticks = itertools.count()
+    rec = Recorder(clock=lambda: float(next(ticks)))
+    _serial_pipeline(rec)
+    names = {s.name for s in rec.spans}
+    assert {
+        "gravity.compute_forces", "gravity.traversal",
+        "gravity.kernel.cells", "gravity.kernel.direct",
+        "sph.neighbors", "sph.density", "sph.forces",
+    } <= names
+    kinds = {s.name: dict(s.args or ()) for s in rec.spans}
+    assert kinds["gravity.kernel.cells"]["backend"] == "numpy"
+    assert kinds["gravity.kernel.direct"]["backend"] == "numpy"
+    m = metrics(rec)
+    for key in ("gravity.p2p", "gravity.p2c", "gravity.groups",
+                "gravity.mac_tests", "gravity.traversal_passes",
+                "sph.neighbor_candidates", "sph.density_pairs",
+                "sph.force_pairs"):
+        assert m[f"counter.{key}"] > 0, key
+
+
+def test_null_recorder_emits_nothing():
+    """The disabled path through the batched kernels records zero state."""
+    rec = NullRecorder()
+    _serial_pipeline(rec)
+    assert len(rec.spans) == 0
+    assert metrics(rec) == {}
+    # Only process metadata, never a kernel event.
+    assert all(ev["ph"] == "M" for ev in chrome_trace(rec)["traceEvents"])
+    # The default observer is the shared NULL singleton; the pipeline
+    # above (and every run before it) must not have leaked state into it.
+    _serial_pipeline(NULL)
+    assert len(NULL.spans) == 0 and NULL.counters == {} and NULL.gauges == {}
 
 
 def regen() -> None:
     os.makedirs(GOLDEN_DIR, exist_ok=True)
     for scenario, build in sorted(SCENARIOS.items()):
-        arts = _artifacts(build())
+        arts = build()
         for artifact, text in sorted(arts.items()):
             path = _fixture_path(scenario, artifact)
             with open(path, "w") as fh:
