@@ -35,12 +35,15 @@ from .cellserver import (
     key_interval,
     shift_quadrupole,
 )
+from .cellcache import CellCache
 from .domain import (
     DomainDecomposition,
     decompose,
+    merge_splitter_candidates,
     morton_traversal_order_2d,
     sample_splitters,
     split_weighted,
+    splitter_candidates,
 )
 from .gravity import (
     GravityResult,
@@ -88,6 +91,8 @@ from .snapshot import Snapshot, SnapshotError, read_snapshot, snapshot_nbytes, w
 from .parallel import (
     ParallelConfig,
     ParallelGravityResult,
+    ParallelRunResult,
+    parallel_nbody_run,
     parallel_tree_accelerations,
 )
 from .traversal import (
@@ -146,11 +151,14 @@ __all__ = [
     "decompose",
     "DomainDecomposition",
     "sample_splitters",
+    "splitter_candidates",
+    "merge_splitter_candidates",
     "morton_traversal_order_2d",
     "LeapfrogIntegrator",
     "StepStats",
     "nbody_simulate",
     "ABMChannel",
+    "CellCache",
     "CellRecord",
     "CellServer",
     "cover_interval",
@@ -159,7 +167,9 @@ __all__ = [
     "combine_records",
     "ParallelConfig",
     "ParallelGravityResult",
+    "ParallelRunResult",
     "parallel_tree_accelerations",
+    "parallel_nbody_run",
     "OutOfCoreParticles",
     "OutOfCoreResult",
     "out_of_core_accelerations",

@@ -23,6 +23,7 @@ aggregate branch multipoles into the shared top of the tree.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -203,6 +204,30 @@ class CellServer:
         s = int(np.searchsorted(self.keys, np.uint64(lo), side="left"))
         e = int(np.searchsorted(self.keys, np.uint64(hi - 1), side="right"))
         return s, e
+
+    def branch_fingerprint(self, key: int) -> bytes:
+        """Digest of the particle data inside cell ``key``.
+
+        Hashes the Morton keys, positions, and masses of the cell's
+        local run plus the server's prefix-sum state at the run start
+        (16 bytes, blake2b).  :meth:`record` values are *differences of
+        prefix sums*, so they depend on the accumulated floating-point
+        prefix as well as the run itself; including both makes an
+        unchanged fingerprint a proof that every record under this
+        branch is bit-identical to the one a fresh fetch would return
+        (assuming the global box and ``bucket_size`` are unchanged).
+        Used by :meth:`repro.core.cellcache.CellCache.retain_valid` to
+        invalidate cross-timestep cache entries.
+        """
+        s, e = self.run_of(key)
+        h = hashlib.blake2b(digest_size=16)
+        h.update(np.ascontiguousarray(self.keys[s:e]).tobytes())
+        h.update(np.ascontiguousarray(self.positions[s:e]).tobytes())
+        h.update(np.ascontiguousarray(self.masses[s:e]).tobytes())
+        h.update(self._cm[s : s + 1].tobytes())
+        h.update(np.ascontiguousarray(self._cmx[s : s + 1]).tobytes())
+        h.update(np.ascontiguousarray(self._cs[s : s + 1]).tobytes())
+        return h.digest()
 
     def record(self, key: int, *, with_particles: bool | None = None) -> CellRecord:
         """Full cell record; empty cells yield ``count == 0`` records.

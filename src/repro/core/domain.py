@@ -27,6 +27,8 @@ __all__ = [
     "DomainDecomposition",
     "decompose",
     "sample_splitters",
+    "splitter_candidates",
+    "merge_splitter_candidates",
     "morton_traversal_order_2d",
 ]
 
@@ -38,10 +40,23 @@ def split_weighted(work: np.ndarray, n_pieces: int) -> np.ndarray:
     ``b[-1] == len(work)``; piece ``p`` is ``[b[p], b[p+1])``.  The cut
     points are where cumulative work crosses equal shares, so no piece
     exceeds the ideal share by more than one item's work.
+
+    ``work`` must be 1-D, non-negative, and finite.  A zero-total work
+    array is an explicitly defined degenerate case: the split falls
+    back to balancing by *count* (a uniform split of the indices), so
+    first-step callers that have no work measurements yet get the same
+    decomposition as passing uniform weights.
+
+    >>> split_weighted(np.array([1.0, 1.0, 4.0, 1.0, 1.0]), 2)
+    array([0, 2, 5])
+    >>> split_weighted(np.zeros(12), 3)  # degenerate: count-balanced
+    array([ 0,  4,  8, 12])
     """
     work = np.asarray(work, dtype=np.float64)
     if work.ndim != 1:
         raise ValueError("work must be 1-D")
+    if not np.all(np.isfinite(work)):
+        raise ValueError("work must be finite")
     if np.any(work < 0):
         raise ValueError("work must be non-negative")
     if n_pieces < 1:
@@ -149,6 +164,96 @@ def sample_splitters(
     k = min(local_keys.size, n_pieces * oversample)
     idx = rng.choice(local_keys.size, size=k, replace=False)
     return np.sort(local_keys[idx])
+
+
+def splitter_candidates(
+    local_keys: np.ndarray,
+    local_work: np.ndarray,
+    work_before: float,
+    total: float,
+    n_pieces: int,
+) -> dict[int, int]:
+    """Splitter keys this rank proposes for incremental rebalancing.
+
+    Incremental, work-weighted rebalancing (paper §4.2): instead of
+    re-running the full sample sort every step, each rank measures the
+    work its particles actually cost last step and moves the existing
+    domain boundaries to re-equalize it.  Boundary ``b`` of an
+    ``n_pieces``-way split belongs at global cumulative work
+    ``b * total / n_pieces``; the rank whose work range contains that
+    target proposes the Morton key to cut at.
+
+    Parameters
+    ----------
+    local_keys, local_work:
+        This rank's particle keys (globally Morton-sorted across ranks)
+        and their measured per-particle work (arbitrary units, e.g.
+        interaction counts).
+    work_before:
+        Sum of all lower-ranked processors' work (an exclusive scan of
+        the per-rank totals).
+    total:
+        Global work sum.  Zero/non-positive totals propose nothing —
+        callers keep the old splitters (degenerate case mirrors
+        :func:`split_weighted`).
+    n_pieces:
+        Number of domains (interior boundaries are ``1 .. n_pieces-1``).
+
+    Returns
+    -------
+    Mapping of boundary index → proposed splitter key.  A proposed key
+    ``k`` means "particles with key >= k start piece ``b``"; cut points
+    round to the nearest particle edge, and each target is claimed by
+    exactly one rank (targets on a rank seam go to the higher rank).
+
+    >>> keys = np.array([10, 20, 30, 40], dtype=np.uint64)
+    >>> splitter_candidates(keys, np.array([1.0, 1, 1, 1]), 0.0, 4.0, 2)
+    {1: 21}
+    """
+    local_keys = np.asarray(local_keys, dtype=np.uint64)
+    local_work = np.asarray(local_work, dtype=np.float64)
+    out: dict[int, int] = {}
+    if total <= 0 or local_keys.size == 0:
+        return out
+    cum = np.cumsum(local_work)
+    local_total = float(cum[-1])
+    for b in range(1, n_pieces):
+        t = total * b / n_pieces - work_before
+        if t <= 0 or t > local_total:
+            continue
+        j = int(np.searchsorted(cum, t, side="left"))
+        below = float(cum[j - 1]) if j > 0 else 0.0
+        n_left = j + 1 if abs(float(cum[j]) - t) <= abs(t - below) else j
+        if n_left == 0:
+            out[b] = int(local_keys[0])
+        else:
+            out[b] = int(local_keys[n_left - 1]) + 1
+    return out
+
+
+def merge_splitter_candidates(
+    old_splitters: list[int], proposals: list[dict[int, int]]
+) -> list[int]:
+    """Combine per-rank proposals into a full monotone splitter list.
+
+    ``old_splitters`` is the current length-``P+1`` list (sentinels at
+    both ends are kept verbatim); ``proposals`` holds every rank's
+    :func:`splitter_candidates` result.  Boundaries nobody proposed
+    keep their old key; the merged list is forced non-decreasing so a
+    pathological proposal can never invert two domains.
+
+    >>> merge_splitter_candidates([0, 25, 50, 100], [{1: 31}, {}])
+    [0, 31, 50, 100]
+    """
+    new = list(old_splitters)
+    for prop in proposals:
+        for b, key in prop.items():
+            if 0 < b < len(new) - 1:
+                new[b] = int(key)
+    for i in range(1, len(new)):
+        if new[i] < new[i - 1]:
+            new[i] = new[i - 1]
+    return new
 
 
 def morton_traversal_order_2d(positions: np.ndarray, box: BoundingBox | None = None) -> np.ndarray:

@@ -15,12 +15,36 @@ This module reassembles the full HOT pipeline of Section 4.2:
 3. **Traversal with deferral** — sink groups walk the global tree by
    key.  Misses on remote cells do not stall the walk: the group is
    parked on a software deferral queue and its key requests are
-   *batched per destination* through
-   :class:`~repro.core.abm.ABMChannel`; other groups keep walking.
-   Replies (cell records, or particles for leaves) land in a local
-   cache keyed by the global key namespace, and parked groups resume.
+   *batched per destination*; other groups keep walking.  Replies
+   (cell records, or particles for leaves) land in a local cache keyed
+   by the global key namespace, and parked groups resume.
 4. **Evaluation** — interaction lists are evaluated with the same
    vectorized monopole+quadrupole / direct kernels as the serial code.
+
+Two communication schedules drive step 3, selected by
+``ParallelConfig.comm``:
+
+``"async"`` (default)
+    The latency-hiding schedule the paper's HOT library uses over
+    commodity networks.  Outstanding misses are deduplicated into one
+    coalesced request batch per owner and sent with nonblocking
+    point-to-point messages
+    (:func:`~repro.simmpi.patterns.batched_request_reply`); while the
+    requests are on the wire, the rank *evaluates the force kernels of
+    every group that already completed its walk* — computation covers
+    communication.  Replies land in a persistent
+    :class:`~repro.core.cellcache.CellCache` that survives rounds (and,
+    in the multi-step driver, timesteps), and a locally-essential-tree
+    prefetch (:attr:`ParallelConfig.prefetch`) MAC-tests the domain
+    boundary to bulk-fetch likely-needed cells before the walk starts.
+
+``"blocking"``
+    The bulk-synchronous reference: each round is an alltoall of
+    request batches, a serve step, and an alltoall of replies
+    (:class:`~repro.core.abm.ABMChannel`), with all evaluation *after*
+    the exchange.  Kept for differential testing — both schedules
+    produce bit-identical accelerations and interaction counts, the
+    same convention PR 4 established for kernel backends.
 
 Because a cell's leaf-or-internal status depends only on its *global*
 particle count, every rank derives the same virtual global tree, and
@@ -46,6 +70,16 @@ traversal.  Because the traversal is a deterministic function of that
 state, the recovered accelerations are **bit-for-bit identical** to the
 fault-free run's — the property ``tests/test_cross_consistency.py``
 pins.
+
+Multiple timesteps: :func:`parallel_nbody_run` integrates the system
+through ``n_steps`` kick–drift steps inside one SimMPI run, reusing the
+remote-cell cache across steps (entries are invalidated by branch
+fingerprint when an owner's subtree changes) and *incrementally*
+rebalancing the domain boundaries from the measured per-particle
+interaction work of the previous step
+(:func:`~repro.core.domain.splitter_candidates`) — the paper's
+work-weighted decomposition fed by real measurements instead of uniform
+weights.
 """
 
 from __future__ import annotations
@@ -63,13 +97,16 @@ from ..simmpi.api import MIN as MPI_MIN
 from ..simmpi.cost import CostModel
 from ..simmpi.engine import SimResult, run
 from ..simmpi.faults import FaultPlan
+from ..simmpi.patterns import batched_request_reply
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (resilience -> core)
     from ..resilience.checkpoint import Checkpointer
     from ..resilience.runner import ResilienceConfig, ResilientResult
 from .abm import ABMChannel
 from .backend import get_backend
+from .cellcache import CellCache
 from .cellserver import CellRecord, CellServer, combine_records, cover_interval, key_interval
+from .domain import merge_splitter_candidates, splitter_candidates
 from .keys import ROOT_KEY, BoundingBox, key_level, keys_from_positions
 from .mac import OpeningAngleMAC
 from .traversal import (
@@ -78,7 +115,13 @@ from .traversal import (
 )
 from ..machine.specs import FLOPS_PER_INTERACTION
 
-__all__ = ["ParallelConfig", "ParallelGravityResult", "parallel_tree_accelerations"]
+__all__ = [
+    "ParallelConfig",
+    "ParallelGravityResult",
+    "ParallelRunResult",
+    "parallel_tree_accelerations",
+    "parallel_nbody_run",
+]
 
 _MIN_PKEY = 1 << 63
 _END_PKEY = 1 << 64
@@ -86,10 +129,52 @@ _END_PKEY = 1 << 64
 #: Modeled flop cost of one MAC evaluation during list construction.
 FLOPS_PER_MAC_TEST = 12.0
 
+#: Base tag of the traversal's batched request/reply rounds (prefetch
+#: waves use ``_FETCH_TAG + 10`` so traces distinguish the phases).
+_FETCH_TAG = 7_200
+
 
 @dataclass(frozen=True)
 class ParallelConfig:
-    """Tunables of the parallel treecode."""
+    """Tunables of the parallel treecode.
+
+    Parameters
+    ----------
+    theta:
+        Opening angle of the multipole acceptance criterion
+        (dimensionless; smaller is more accurate and more expensive).
+    eps:
+        Plummer softening length, in position units.
+    G:
+        Gravitational constant (sets the unit system; accelerations
+        come out in ``G * mass / length**2`` units).
+    bucket_size:
+        Maximum particles per leaf of the global virtual tree.
+    oversample:
+        Splitter samples per rank in the parallel sample sort.
+    kernel_efficiency:
+        Fraction of machine peak the force inner loops sustain; scales
+        every modeled compute charge (Table 6 calibration knob).
+    max_rounds:
+        Safety bound on traversal request/reply rounds.
+    backend:
+        Kernel backend name (``None`` -> ``$REPRO_BACKEND``/numpy).
+    comm:
+        Communication schedule for the traversal: ``"async"``
+        (latency-hiding batched nonblocking messages, the default) or
+        ``"blocking"`` (bulk-synchronous ABM reference).  Both produce
+        bit-identical physics.
+    prefetch:
+        Enable the locally-essential-tree prefetch before the walk
+        (``"async"`` schedule only).
+    prefetch_rounds:
+        Maximum prefetch waves (each wave descends one tree level along
+        the domain boundary).
+    cache_capacity:
+        Entry bound of the remote-cell :class:`CellCache`; ``None`` is
+        unbounded.  Must comfortably exceed a round's working set or
+        eviction thrash will stretch (never corrupt) the traversal.
+    """
 
     theta: float = 0.6
     eps: float = 0.05
@@ -100,12 +185,22 @@ class ParallelConfig:
     max_rounds: int = 200
     #: Kernel backend name (``None`` -> ``$REPRO_BACKEND``/numpy).
     backend: str | None = None
+    comm: str = "async"
+    prefetch: bool = True
+    prefetch_rounds: int = 8
+    cache_capacity: int | None = None
 
     def __post_init__(self) -> None:
         if self.eps < 0 or self.bucket_size < 1 or self.oversample < 1:
             raise ValueError("invalid configuration")
         if not 0 < self.kernel_efficiency <= 1:
             raise ValueError("kernel_efficiency must be in (0, 1]")
+        if self.comm not in ("async", "blocking"):
+            raise ValueError("comm must be 'async' or 'blocking'")
+        if self.prefetch_rounds < 0:
+            raise ValueError("prefetch_rounds must be >= 0")
+        if self.cache_capacity is not None and self.cache_capacity < 1:
+            raise ValueError("cache_capacity must be positive or None")
         if self.backend is not None:
             get_backend(self.backend)  # fail fast on unknown names
 
@@ -120,6 +215,10 @@ class ParallelGravityResult:
     sim: SimResult
     #: Restart bookkeeping when the run executed under a fault plan.
     resilience: "ResilientResult | None" = None
+    #: Aggregated communication-layer statistics (requests, batches,
+    #: rounds, cache hit/miss/eviction counters, prefetch accuracy),
+    #: summed over ranks.
+    comm: dict[str, float] = field(default_factory=dict)
 
     @property
     def mflops_per_proc(self) -> float:
@@ -128,6 +227,27 @@ class ParallelGravityResult:
         if self.sim.elapsed == 0:
             return 0.0
         return self.counts.flops / (p * self.sim.elapsed) / 1e6
+
+
+@dataclass
+class ParallelRunResult:
+    """Assembled output of a multi-timestep parallel N-body run."""
+
+    #: Final particle state, in input order.
+    positions: np.ndarray
+    velocities: np.ndarray
+    #: Accelerations of the last force evaluation, in input order.
+    accelerations: np.ndarray
+    #: Per-step accelerations (one ``(N, 3)`` array per step, input order).
+    step_accelerations: list[np.ndarray]
+    #: Interaction totals summed over all steps.
+    counts: InteractionCounts
+    sim: SimResult
+    #: Aggregated communication statistics, summed over ranks and steps.
+    comm: dict[str, float] = field(default_factory=dict)
+    #: Per-step work imbalance: max over ranks of measured interaction
+    #: work divided by the mean (1.0 is perfect balance).
+    work_imbalance: list[float] = field(default_factory=list)
 
 
 def _rec_to_wire(rec: CellRecord) -> tuple:
@@ -157,13 +277,12 @@ def _build_frame(branch_records: list[CellRecord], owners: dict[int, int]) -> di
 
     Branch keys themselves are included; their ``children`` stay empty
     here because their subtrees live on their owners (descending into
-    a branch is what triggers an ABM request).
+    a branch is what triggers a remote request).
     """
     frame: dict[int, CellRecord] = {r.key: r for r in branch_records}
     if not branch_records:
         raise ValueError("no branch records; empty simulation?")
     # Aggregate level by level from the deepest branch upward.
-    by_level: dict[int, dict[int, list[CellRecord]]] = {}
     current = {r.key: r for r in branch_records}
     while True:
         deepest = max(key_level(k) for k in current)
@@ -225,7 +344,7 @@ class _GroupWalk:
 
         ``resolve(key)`` returns a CellRecord or None (non-local miss);
         missed keys move to ``waiting`` and are retried on the next
-        advance (after the ABM round fills the cache).
+        advance (after a request round fills the cache).
         """
         self.frontier.extend(self.waiting)
         self.waiting = []
@@ -260,6 +379,346 @@ class _GroupWalk:
                     # or particles) must be fetched — park on it.
                     self.waiting.append(rec.key)
         return list(self.waiting)
+
+
+def _run_traversal(
+    comm,
+    config: ParallelConfig,
+    kb,
+    server: CellServer,
+    frame: dict[int, CellRecord],
+    owners: dict[int, int],
+    branch_keys_mine: list[int],
+    splitters: list[int],
+    pos: np.ndarray,
+    mass: np.ndarray,
+    remote_cache: CellCache,
+    branch_fps: dict[int, bytes] | None = None,
+):
+    """Tree traversal + force evaluation for one rank's particles.
+
+    A generator to be delegated from a rank program.  Returns
+    ``(acc, pot, counts, work, stats)`` where ``work`` is the measured
+    per-particle interaction flops (the weight the next step's
+    incremental rebalancing consumes) and ``stats`` the rank-local
+    communication counters.
+
+    The interaction list of every sink group is a pure function of the
+    global tree and the group geometry, and evaluation order within a
+    group is fixed by sorting records on key — so the ``"async"`` and
+    ``"blocking"`` schedules (and any cache state) produce bit-identical
+    ``acc``/``pot``/``counts``.
+    """
+    rank, size = comm.rank, comm.size
+    n_owned = pos.shape[0]
+    my_lo, my_hi = splitters[rank], splitters[rank + 1]
+    mac = OpeningAngleMAC(config.theta)
+    eps2 = config.eps * config.eps
+    local_records: dict[int, CellRecord] = {}
+    prefetched: set[int] = set()
+    stats: dict[str, float] = {
+        "rounds": 0, "requests": 0, "batches": 0,
+        "prefetch_rounds": 0, "prefetch_fetched": 0, "prefetch_used": 0,
+    }
+
+    # Covering-branch lookup, for stamping cache entries with the
+    # branch whose fingerprint governs their cross-step validity.
+    all_branch_keys = sorted(owners.keys(), key=lambda k: key_interval(k)[0])
+    branch_los = [key_interval(k)[0] for k in all_branch_keys]
+
+    def covering_branch(key: int) -> int:
+        ilo, _ = key_interval(key)
+        i = bisect.bisect_right(branch_los, ilo) - 1
+        return all_branch_keys[max(i, 0)]
+
+    def admit(w: tuple) -> CellRecord:
+        rec = _rec_from_wire(w)
+        bkey = covering_branch(rec.key)
+        fp = b"" if branch_fps is None else branch_fps.get(bkey, b"")
+        remote_cache.insert(rec.key, rec, branch_key=bkey, fingerprint=fp)
+        return rec
+
+    def resolve(key: int) -> CellRecord | None:
+        rec = local_records.get(key)
+        if rec is not None:
+            return rec
+        ilo, ihi = key_interval(key)
+        if my_lo <= ilo and ihi <= my_hi:
+            rec = server.record(key)
+            local_records[key] = rec
+            return rec
+        if key in frame and key not in owners:
+            return frame[key]  # shared top: aggregated locally
+        rec = remote_cache.get(key)
+        if rec is not None:
+            if key in prefetched:
+                stats["prefetch_used"] += 1
+                prefetched.discard(key)
+            return rec
+        if key in frame and owners.get(key) == rank:
+            rec = server.record(key)
+            local_records[key] = rec
+            return rec
+        if key in frame:
+            # Remote branch: its multipole is known from the
+            # allgather; if the MAC opens it, the walk will park on
+            # it and its real record arrives by request into the cache.
+            return frame[key]
+        return None
+
+    def owner_of(key: int) -> int:
+        ilo, _ = key_interval(key)
+        return min(bisect.bisect_right(splitters, ilo) - 1, size - 1)
+
+    def serve_batch(requester: int, items: list[Any]) -> list[Any]:
+        return [_rec_to_wire(server.record(int(k))) for k in items]
+
+    acc = np.zeros((n_owned, 3))
+    pot = np.zeros(n_owned)
+    work = np.zeros(n_owned)
+    counts = InteractionCounts()
+    walks = [
+        _GroupWalk(k, s, e, pos) for (k, s, e) in server.leaf_groups(branch_keys_mine)
+    ]
+
+    def evaluate(walk: _GroupWalk) -> tuple[float, float]:
+        """Evaluate a completed walk's interaction lists; returns the
+        (flops, bytes) to charge the cost model."""
+        sinks = pos[walk.start:walk.stop]
+        ns = sinks.shape[0]
+        counts.groups += 1
+        flops = 0.0
+        mem = 0.0
+        if walk.cells:
+            walk.cells.sort(key=lambda r: r.key)
+            c_com = np.array([r.com for r in walk.cells])
+            c_mass = np.array([r.mass for r in walk.cells])
+            c_quad = np.array([r.quad for r in walk.cells])
+            a, p = kb.eval_cells_dense(sinks, c_com, c_mass, c_quad, eps2, config.G)
+            acc[walk.start:walk.stop] += a
+            pot[walk.start:walk.stop] += p
+            counts.p2c += ns * len(walk.cells)
+            work[walk.start:walk.stop] += len(walk.cells) * FLOPS_PER_CELL_INTERACTION
+            flops += ns * len(walk.cells) * FLOPS_PER_CELL_INTERACTION
+            mem += ns * len(walk.cells) * 80.0
+        if walk.direct:
+            walk.direct.sort(key=lambda r: r.key)
+            src_pos = np.concatenate([r.positions for r in walk.direct])
+            src_mass = np.concatenate([r.masses for r in walk.direct])
+            a, p = kb.eval_direct_dense(sinks, src_pos, src_mass, eps2, config.G)
+            acc[walk.start:walk.stop] += a
+            pot[walk.start:walk.stop] += p
+            counts.p2p += ns * src_pos.shape[0]
+            work[walk.start:walk.stop] += src_pos.shape[0] * FLOPS_PER_INTERACTION
+            flops += ns * src_pos.shape[0] * FLOPS_PER_INTERACTION
+            mem += ns * src_pos.shape[0] * 32.0
+            if eps2 > 0:
+                pot[walk.start:walk.stop] += config.G * mass[walk.start:walk.stop] / config.eps
+        return flops, mem
+
+    def evaluate_many(ready: list[_GroupWalk]):
+        """Generator charging one labeled compute span for a batch of
+        completed walks — the overlap work of an async round."""
+        flops = 0.0
+        mem = 0.0
+        for walk in ready:
+            f, m = evaluate(walk)
+            flops += f
+            mem += m
+        if flops:
+            yield comm.compute(
+                flops=flops,
+                mem_bytes=mem,
+                flop_efficiency=config.kernel_efficiency,
+                label="force",
+            )
+        return None
+
+    def prefetch_boundary():
+        """Locally-essential-tree prefetch (async schedule only).
+
+        MAC-tests remote cells against the *whole local domain* —
+        modeled as the bounding sphere of this rank's particles — and
+        bulk-fetches, one tree level per wave, every cell some local
+        group might open.  A cell at distance ``d`` from the domain
+        center can only be opened by a local group if
+        ``d - R <= bmax / theta`` (the domain sphere contains every
+        group sphere), so cells failing that test are skipped.  The
+        test is conservative per *domain* but heuristic per *group*:
+        anything it misses is fetched by the main loop, so accuracy
+        affects only timing, never results.
+        """
+        if n_owned:
+            center = pos.mean(axis=0)
+            radius = float(np.linalg.norm(pos - center, axis=1).max())
+        else:
+            center = np.zeros(3)
+            radius = 0.0
+        inv_theta = 1.0 / config.theta
+        frontier = [frame[k] for k in all_branch_keys if owners[k] != rank]
+        wave = 0
+        while wave < config.prefetch_rounds:
+            need: dict[int, list[int]] = {}
+            seen: set[int] = set()
+            tests = 0
+            next_frontier: list[CellRecord] = []
+            for rec in frontier:
+                if rec.count == 0:
+                    continue
+                tests += 1
+                dist = float(np.linalg.norm(rec.com - center))
+                if dist - radius > rec.bmax * inv_theta:
+                    continue  # every local group's MAC accepts it
+                if rec.is_leaf:
+                    if rec.positions is None and remote_cache.peek(rec.key) is None:
+                        if rec.key not in seen:
+                            seen.add(rec.key)
+                            need.setdefault(owner_of(rec.key), []).append(rec.key)
+                    continue
+                for ck in rec.children:
+                    crec = remote_cache.peek(ck)
+                    if crec is not None:
+                        next_frontier.append(crec)
+                    elif ck not in seen:
+                        seen.add(ck)
+                        need.setdefault(owner_of(ck), []).append(ck)
+            if tests:
+                yield comm.compute(
+                    flops=tests * FLOPS_PER_MAC_TEST,
+                    flop_efficiency=config.kernel_efficiency,
+                    label="prefetch",
+                )
+            n_need = sum(len(v) for v in need.values())
+            total = yield comm.allreduce(n_need)
+            if total == 0:
+                break
+            reqs: list[list[int]] = [[] for _ in range(size)]
+            for owner, ks in need.items():
+                reqs[owner] = sorted(ks)
+            stats["requests"] += len(seen)
+            stats["batches"] += sum(1 for r in reqs if r)
+            replies, _ = yield from batched_request_reply(
+                comm, reqs, serve_batch, tag=_FETCH_TAG + 10
+            )
+            for batch in replies:
+                if batch:
+                    for w in batch:
+                        rec = admit(w)
+                        prefetched.add(rec.key)
+                        stats["prefetch_fetched"] += 1
+                        next_frontier.append(rec)
+            frontier = next_frontier
+            wave += 1
+            stats["prefetch_rounds"] = wave
+
+    def traverse_async():
+        """Latency-hiding main loop: per-owner deduplicated request
+        batches in flight while completed walks evaluate their forces."""
+        pending = list(walks)
+        ready: list[_GroupWalk] = []
+        rounds = 0
+        while True:
+            still: list[_GroupWalk] = []
+            walk_flops = 0.0
+            need: dict[int, list[int]] = {}
+            requested: set[int] = set()
+            for walk in pending:
+                missing = walk.advance(resolve, mac)
+                walk_flops += walk.mac_tests * FLOPS_PER_MAC_TEST
+                walk.mac_tests = 0
+                if missing:
+                    for k in missing:
+                        if k not in requested:
+                            requested.add(k)
+                            need.setdefault(owner_of(k), []).append(k)
+                    still.append(walk)
+                else:
+                    ready.append(walk)
+            if walk_flops:
+                yield comm.compute(
+                    flops=walk_flops,
+                    flop_efficiency=config.kernel_efficiency,
+                    label="traversal",
+                )
+            blocked = yield comm.allreduce(len(still))
+            if blocked == 0:
+                yield from evaluate_many(ready)
+                break
+            reqs: list[list[int]] = [[] for _ in range(size)]
+            for owner, ks in need.items():
+                reqs[owner] = sorted(ks)
+            stats["requests"] += len(requested)
+            stats["batches"] += sum(1 for r in reqs if r)
+            replies, _ = yield from batched_request_reply(
+                comm, reqs, serve_batch,
+                overlap=evaluate_many(ready), tag=_FETCH_TAG,
+            )
+            ready = []
+            for batch in replies:
+                if batch:
+                    for w in batch:
+                        admit(w)
+            pending = still
+            rounds += 1
+            stats["rounds"] = rounds
+            if rounds > config.max_rounds:
+                raise RuntimeError(
+                    "traversal did not converge; request round limit hit"
+                )
+
+    def traverse_blocking():
+        """Bulk-synchronous ABM reference: alltoall request/reply rounds
+        with all force evaluation after the exchange (the pre-PR-5
+        schedule, kept for differential testing)."""
+        abm = ABMChannel(comm, serve_batch)
+        pending = list(walks)
+        rounds = 0
+        while True:
+            still: list[_GroupWalk] = []
+            walk_flops = 0.0
+            ready: list[_GroupWalk] = []
+            for walk in pending:
+                missing = walk.advance(resolve, mac)
+                walk_flops += walk.mac_tests * FLOPS_PER_MAC_TEST
+                walk.mac_tests = 0
+                if missing:
+                    for k in set(missing):
+                        abm.request(owner_of(k), k)
+                    still.append(walk)
+                else:
+                    ready.append(walk)
+            if walk_flops:
+                yield comm.compute(
+                    flops=walk_flops,
+                    flop_efficiency=config.kernel_efficiency,
+                    label="traversal",
+                )
+            yield from evaluate_many(ready)
+            done = yield from abm.globally_done(len(still))
+            if done:
+                break
+            replies = yield from abm.exchange()
+            for batch in replies:
+                for w in batch:
+                    admit(w)
+            pending = still
+            rounds += 1
+            if rounds > config.max_rounds:
+                raise RuntimeError("traversal did not converge; ABM round limit hit")
+        stats["rounds"] = abm.rounds
+        stats["requests"] = abm.requests_sent
+
+    if config.comm == "async":
+        if config.prefetch and size > 1:
+            yield from prefetch_boundary()
+        yield from traverse_async()
+    else:
+        yield from traverse_blocking()
+    return acc, pot, counts, work, stats
+
+
+def _cache_stats(remote_cache: CellCache) -> dict[str, int]:
+    return {f"cache_{k}": v for k, v in remote_cache.snapshot_stats().items()}
 
 
 def _make_program(
@@ -384,131 +843,35 @@ def _make_program(
                 branch_records.append(rec)
         frame = _build_frame(branch_records, owners)
 
-        # -- traversal with the ABM deferral queue ------------------------
-        def serve(requester: int, items: list[Any]) -> list[Any]:
-            return [_rec_to_wire(server.record(int(k))) for k in items]
-
-        abm = ABMChannel(comm, serve)
-        cache: dict[int, CellRecord] = {}
-        my_branch_set = set(branch_keys_mine)
-
-        def resolve(key: int) -> CellRecord | None:
-            if key in cache:
-                return cache[key]
-            ilo, ihi = key_interval(key)
-            if my_lo <= ilo and ihi <= my_hi:
-                rec = server.record(key)
-                cache[key] = rec
-                return rec
-            if key in frame and key not in owners:
-                return frame[key]  # shared top: aggregated locally
-            if key in frame and owners.get(key) == rank:
-                rec = server.record(key)
-                cache[key] = rec
-                return rec
-            if key in frame:
-                # Remote branch: its multipole is known from the
-                # allgather; if the MAC opens it, the walk will park on
-                # it and its real record arrives by ABM into the cache.
-                return frame[key]
-            return None
-
-        def owner_of(key: int) -> int:
-            ilo, _ = key_interval(key)
-            return min(bisect.bisect_right(splitters, ilo) - 1, size - 1)
-
-        acc = np.zeros((n_owned, 3))
-        pot = np.zeros(n_owned)
-        counts = InteractionCounts()
-        walks = [
-            _GroupWalk(k, s, e, pos) for (k, s, e) in server.leaf_groups(branch_keys_mine)
-        ]
-        mac = OpeningAngleMAC(config.theta)
-        eps2 = config.eps * config.eps
-        pending = list(walks)
-        rounds = 0
-        while True:
-            still: list[_GroupWalk] = []
-            walk_flops = 0.0
-            round_flops = 0.0
-            round_bytes = 0.0
-            for walk in pending:
-                missing = walk.advance(resolve, mac)
-                walk_flops += walk.mac_tests * FLOPS_PER_MAC_TEST
-                walk.mac_tests = 0
-                if missing:
-                    for k in set(missing):
-                        abm.request(owner_of(k), k)
-                    still.append(walk)
-                    continue
-                # Evaluate the completed group.
-                sinks = pos[walk.start:walk.stop]
-                ns = sinks.shape[0]
-                counts.groups += 1
-                if walk.cells:
-                    walk.cells.sort(key=lambda r: r.key)
-                    c_com = np.array([r.com for r in walk.cells])
-                    c_mass = np.array([r.mass for r in walk.cells])
-                    c_quad = np.array([r.quad for r in walk.cells])
-                    a, p = kb.eval_cells_dense(sinks, c_com, c_mass, c_quad, eps2, config.G)
-                    acc[walk.start:walk.stop] += a
-                    pot[walk.start:walk.stop] += p
-                    counts.p2c += ns * len(walk.cells)
-                    round_flops += ns * len(walk.cells) * FLOPS_PER_CELL_INTERACTION
-                    round_bytes += ns * len(walk.cells) * 80.0
-                if walk.direct:
-                    walk.direct.sort(key=lambda r: r.key)
-                    src_pos = np.concatenate([r.positions for r in walk.direct])
-                    src_mass = np.concatenate([r.masses for r in walk.direct])
-                    a, p = kb.eval_direct_dense(sinks, src_pos, src_mass, eps2, config.G)
-                    acc[walk.start:walk.stop] += a
-                    pot[walk.start:walk.stop] += p
-                    counts.p2p += ns * src_pos.shape[0]
-                    round_flops += ns * src_pos.shape[0] * FLOPS_PER_INTERACTION
-                    round_bytes += ns * src_pos.shape[0] * 32.0
-                    if eps2 > 0:
-                        pot[walk.start:walk.stop] += config.G * mass[walk.start:walk.stop] / config.eps
-            # The MAC walk and the kernel evaluation are charged as
-            # separate labeled phases so traces attribute time to tree
-            # traversal vs. force computation (the split Table 6 cares
-            # about); the modeled work is the same as the old combined
-            # charge.
-            if walk_flops:
-                yield comm.compute(
-                    flops=walk_flops,
-                    flop_efficiency=config.kernel_efficiency,
-                    label="traversal",
-                )
-            if round_flops:
-                yield comm.compute(
-                    flops=round_flops,
-                    mem_bytes=round_bytes,
-                    flop_efficiency=config.kernel_efficiency,
-                    label="force",
-                )
-            done = yield from abm.globally_done(len(still))
-            if done:
-                break
-            replies = yield from abm.exchange()
-            for batch in replies:
-                for w in batch:
-                    rec = _rec_from_wire(w)
-                    cache[rec.key] = rec
-            pending = still
-            rounds += 1
-            if rounds > config.max_rounds:
-                raise RuntimeError("traversal did not converge; ABM round limit hit")
-
+        # -- traversal + evaluation ---------------------------------------
+        remote_cache = CellCache(config.cache_capacity)
+        acc, pot, counts, _work, stats = yield from _run_traversal(
+            comm, config, kb, server, frame, owners, branch_keys_mine,
+            splitters, pos, mass, remote_cache,
+        )
+        stats.update(_cache_stats(remote_cache))
         return {
             "ids": ids,
             "acc": acc,
             "pot": pot,
             "counts": (counts.p2p, counts.p2c, counts.groups),
-            "abm_rounds": abm.rounds,
-            "requests": abm.requests_sent,
+            "comm": stats,
         }
 
     return program
+
+
+def _aggregate_comm(returns, observer: "Recorder | None" = None) -> dict[str, float]:
+    """Sum the per-rank ``comm`` stat dicts; optionally publish them as
+    ``treecode.comm.*`` counters on the observer."""
+    total: dict[str, float] = {}
+    for ret in returns:
+        for k, v in (ret.get("comm") or {}).items():
+            total[k] = total.get(k, 0.0) + float(v)
+    if observer is not None:
+        for k, v in total.items():
+            observer.count(f"treecode.comm.{k}", v)
+    return total
 
 
 def parallel_tree_accelerations(
@@ -522,21 +885,44 @@ def parallel_tree_accelerations(
     resilience: "ResilienceConfig | None" = None,
     observer: "Recorder | None" = None,
 ) -> ParallelGravityResult:
-    """Run the parallel treecode on a simulated cluster.
+    """Run one parallel treecode force calculation on a simulated cluster.
 
-    The input is scattered block-wise over ``n_ranks`` simulated
-    processors; the result is gathered back into input order.  Pass a
-    :class:`~repro.simmpi.cost.SpaceSimulatorCost` (or any cost model)
-    to obtain meaningful virtual timings; the default ``ZeroCost``
-    checks algorithm semantics only.
+    Parameters
+    ----------
+    positions:
+        ``(N, 3)`` float64 particle positions (any length unit; the
+        code is unit-agnostic, ``config.eps`` shares this unit).
+    masses:
+        ``(N,)`` masses; defaults to ``1/N`` each (total mass 1).
+    n_ranks:
+        Number of simulated processors; the input is scattered
+        block-wise and the result gathered back into input order.
+    config:
+        :class:`ParallelConfig`; the default uses the latency-hiding
+        ``"async"`` communication schedule.
+    cost:
+        Pass a :class:`~repro.simmpi.cost.SpaceSimulatorCost` (or any
+        cost model) to obtain meaningful virtual timings; the default
+        ``ZeroCost`` checks algorithm semantics only.
+    faults, resilience:
+        With ``faults`` (and optionally an explicit ``resilience``
+        configuration) the run executes under the injected failure
+        schedule: ranks checkpoint their post-exchange state, node
+        crashes abort the job, and the restart loop resumes from the
+        last committed epoch until the calculation completes.  The
+        returned result then carries the
+        :class:`~repro.resilience.runner.ResilientResult` bookkeeping,
+        and its forces are bit-for-bit the fault-free ones.
+    observer:
+        A :class:`~repro.obs.Recorder` receiving spans from the engine
+        plus aggregated ``treecode.comm.*`` counters.
 
-    With ``faults`` (and optionally an explicit ``resilience``
-    configuration) the run executes under the injected failure
-    schedule: ranks checkpoint their post-exchange state, node crashes
-    abort the job, and the restart loop resumes from the last committed
-    epoch until the calculation completes.  The returned result then
-    carries the :class:`~repro.resilience.runner.ResilientResult`
-    bookkeeping, and its forces are bit-for-bit the fault-free ones.
+    Invariants: for a fixed ``n_ranks`` the returned accelerations are
+    bit-identical across ``config.comm`` schedules, cache capacities,
+    and prefetch settings — communication strategy never touches the
+    physics.  Different rank counts group sink particles differently,
+    so results vary across ``n_ranks`` at the MAC-error scale (exactly
+    as they do versus the serial treecode), never more.
     """
     positions = np.ascontiguousarray(positions, dtype=np.float64)
     n = positions.shape[0]
@@ -588,4 +974,297 @@ def parallel_tree_accelerations(
         acc[ret["ids"]] = ret["acc"]
         pot[ret["ids"]] = ret["pot"]
         counts = counts.merged(InteractionCounts(*ret["counts"]))
-    return ParallelGravityResult(acc, pot, counts, sim, resilience=resilient)
+    comm_stats = _aggregate_comm(sim.returns, observer)
+    return ParallelGravityResult(acc, pot, counts, sim, resilience=resilient,
+                                 comm=comm_stats)
+
+
+def _make_run_program(
+    chunks: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]],
+    config: ParallelConfig,
+    n_steps: int,
+    dt: float,
+    cache_across_steps: bool,
+    rebalance: bool,
+):
+    """Rank program of the multi-timestep driver.
+
+    One SimMPI program covers all steps, so the remote-cell cache, the
+    splitters, and the virtual clocks persist across timesteps — the
+    regime the HOT cache and incremental rebalancing were built for.
+    """
+
+    def program(comm):
+        rank, size = comm.rank, comm.size
+        kb = get_backend(config.backend)
+        my_pos, my_mass, my_vel, my_ids = chunks[rank]
+        n_local = my_pos.shape[0]
+
+        # -- global bounding box, fixed for the whole run -----------------
+        # Keys from different steps must live in one namespace (the
+        # cache is keyed by them), so the box is agreed once, padded for
+        # the expected drift.  A particle escaping the padded box raises
+        # from key assignment — enlarge the pad via shorter runs or
+        # smaller dt rather than silently re-keying.
+        lo = my_pos.min(axis=0) if n_local else np.full(3, np.inf)
+        hi = my_pos.max(axis=0) if n_local else np.full(3, -np.inf)
+        vmax_l = float(np.linalg.norm(my_vel, axis=1).max()) if n_local else 0.0
+        glo = yield comm.allreduce(lo, op=MPI_MIN)
+        ghi = yield comm.allreduce(hi, op=MPI_MAX)
+        vmax = yield comm.allreduce(vmax_l, op=MPI_MAX)
+        span = float((ghi - glo).max())
+        span = span if span > 0 else 1.0
+        pad = 2.0 * vmax * abs(dt) * n_steps + 0.125 * span
+        box = BoundingBox(glo - pad, span + 2.0 * pad)
+
+        # -- initial decomposition (sample sort + exchange) ---------------
+        keys = keys_from_positions(my_pos, box) if n_local else np.empty(0, dtype=np.uint64)
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        pos, mass, vel, ids = my_pos[order], my_mass[order], my_vel[order], my_ids[order]
+        yield comm.compute(flops=30.0 * n_local * max(np.log2(max(n_local, 2)), 1.0),
+                           mem_bytes=48.0 * n_local, label="key-sort")
+        if n_local:
+            k = min(n_local, config.oversample * size)
+            sample = keys[np.linspace(0, n_local - 1, k).astype(np.int64)]
+        else:
+            sample = np.empty(0, dtype=np.uint64)
+        all_samples = yield comm.allgather(sample)
+        merged = np.sort(np.concatenate([s for s in all_samples if s.size]))
+        if merged.size == 0:
+            raise RuntimeError("no particles anywhere")
+        picks = (np.arange(1, size) * merged.size) // size
+        splitters = [int(_MIN_PKEY)] + [int(merged[p]) for p in picks] + [int(_END_PKEY)]
+        for i in range(1, len(splitters)):
+            splitters[i] = max(splitters[i], splitters[i - 1])
+
+        def exchange_particles(keys, pos, mass, vel, ids):
+            cut_keys = np.array(
+                [min(int(s), _END_PKEY - 1) for s in splitters[1:-1]], dtype=np.uint64
+            )
+            bounds = np.searchsorted(keys, cut_keys, side="left")
+            bounds = np.concatenate([[0], bounds, [keys.shape[0]]]).astype(np.int64)
+            sendbuf = [
+                tuple(a[bounds[d]:bounds[d + 1]] for a in (keys, pos, mass, vel, ids))
+                for d in range(size)
+            ]
+            received = yield comm.alltoall(sendbuf)
+            keys = np.concatenate([r[0] for r in received])
+            pos = (np.concatenate([r[1] for r in received])
+                   if keys.size else np.empty((0, 3)))
+            mass = np.concatenate([r[2] for r in received])
+            vel = (np.concatenate([r[3] for r in received])
+                   if keys.size else np.empty((0, 3)))
+            ids = np.concatenate([r[4] for r in received])
+            order = np.argsort(keys, kind="stable")
+            n_owned = keys.shape[0]
+            yield comm.compute(
+                flops=30.0 * n_owned * max(np.log2(max(n_owned, 2)), 1.0),
+                mem_bytes=48.0 * n_owned, label="exchange-sort")
+            return tuple(a[order] for a in (keys, pos, mass, vel, ids))
+
+        keys, pos, mass, vel, ids = yield from exchange_particles(keys, pos, mass, vel, ids)
+
+        remote_cache = CellCache(config.cache_capacity)
+        counts_total = InteractionCounts()
+        stats_total: dict[str, float] = {}
+        step_outs: list[dict[str, np.ndarray]] = []
+        step_work: list[float] = []
+
+        for step in range(n_steps):
+            n_owned = keys.shape[0]
+            # -- tree build + branch/fingerprint allgather ----------------
+            server = CellServer(keys, pos, mass, box, bucket_size=config.bucket_size)
+            my_lo, my_hi = splitters[rank], splitters[rank + 1]
+            branches = []
+            if my_hi > my_lo:
+                for bk in cover_interval(my_lo, my_hi):
+                    rec = server.record(bk, with_particles=False)
+                    if rec.count > 0:
+                        branches.append(rec)
+            yield comm.compute(flops=120.0 * n_owned, mem_bytes=96.0 * n_owned,
+                               label="tree-build")
+            wires = [_rec_to_wire(b) for b in branches]
+            fps_mine = [(b.key, server.branch_fingerprint(b.key)) for b in branches]
+            all_wires = yield comm.allgather(wires)
+            all_fps = yield comm.allgather(fps_mine)
+            owners: dict[int, int] = {}
+            branch_records: list[CellRecord] = []
+            for owner_rank, batch in enumerate(all_wires):
+                for w in batch:
+                    rec = _rec_from_wire(w)
+                    owners[rec.key] = owner_rank
+                    branch_records.append(rec)
+            frame = _build_frame(branch_records, owners)
+            branch_fps = {k: fp for batch in all_fps for (k, fp) in batch}
+
+            # -- cache carry-over -----------------------------------------
+            if cache_across_steps:
+                remote_cache.retain_valid(branch_fps)
+            else:
+                remote_cache.clear()
+
+            # -- traversal + evaluation -----------------------------------
+            acc, pot, counts, work, stats = yield from _run_traversal(
+                comm, config, kb, server, frame, owners,
+                [b.key for b in branches], splitters, pos, mass,
+                remote_cache, branch_fps,
+            )
+            counts_total = counts_total.merged(counts)
+            for k_, v in stats.items():
+                stats_total[k_] = stats_total.get(k_, 0.0) + float(v)
+            step_outs.append({"ids": ids.copy(), "acc": acc, "pot": pot})
+            step_work.append(float(work.sum()))
+
+            # -- kick + drift (symplectic Euler) --------------------------
+            vel = vel + acc * dt
+            pos = pos + vel * dt
+            yield comm.compute(flops=12.0 * n_owned, mem_bytes=96.0 * n_owned,
+                               label="integrate")
+            if step == n_steps - 1:
+                break
+
+            # -- incremental work-weighted rebalancing --------------------
+            # Uses the interaction work just measured, while keys are
+            # still the pre-drift ones the work was measured against.
+            if rebalance and size > 1:
+                totals = yield comm.allgather(float(work.sum()))
+                total = float(sum(totals))
+                before = float(sum(totals[:rank]))
+                props = splitter_candidates(keys, work, before, total, size)
+                all_props = yield comm.allgather(props)
+                splitters = merge_splitter_candidates(splitters, list(all_props))
+
+            # -- re-key (fixed box) and migrate to owners -----------------
+            keys = keys_from_positions(pos, box) if n_owned else keys
+            order = np.argsort(keys, kind="stable")
+            keys = keys[order]
+            pos, mass, vel, ids = pos[order], mass[order], vel[order], ids[order]
+            yield comm.compute(
+                flops=30.0 * n_owned * max(np.log2(max(n_owned, 2)), 1.0),
+                mem_bytes=48.0 * n_owned, label="key-sort")
+            keys, pos, mass, vel, ids = yield from exchange_particles(
+                keys, pos, mass, vel, ids)
+
+        stats_total.update(_cache_stats(remote_cache))
+        return {
+            "ids": ids,
+            "pos": pos,
+            "vel": vel,
+            "steps": step_outs,
+            "counts": (counts_total.p2p, counts_total.p2c, counts_total.groups),
+            "comm": stats_total,
+            "step_work": step_work,
+        }
+
+    return program
+
+
+def parallel_nbody_run(
+    positions: np.ndarray,
+    masses: np.ndarray | None = None,
+    velocities: np.ndarray | None = None,
+    *,
+    n_ranks: int,
+    n_steps: int,
+    dt: float,
+    config: ParallelConfig | None = None,
+    cost: CostModel | None = None,
+    observer: "Recorder | None" = None,
+    cache_across_steps: bool = True,
+    rebalance: bool = True,
+) -> ParallelRunResult:
+    """Integrate an N-body system for ``n_steps`` kick–drift steps.
+
+    The multi-timestep driver the latency-hiding layer was built for:
+    one SimMPI run covers every step, so the remote-cell cache persists
+    across steps (entries invalidated by branch fingerprint when an
+    owner's subtree changes) and the domain boundaries are rebalanced
+    *incrementally* from the interaction work measured in the previous
+    step (``rebalance=True``) instead of re-running the sample sort.
+
+    Parameters
+    ----------
+    positions, masses, velocities:
+        ``(N, 3)`` positions, ``(N,)`` masses (default ``1/N``), and
+        ``(N, 3)`` velocities (default zero), in a consistent unit
+        system with ``config.G`` and ``dt``.
+    n_ranks, n_steps, dt:
+        Simulated processor count, number of steps, and timestep.  The
+        key namespace's bounding box is fixed once, padded for the
+        expected drift; particles escaping it raise a ``ValueError``.
+    cache_across_steps:
+        ``False`` clears the remote-cell cache at every step — the
+        "cold" reference the cross-timestep consistency tests compare
+        against.  Results are bit-identical either way.
+    rebalance:
+        ``False`` freezes the initial sample-sort splitters.
+
+    Returns a :class:`ParallelRunResult`; ``step_accelerations`` holds
+    every step's accelerations in input order, and ``work_imbalance``
+    the measured per-step max/mean work ratio across ranks (the curve
+    incremental rebalancing drives toward 1).
+    """
+    positions = np.ascontiguousarray(positions, dtype=np.float64)
+    n = positions.shape[0]
+    if positions.ndim != 2 or positions.shape[1] != 3:
+        raise ValueError("positions must be (N, 3)")
+    if masses is None:
+        masses = np.full(n, 1.0 / n)
+    else:
+        masses = np.ascontiguousarray(masses, dtype=np.float64)
+        if masses.shape != (n,):
+            raise ValueError("masses must be (N,)")
+    if velocities is None:
+        velocities = np.zeros((n, 3))
+    else:
+        velocities = np.ascontiguousarray(velocities, dtype=np.float64)
+        if velocities.shape != (n, 3):
+            raise ValueError("velocities must be (N, 3)")
+    if n_ranks < 1:
+        raise ValueError("n_ranks must be >= 1")
+    if n < n_ranks:
+        raise ValueError("need at least one particle per rank")
+    if n_steps < 1:
+        raise ValueError("n_steps must be >= 1")
+    config = config or ParallelConfig()
+
+    ids = np.arange(n, dtype=np.int64)
+    bounds = np.linspace(0, n, n_ranks + 1).astype(np.int64)
+    chunks = [
+        (positions[bounds[r]:bounds[r + 1]], masses[bounds[r]:bounds[r + 1]],
+         velocities[bounds[r]:bounds[r + 1]], ids[bounds[r]:bounds[r + 1]])
+        for r in range(n_ranks)
+    ]
+    sim = run(
+        _make_run_program(chunks, config, n_steps, dt, cache_across_steps, rebalance),
+        n_ranks, cost, observer=observer,
+    )
+
+    final_pos = np.zeros((n, 3))
+    final_vel = np.zeros((n, 3))
+    step_acc = [np.zeros((n, 3)) for _ in range(n_steps)]
+    counts = InteractionCounts()
+    work_totals = [np.zeros(len(sim.returns)) for _ in range(n_steps)]
+    for r, ret in enumerate(sim.returns):
+        final_pos[ret["ids"]] = ret["pos"]
+        final_vel[ret["ids"]] = ret["vel"]
+        counts = counts.merged(InteractionCounts(*ret["counts"]))
+        for s, out in enumerate(ret["steps"]):
+            step_acc[s][out["ids"]] = out["acc"]
+        for s, w in enumerate(ret["step_work"]):
+            work_totals[s][r] = w
+    imbalance = [
+        float(w.max() / w.mean()) if w.mean() > 0 else 1.0 for w in work_totals
+    ]
+    comm_stats = _aggregate_comm(sim.returns, observer)
+    return ParallelRunResult(
+        positions=final_pos,
+        velocities=final_vel,
+        accelerations=step_acc[-1],
+        step_accelerations=step_acc,
+        counts=counts,
+        sim=sim,
+        comm=comm_stats,
+        work_imbalance=imbalance,
+    )

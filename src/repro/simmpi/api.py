@@ -88,6 +88,15 @@ def payload_nbytes(payload: Any) -> int:
     numbers 8 bytes; containers sum their elements plus a small framing
     overhead per element.  Anything else costs a flat 64 bytes — the
     point is reproducible cost accounting, not serialization fidelity.
+
+    Returns the size in bytes as a plain ``int``.
+
+    >>> payload_nbytes(np.zeros(16))
+    128
+    >>> payload_nbytes(b"abc"), payload_nbytes(3.5), payload_nbytes(None)
+    (3, 8, 0)
+    >>> payload_nbytes([np.zeros(2), 1])  # 16 + 8 payload, 8 + 8 framing
+    40
     """
     if payload is None:
         return 0
@@ -294,28 +303,40 @@ class Comm:
 
     # -- point to point -------------------------------------------------
     def send(self, payload: Any, dest: int, tag: int = 0) -> Send:
+        """Blocking send to rank ``dest``; wire size via :func:`payload_nbytes`."""
         self._check_peer(dest)
         return Send(dest, tag, payload, payload_nbytes(payload))
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Recv:
+        """Blocking receive; yields the matched payload.  ``source``/``tag``
+        accept the :data:`ANY_SOURCE` / :data:`ANY_TAG` wildcards."""
         self._check_peer(source, wildcard_ok=True)
         return Recv(source, tag)
 
     def isend(self, payload: Any, dest: int, tag: int = 0) -> Isend:
+        """Nonblocking send; yields a :class:`Request` to wait on later.
+        Messages between a (sender, receiver, tag) triple match FIFO."""
         self._check_peer(dest)
         return Isend(dest, tag, payload, payload_nbytes(payload))
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Irecv:
+        """Nonblocking receive; yields a :class:`Request` whose ``value``
+        holds the payload once waited on."""
         self._check_peer(source, wildcard_ok=True)
         return Irecv(source, tag)
 
     def wait(self, request: Request) -> Wait:
+        """Block until ``request`` completes; yields its received value."""
         return Wait(request)
 
     def waitall(self, requests: Sequence[Request]) -> Waitall:
+        """Block until every request completes; yields the list of
+        received values in the order the requests were given."""
         return Waitall(tuple(requests))
 
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Probe:
+        """Nonblocking check for a matchable message; yields
+        ``(source, tag, nbytes)`` or ``None`` without receiving."""
         self._check_peer(source, wildcard_ok=True)
         return Probe(source, tag)
 
@@ -327,12 +348,18 @@ class Comm:
         flop_efficiency: float = 1.0,
         label: str = "",
     ) -> Compute:
+        """Advance this rank's virtual clock by a modeled computation of
+        ``flops`` floating-point operations touching ``mem_bytes`` bytes;
+        the cost model turns both into seconds (roofline-style)."""
         return Compute(flops, mem_bytes, flop_efficiency, label)
 
     def elapse(self, seconds: float, label: str = "") -> Elapse:
+        """Advance this rank's virtual clock by ``seconds`` (virtual
+        seconds) — for I/O and fixed overheads outside the compute model."""
         return Elapse(seconds, label)
 
     def now(self) -> Now:
+        """Yield the rank's current virtual time in seconds."""
         return Now()
 
     # -- collectives ----------------------------------------------------

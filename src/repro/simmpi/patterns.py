@@ -18,7 +18,7 @@ a rank program::
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from typing import Any, Callable, Generator
 
 from .api import ANY_SOURCE, Comm
 
@@ -28,7 +28,15 @@ __all__ = [
     "ring_allgather",
     "binomial_bcast",
     "pairwise_alltoall",
+    "batched_request_reply",
 ]
+
+#: Default tags of the :func:`batched_request_reply` message streams.
+#: Requests and replies between the same pair of ranks are in flight
+#: simultaneously; distinct tags keep the two streams from matching
+#: each other while FIFO ordering disambiguates successive rounds.
+REQUEST_TAG = 7_101
+REPLY_TAG = 7_102
 
 
 def sendrecv(
@@ -84,6 +92,89 @@ def binomial_bcast(comm: Comm, payload: Any, root: int = 0, tag: int = 2_000) ->
             data = yield comm.recv(source=((rel ^ mask) + root) % size, tag=tag)
         mask <<= 1
     return data
+
+
+def batched_request_reply(
+    comm: Comm,
+    requests_by_peer: list[Any],
+    serve: Callable[[int, Any], Any],
+    overlap: Generator | None = None,
+    tag: int = REQUEST_TAG,
+) -> Generator:
+    """One nonblocking round of batched request/reply with overlap.
+
+    The latency-hiding primitive behind the HOT traversal: every rank
+    simultaneously acts as a *client* (sending one coalesced request
+    batch per peer) and a *server* (answering the batches that arrive
+    from its peers), with an optional ``overlap`` generator — typically
+    useful local computation — running while the requests are in
+    flight.
+
+    Parameters
+    ----------
+    requests_by_peer:
+        Length-``comm.size`` list; entry ``p`` is the request batch for
+        rank ``p`` (ignored at index ``comm.rank``).  Empty batches are
+        sent anyway so the exchange stays symmetric and deterministic —
+        every rank posts exactly the same pattern of operations.
+    serve:
+        ``serve(peer, batch) -> reply`` called once per peer after that
+        peer's request batch arrives.  It must not communicate.
+    overlap:
+        Optional generator delegated to (``yield from``) after all
+        sends/receives are posted and before any wait — its compute
+        charges fill the time the requests spend on the wire.
+    tag:
+        Base tag; requests use ``tag`` and replies ``tag + 1``.
+
+    Returns
+    -------
+    (replies, overlap_result):
+        ``replies`` is a length-``comm.size`` list with peer ``p``'s
+        reply at index ``p`` (``None`` at ``comm.rank``);
+        ``overlap_result`` is the ``overlap`` generator's return value
+        (``None`` when no generator was given).
+
+    Must be called collectively: each rank participates in every round
+    (callers typically decide how many rounds to run with an allreduce
+    on the number of outstanding requests).
+    """
+    size, rank = comm.size, comm.rank
+    if len(requests_by_peer) != size:
+        raise ValueError("one request batch per peer rank required")
+    peers = [p for p in range(size) if p != rank]
+
+    # Post all receives first (requests and replies), then launch the
+    # request batches: from this point every message of the round is in
+    # flight and the overlap work runs concurrently with the network.
+    req_in = []
+    for p in peers:
+        r = yield comm.irecv(source=p, tag=tag)
+        req_in.append(r)
+    rep_in = []
+    for p in peers:
+        r = yield comm.irecv(source=p, tag=tag + 1)
+        rep_in.append(r)
+    out = []
+    for p in peers:
+        r = yield comm.isend(requests_by_peer[p], dest=p, tag=tag)
+        out.append(r)
+
+    overlap_result = None
+    if overlap is not None:
+        overlap_result = yield from overlap
+
+    batches = yield comm.waitall(req_in)
+    for p, batch in zip(peers, batches):
+        r = yield comm.isend(serve(p, batch), dest=p, tag=tag + 1)
+        out.append(r)
+
+    replies: list[Any] = [None] * size
+    answers = yield comm.waitall(rep_in)
+    for p, answer in zip(peers, answers):
+        replies[p] = answer
+    yield comm.waitall(out)
+    return replies, overlap_result
 
 
 def pairwise_alltoall(comm: Comm, blocks: list[Any], tag: int = 3_000) -> Generator:

@@ -1,0 +1,127 @@
+"""Tests for repro.core.cellcache: the persistent remote-cell cache."""
+
+import numpy as np
+import pytest
+
+from repro.core import BoundingBox, CellCache, CellServer, keys_from_positions
+
+
+class TestLRUSemantics:
+    def test_get_hit_miss_counters(self):
+        c = CellCache()
+        c.insert(1, "a", branch_key=0, fingerprint=b"x")
+        assert c.get(1) == "a"
+        assert c.get(2) is None
+        assert c.stats["hits"] == 1 and c.stats["misses"] == 1
+
+    def test_capacity_evicts_lru(self):
+        c = CellCache(capacity=2)
+        c.insert(1, "a", branch_key=0, fingerprint=b"")
+        c.insert(2, "b", branch_key=0, fingerprint=b"")
+        c.get(1)  # 1 becomes most recently used
+        c.insert(3, "c", branch_key=0, fingerprint=b"")
+        assert c.get(2) is None  # 2 was LRU
+        assert c.get(1) == "a" and c.get(3) == "c"
+        assert c.stats["evictions"] == 1
+
+    def test_reinsert_refreshes_without_evicting(self):
+        c = CellCache(capacity=2)
+        c.insert(1, "a", branch_key=0, fingerprint=b"")
+        c.insert(2, "b", branch_key=0, fingerprint=b"")
+        c.insert(1, "a2", branch_key=0, fingerprint=b"")
+        assert len(c) == 2 and c.stats["evictions"] == 0
+        assert c.peek(1) == "a2"
+
+    def test_peek_touches_nothing(self):
+        c = CellCache(capacity=2)
+        c.insert(1, "a", branch_key=0, fingerprint=b"")
+        c.insert(2, "b", branch_key=0, fingerprint=b"")
+        c.peek(1)  # must NOT refresh 1's recency
+        c.insert(3, "c", branch_key=0, fingerprint=b"")
+        assert 1 not in c
+        assert c.stats["hits"] == 0 and c.stats["misses"] == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            CellCache(capacity=0)
+
+    def test_clear_preserves_counters(self):
+        c = CellCache()
+        c.insert(1, "a", branch_key=0, fingerprint=b"")
+        c.get(1)
+        c.clear()
+        assert len(c) == 0 and c.stats["hits"] == 1
+
+
+class TestInvalidation:
+    def test_retain_valid_keeps_matching_drops_rest(self):
+        c = CellCache()
+        c.insert(10, "a", branch_key=1, fingerprint=b"f1")
+        c.insert(11, "b", branch_key=1, fingerprint=b"f1")
+        c.insert(20, "c", branch_key=2, fingerprint=b"f2")
+        c.insert(30, "d", branch_key=3, fingerprint=b"f3")
+        c.retain_valid({1: b"f1", 2: b"CHANGED"})  # 3 vanished entirely
+        assert sorted(c.keys()) == [10, 11]
+        assert c.stats["invalidated"] == 2
+
+    def test_snapshot_stats_includes_size(self):
+        c = CellCache()
+        c.insert(1, "a", branch_key=0, fingerprint=b"")
+        snap = c.snapshot_stats()
+        assert snap["size"] == 1 and snap["inserts"] == 1
+
+
+def _server(pos, masses, box):
+    keys = keys_from_positions(pos, box)
+    order = np.argsort(keys, kind="stable")
+    return CellServer(keys[order], pos[order], masses[order], box), keys
+
+
+class TestBranchFingerprint:
+    def _setup(self, seed=5):
+        rng = np.random.default_rng(seed)
+        pos = rng.random((200, 3)) * 0.5 + 0.25
+        masses = rng.random(200)
+        box = BoundingBox(np.zeros(3), 1.0)
+        return pos, masses, box
+
+    def test_identical_data_identical_fingerprint(self):
+        pos, masses, box = self._setup()
+        s1, _ = _server(pos, masses, box)
+        s2, _ = _server(pos.copy(), masses.copy(), box)
+        from repro.core.keys import ROOT_KEY
+        assert s1.branch_fingerprint(ROOT_KEY) == s2.branch_fingerprint(ROOT_KEY)
+
+    def test_moved_particle_changes_fingerprint(self):
+        pos, masses, box = self._setup()
+        s1, _ = _server(pos, masses, box)
+        pos2 = pos.copy()
+        pos2[0] += 1e-9
+        s2, _ = _server(pos2, masses, box)
+        from repro.core.keys import ROOT_KEY
+        assert s1.branch_fingerprint(ROOT_KEY) != s2.branch_fingerprint(ROOT_KEY)
+
+    def test_prefix_state_matters(self):
+        # Two servers sharing a cell's particle run but differing in the
+        # particles *before* it: the records are differences of prefix
+        # sums, so the fingerprints must differ too — this is what makes
+        # "same fingerprint" imply bit-identical cached records.
+        pos, masses, box = self._setup()
+        s1, _ = _server(pos, masses, box)
+        masses2 = masses.copy()
+        # Perturb the mass of the first particle in Morton order.
+        keys = keys_from_positions(pos, box)
+        first = int(np.argsort(keys, kind="stable")[0])
+        masses2[first] *= 1.0 + 1e-12
+        s2, _ = _server(pos, masses2, box)
+        # Pick a deep cell whose run excludes that first particle.
+        from repro.core.cellserver import key_interval
+        from repro.core.keys import ROOT_KEY, child_keys
+        for ck in child_keys(ROOT_KEY):
+            lo, _hi = key_interval(ck)
+            s, e = s1.run_of(ck)
+            if s > 0 and e > s:  # run starts after the perturbed particle
+                assert s1.branch_fingerprint(ck) != s2.branch_fingerprint(ck)
+                break
+        else:  # pragma: no cover - distribution always fills >1 octant
+            pytest.skip("all particles in one octant")
