@@ -11,7 +11,8 @@ table.
 
 The schema checker is a deliberate small subset of JSON Schema
 (``type``, ``required``, ``properties``, ``additionalProperties``,
-``pattern``, ``minimum``) so the suite needs no third-party validator.
+``pattern``, ``minimum``, ``items``) so the suite needs no third-party
+validator.
 """
 
 from __future__ import annotations
@@ -96,6 +97,11 @@ def _check(value: Any, schema: Mapping, path: str, errors: list[str]) -> None:
     if isinstance(value, (int, float)) and not isinstance(value, bool) and "minimum" in schema:
         if value < schema["minimum"]:
             errors.append(f"{path}: {value} is below minimum {schema['minimum']}")
+    if isinstance(value, list):
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for i, item in enumerate(value):
+                _check(item, items, f"{path}[{i}]", errors)
     if isinstance(value, dict):
         props = schema.get("properties", {})
         for key in schema.get("required", ()):
@@ -126,9 +132,15 @@ def bench_record(
     virtual_seconds: float = 0.0,
     counters: Mapping[str, float] | None = None,
     notes: str = "",
+    shards: list[Mapping] | None = None,
 ) -> dict:
-    """Assemble (but do not validate) one uniform benchmark record."""
-    return {
+    """Assemble (but do not validate) one uniform benchmark record.
+
+    ``shards`` is the optional per-shard breakdown campaign benches
+    attach (fingerprint, status, seconds per shard); scalar benches
+    omit it and their records keep the original shape.
+    """
+    record = {
         "schema_version": SCHEMA_VERSION,
         "name": str(name),
         "params": dict(params or {}),
@@ -139,6 +151,9 @@ def bench_record(
         "host": f"{platform.system()}-{platform.machine()}-py{platform.python_version()}",
         "notes": str(notes),
     }
+    if shards is not None:
+        record["shards"] = [dict(s) for s in shards]
+    return record
 
 
 def emit(record: Mapping, out_dir: str | None = None) -> str | None:
@@ -165,18 +180,41 @@ def append_history(record: Mapping, path: str | None = None) -> str | None:
     variable; with neither set, this is a no-op.  The file is the
     longitudinal record ``repro.obs.history`` computes rolling baselines
     from; lines are self-contained JSON objects, oldest first.
+
+    The append is **atomic**: the existing history plus the new line is
+    written to a temp file which then replaces the original via
+    ``os.replace``.  A bench run killed mid-append can therefore never
+    truncate or tear ``baseline.jsonl`` — the reader sees either the
+    old history or the new one, both well-formed.  History files are
+    small (one line per bench run), so the rewrite is cheap.
     """
     path = path or os.environ.get(HISTORY_ENV)
     if not path:
         return None
     if os.path.isdir(path):
         path = os.path.join(path, "history.jsonl")
-    parent = os.path.dirname(os.path.abspath(path))
+    path = os.path.abspath(path)
+    parent = os.path.dirname(path)
     os.makedirs(parent, exist_ok=True)
     entry = dict(record)
     entry["ts"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
-    with open(path, "a") as fh:
-        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    existing = ""
+    if os.path.exists(path):
+        with open(path) as fh:
+            existing = fh.read()
+        if existing and not existing.endswith("\n"):
+            existing += "\n"  # heal a pre-atomic torn tail
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w") as fh:
+            fh.write(existing)
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.remove(tmp)
     return path
 
 
@@ -189,12 +227,13 @@ def run_main(
     virtual_seconds: float | Callable[[Any], float] | None = None,
     notes: str = "",
     quiet: bool = False,
+    shards: list[Mapping] | Callable[[Any], list[Mapping]] | None = None,
 ) -> dict:
     """Run one bench payload and return its validated record.
 
-    ``counters`` and ``virtual_seconds`` may be callables taking the
-    payload's return value, so each bench derives its headline numbers
-    from what it actually computed.
+    ``counters``, ``virtual_seconds``, and ``shards`` may be callables
+    taking the payload's return value, so each bench derives its
+    headline numbers from what it actually computed.
     """
     t0 = time.perf_counter()
     result = build()
@@ -209,6 +248,7 @@ def run_main(
         ),
         counters=counters(result) if callable(counters) else counters,
         notes=notes,
+        shards=shards(result) if callable(shards) else shards,
     )
     errors = validate_record(record)
     if errors:

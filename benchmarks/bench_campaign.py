@@ -1,0 +1,91 @@
+"""Bench campaign — scenario-catalog engine throughput and dedupe.
+
+Runs a mixed catalog (cluster checkpoint sweep plus, in the full
+variant, a small cosmology box and an SPH collapse) through
+:func:`repro.campaign.run_campaign` twice against the same store: the
+first pass computes every unique shard, the second must be pure cache
+hits.  The record's counters report the dedupe and cache hit rates the
+perf gate tracks, and the optional ``shards`` field carries the
+per-shard fingerprint/status/kind/seconds breakdown from the
+operational store — the one bench exercising the schema's array
+sub-record.
+
+``--smoke`` restricts the catalog to closed-form cluster scenarios so
+the CI perf-gate step finishes in well under a second.
+"""
+
+import argparse
+import tempfile
+
+from repro.campaign import (
+    ClusterSpec,
+    CosmologySpec,
+    ResultStore,
+    SupernovaSpec,
+    run_campaign,
+    sweep,
+)
+
+
+def catalog(smoke: bool) -> list:
+    specs = [
+        *sweep(ClusterSpec(work_hours=24.0), n_nodes=[64, 128, 294, 512]),
+        ClusterSpec(work_hours=24.0, n_nodes=294),  # duplicate -> dedupe hit
+    ]
+    if not smoke:
+        specs += [
+            CosmologySpec(n_side=4, a_final=0.12),
+            SupernovaSpec(n_particles=40, n_steps=1),
+        ]
+    return specs
+
+
+def _run_twice(root: str, specs: list) -> dict:
+    first = run_campaign(specs, root, workers=1)
+    second = run_campaign(specs, root, workers=1)
+    rows = ResultStore(root).load_shards()
+    return {
+        "first": first,
+        "second": second,
+        "shards": [
+            {
+                "fingerprint": r["fingerprint"],
+                "status": r["status"],
+                "kind": r["kind"],
+                "seconds": max(0.0, float(r.get("seconds") or 0.0)),
+            }
+            for r in rows
+        ],
+    }
+
+
+def main(smoke: bool = False) -> dict:
+    from _harness import run_main
+
+    specs = catalog(smoke)
+    with tempfile.TemporaryDirectory() as tmp:
+        return run_main(
+            "campaign",
+            lambda: _run_twice(tmp, specs),
+            params={"n_specs": len(specs), "workers": 1, "smoke": smoke},
+            counters=lambda out: {
+                "shards": out["first"].total_shards,
+                "unique": out["first"].unique,
+                "computed": out["first"].computed,
+                "dedupe_hits": out["first"].dedupe_hits,
+                "dedupe_hit_rate": out["first"].dedupe_hits / out["first"].total_shards,
+                "cache_hits": out["second"].cache_hits,
+                "rerun_hit_rate": out["second"].hit_rate,
+                "failed": out["first"].failed + out["second"].failed,
+            },
+            shards=lambda out: out["shards"],
+            notes="smoke catalog (closed-form cluster only)" if smoke
+            else "full catalog (cluster + cosmology + supernova)",
+        )
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="cluster-only catalog for the CI perf gate")
+    main(smoke=parser.parse_args().smoke)

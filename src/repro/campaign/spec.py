@@ -1,0 +1,237 @@
+"""Scenario specs: the request language of the campaign engine.
+
+A campaign is a catalog of *scenario specs* — frozen dataclasses that
+say exactly what to simulate and nothing about how.  Three kinds map
+onto the paper's three workload families:
+
+* :class:`CosmologySpec` — a Zel'dovich-seeded PM comoving run
+  (Section 4.3), executed by
+  :func:`repro.cosmology.simulation.run_campaign_scenario`;
+* :class:`SupernovaSpec` — a rotating core-collapse progenitor
+  (Section 4.4), executed by
+  :func:`repro.sph.collapse.run_campaign_scenario`;
+* :class:`ClusterSpec` — a cluster configuration evaluated under the
+  Section 2.1 checkpoint economics, executed by
+  :func:`repro.cluster.checkpoint.run_campaign_scenario`.
+
+Every spec round-trips through plain JSON dicts (``to_dict`` /
+:func:`spec_from_dict`), which is what makes scenarios
+content-addressable: the canonical encoding of that dict *is* the
+scenario's identity (see :mod:`repro.campaign.fingerprint`).  Specs
+are pure data — ``run()`` dispatches to the owning subsystem's entry
+point, and every entry point returns JSON scalars only, so results are
+bit-comparable across processes and machines.
+
+:func:`sweep` builds catalogs: the cartesian product of parameter
+lists over a base spec, the campaign analogue of SNTD-style templated
+batch jobs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+import os
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Mapping
+
+__all__ = [
+    "ScenarioSpec",
+    "CosmologySpec",
+    "SupernovaSpec",
+    "ClusterSpec",
+    "SPEC_KINDS",
+    "spec_from_dict",
+    "load_catalog",
+    "save_catalog",
+    "sweep",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Base scenario: one unit of campaign work, pure data.
+
+    Subclasses set ``kind`` (the registry key in :data:`SPEC_KINDS`)
+    and implement :meth:`_entry_point`.  Frozen so a spec can be a dict
+    key and so its fingerprint cannot drift after catalog admission.
+    """
+
+    kind = "abstract"
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict carrying ``kind`` plus every parameter."""
+        d = {"kind": self.kind}
+        d.update(dataclasses.asdict(self))
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "ScenarioSpec":
+        params = {k: v for k, v in d.items() if k != "kind"}
+        return cls(**params)
+
+    @staticmethod
+    def _entry_point() -> Callable[[Mapping], dict]:
+        raise NotImplementedError
+
+    def run(self) -> dict:
+        """Execute the scenario; returns JSON scalars only."""
+        params = self.to_dict()
+        params.pop("kind")
+        return self._entry_point()(params)
+
+
+@dataclass(frozen=True)
+class CosmologySpec(ScenarioSpec):
+    """One LCDM PM-cosmology realization (Section 4.3 workload)."""
+
+    kind = "cosmology"
+
+    n_side: int = 4
+    a_start: float = 0.05
+    a_final: float = 0.2
+    dlna: float = 0.05
+    seed: int = 20031115
+    box_mpc_h: float = 125.0
+    h: float = 0.7
+    omega_m: float = 0.3
+    omega_l: float = 0.7
+    omega_b: float = 0.045
+    n_s: float = 1.0
+    sigma8: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.n_side < 2:
+            raise ValueError("n_side must be >= 2")
+        if not 0 < self.a_start < self.a_final:
+            raise ValueError("need 0 < a_start < a_final")
+        if self.dlna <= 0:
+            raise ValueError("dlna must be positive")
+
+    @staticmethod
+    def _entry_point():
+        from ..cosmology.simulation import run_campaign_scenario
+
+        return run_campaign_scenario
+
+
+@dataclass(frozen=True)
+class SupernovaSpec(ScenarioSpec):
+    """One rotating core-collapse progenitor (Section 4.4 workload)."""
+
+    kind = "supernova"
+
+    n_particles: int = 48
+    n_steps: int = 3
+    n_poly: float = 3.0
+    seed: int = 20031115
+    omega0: float = 0.3
+    r0: float = 0.3
+    pressure_deficit: float = 0.55
+    n_target_neighbors: int = 12
+    with_neutrinos: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_particles < 8:
+            raise ValueError("n_particles must be >= 8")
+        if self.n_steps < 0:
+            raise ValueError("n_steps must be non-negative")
+        if not 0 < self.pressure_deficit <= 1:
+            raise ValueError("pressure_deficit must be in (0, 1]")
+
+    @staticmethod
+    def _entry_point():
+        from ..sph.collapse import run_campaign_scenario
+
+        return run_campaign_scenario
+
+
+@dataclass(frozen=True)
+class ClusterSpec(ScenarioSpec):
+    """One cluster configuration under checkpoint economics (Sec 2.1)."""
+
+    kind = "cluster"
+
+    n_nodes: int = 294
+    work_hours: float = 24.0
+    state_gb_per_node: float = 6.0
+    restart_hours: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if self.work_hours <= 0 or self.state_gb_per_node <= 0:
+            raise ValueError("work_hours and state_gb_per_node must be positive")
+        if self.restart_hours < 0:
+            raise ValueError("restart_hours must be non-negative")
+
+    @staticmethod
+    def _entry_point():
+        from ..cluster.checkpoint import run_campaign_scenario
+
+        return run_campaign_scenario
+
+
+SPEC_KINDS: dict[str, type[ScenarioSpec]] = {
+    cls.kind: cls for cls in (CosmologySpec, SupernovaSpec, ClusterSpec)
+}
+
+
+def spec_from_dict(d: Mapping) -> ScenarioSpec:
+    """Rebuild a spec from its JSON dict (inverse of ``to_dict``).
+
+    Key order in ``d`` is irrelevant — identity is content, not
+    encoding (the fingerprint property suite pins this).
+    """
+    kind = d.get("kind")
+    if kind not in SPEC_KINDS:
+        raise ValueError(f"unknown scenario kind {kind!r}; known: {sorted(SPEC_KINDS)}")
+    return SPEC_KINDS[kind].from_dict(d)
+
+
+def as_spec(obj: ScenarioSpec | Mapping) -> ScenarioSpec:
+    """Coerce a spec object or its dict form to a spec object."""
+    if isinstance(obj, ScenarioSpec):
+        return obj
+    return spec_from_dict(obj)
+
+
+def load_catalog(path: str) -> list[ScenarioSpec]:
+    """Read a JSONL catalog: one spec dict per line, blanks ignored."""
+    specs: list[ScenarioSpec] = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                specs.append(spec_from_dict(json.loads(line)))
+            except (json.JSONDecodeError, TypeError, ValueError) as exc:
+                raise ValueError(f"{path}:{lineno}: bad catalog line: {exc}") from exc
+    return specs
+
+
+def save_catalog(specs: Iterable[ScenarioSpec | Mapping], path: str) -> str:
+    """Write a JSONL catalog atomically (temp file + rename)."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as fh:
+        for spec in specs:
+            fh.write(json.dumps(as_spec(spec).to_dict(), sort_keys=True) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def sweep(base: ScenarioSpec, **grid: Iterable) -> Iterator[ScenarioSpec]:
+    """Cartesian-product catalog builder.
+
+    Yields one spec per combination of the keyword lists, applied over
+    ``base`` with ``dataclasses.replace`` — so every yielded spec is
+    validated by its ``__post_init__``.
+
+    >>> list(sweep(ClusterSpec(), n_nodes=[64, 128]))[1].n_nodes
+    128
+    """
+    names = sorted(grid)
+    for combo in itertools.product(*(list(grid[name]) for name in names)):
+        yield dataclasses.replace(base, **dict(zip(names, combo)))

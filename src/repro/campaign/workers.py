@@ -1,0 +1,107 @@
+"""OS-process execution of campaign shards.
+
+SimMPI simulates parallelism inside one interpreter; the campaign
+layer is where this repo uses *real* cores.  Shards are independent by
+construction (a spec is pure data, a result is pure content), so the
+pool is plain :class:`concurrent.futures.ProcessPoolExecutor` — no
+shared state, results travel back by value, and the coordinator
+remains the only process that ever writes the store or the checkpoint
+ledger.  A worker therefore cannot corrupt a campaign: the worst a
+dying worker does is fail its shard.
+
+Worker count resolution, in priority order: explicit ``workers=``
+kwarg, the ``REPRO_CAMPAIGN_WORKERS`` environment variable, serial.
+``workers <= 1`` means run in-process with no executor at all — the
+serial fallback is the reference implementation the differential suite
+compares pools against.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Iterable, Iterator, Mapping
+
+from .spec import spec_from_dict
+
+__all__ = ["WORKERS_ENV", "resolve_workers", "execute_shard", "run_shards"]
+
+WORKERS_ENV = "REPRO_CAMPAIGN_WORKERS"
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Effective worker count (>= 1); see module docstring for order."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ValueError(f"{WORKERS_ENV} must be an integer, got {env!r}")
+        else:
+            workers = 1
+    return max(1, int(workers))
+
+
+def execute_shard(spec_dict: Mapping, throttle: float = 0.0) -> dict:
+    """Run one shard; the unit of work a pool worker executes.
+
+    Takes the spec in dict form (cheap to pickle, and identical to
+    what the catalog file holds) and returns a self-describing record.
+    Failures are *data*, not exceptions: a deterministic physics error
+    must not kill the pool, it must become a ``failed`` shard row.
+    ``throttle`` sleeps before computing — a pacing knob for crash
+    drills and load tests; it cannot affect the result content.
+    """
+    if throttle > 0:
+        time.sleep(throttle)
+    t0 = time.perf_counter()
+    try:
+        spec = spec_from_dict(spec_dict)
+        result = spec.run()
+    except Exception as exc:  # noqa: BLE001 — error becomes shard data
+        return {
+            "kind": str(spec_dict.get("kind", "?")),
+            "spec": dict(spec_dict),
+            "error": f"{type(exc).__name__}: {exc}",
+            "seconds": time.perf_counter() - t0,
+        }
+    return {
+        "kind": spec.kind,
+        "spec": spec.to_dict(),
+        "result": result,
+        "seconds": time.perf_counter() - t0,
+    }
+
+
+def run_shards(
+    items: Iterable[tuple[str, Mapping]],
+    *,
+    workers: int = 1,
+    throttle: float = 0.0,
+) -> Iterator[tuple[str, dict]]:
+    """Execute ``(fingerprint_hex, spec_dict)`` shards, yielding each
+    ``(fingerprint_hex, record)`` as it completes.
+
+    Serial (``workers <= 1``) yields in submission order; pooled yields
+    in completion order.  Consumers must not rely on ordering — the
+    runner checkpoints per completion and canonicalizes order at
+    finalization, which is exactly what makes the two modes
+    bit-identical at the store level.
+    """
+    items = list(items)
+    if workers <= 1 or len(items) <= 1:
+        for fp, spec_dict in items:
+            yield fp, execute_shard(spec_dict, throttle)
+        return
+    with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
+        pending = {
+            pool.submit(execute_shard, spec_dict, throttle): fp
+            for fp, spec_dict in items
+        }
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                fp = pending.pop(future)
+                yield fp, future.result()

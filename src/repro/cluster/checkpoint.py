@@ -32,7 +32,37 @@ __all__ = [
     "young_interval_seconds",
     "expected_runtime",
     "CheckpointPlan",
+    "run_campaign_scenario",
 ]
+
+
+def run_campaign_scenario(params) -> dict:
+    """Campaign entry point: one cluster-configuration scenario.
+
+    ``params`` are the fields of
+    :class:`repro.campaign.spec.ClusterSpec`: job width, useful work,
+    per-node checkpoint state, and restart cost.  Evaluates the
+    Section 2.1 checkpoint economics (:class:`CheckpointPlan`) for that
+    configuration and returns JSON scalars only — the campaign scenario
+    contract.  These scenarios are pure closed-form arithmetic, so a
+    campaign can sweep thousands of cluster configurations per second;
+    they are also the fast shard type the campaign test suite leans on.
+    """
+    plan = CheckpointPlan(
+        n_nodes=int(params.get("n_nodes", 294)),
+        work_hours=float(params.get("work_hours", 24.0)),
+        state_bytes_per_node=float(params.get("state_gb_per_node", 6.0)) * 1e9,
+        restart_hours=float(params.get("restart_hours", 0.5)),
+    )
+    return {
+        "n_nodes": plan.n_nodes,
+        "mtbf_hours": plan.mtbf_hours,
+        "dump_hours": plan.dump_hours,
+        "optimal_interval_hours": plan.optimal_interval_hours,
+        "expected_wall_hours": plan.expected_wall_hours,
+        "overhead_fraction": plan.overhead_fraction,
+        "expected_failures": plan.expected_failures,
+    }
 
 
 def job_mtbf_hours(

@@ -31,6 +31,7 @@ from .cellserver import (
     CellRecord,
     CellServer,
     combine_records,
+    content_fingerprint,
     cover_interval,
     key_interval,
     shift_quadrupole,
@@ -161,6 +162,7 @@ __all__ = [
     "CellCache",
     "CellRecord",
     "CellServer",
+    "content_fingerprint",
     "cover_interval",
     "key_interval",
     "shift_quadrupole",

@@ -33,6 +33,7 @@ from .keys import KEY_BITS, MAX_LEVEL, BoundingBox, cell_center_and_size, key_le
 __all__ = [
     "CellRecord",
     "CellServer",
+    "content_fingerprint",
     "cover_interval",
     "key_interval",
     "shift_quadrupole",
@@ -40,6 +41,33 @@ __all__ = [
 ]
 
 _PLACEHOLDER = 1 << (3 * KEY_BITS)
+
+
+def content_fingerprint(chunks, digest_size: int = 16) -> bytes:
+    """Content-addressed digest of an ordered sequence of byte chunks.
+
+    The repo-wide fingerprint primitive (blake2b, 16 bytes by default):
+    equal content yields equal digests in every process — unlike
+    ``hash()``, there is no per-process randomization — so a fingerprint
+    can name work across restarts.  :meth:`CellServer.branch_fingerprint`
+    applies it to a branch cell's particle data for cache invalidation;
+    :func:`repro.campaign.fingerprint.scenario_fingerprint` applies it
+    to canonical scenario JSON so identical simulation requests dedupe
+    to cache hits.
+
+    Only the concatenated content matters, not the chunk boundaries —
+    callers that need boundary sensitivity (none today) must frame
+    their chunks explicitly.
+
+    >>> content_fingerprint([b"ab", b"c"]) == content_fingerprint([b"abc"])
+    True
+    >>> content_fingerprint([b"abc"]) == content_fingerprint([b"abd"])
+    False
+    """
+    h = hashlib.blake2b(digest_size=digest_size)
+    for chunk in chunks:
+        h.update(chunk)
+    return h.digest()
 
 
 def key_interval(key: int) -> tuple[int, int]:
@@ -220,14 +248,14 @@ class CellServer:
         invalidate cross-timestep cache entries.
         """
         s, e = self.run_of(key)
-        h = hashlib.blake2b(digest_size=16)
-        h.update(np.ascontiguousarray(self.keys[s:e]).tobytes())
-        h.update(np.ascontiguousarray(self.positions[s:e]).tobytes())
-        h.update(np.ascontiguousarray(self.masses[s:e]).tobytes())
-        h.update(self._cm[s : s + 1].tobytes())
-        h.update(np.ascontiguousarray(self._cmx[s : s + 1]).tobytes())
-        h.update(np.ascontiguousarray(self._cs[s : s + 1]).tobytes())
-        return h.digest()
+        return content_fingerprint([
+            np.ascontiguousarray(self.keys[s:e]).tobytes(),
+            np.ascontiguousarray(self.positions[s:e]).tobytes(),
+            np.ascontiguousarray(self.masses[s:e]).tobytes(),
+            self._cm[s : s + 1].tobytes(),
+            np.ascontiguousarray(self._cmx[s : s + 1]).tobytes(),
+            np.ascontiguousarray(self._cs[s : s + 1]).tobytes(),
+        ])
 
     def record(self, key: int, *, with_particles: bool | None = None) -> CellRecord:
         """Full cell record; empty cells yield ``count == 0`` records.

@@ -24,16 +24,17 @@ processors, 10^16 flops (112 Gflop/s), 1.5 TB written at an average
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping
 
 import numpy as np
 
 from ..machine.node import DiskSpec, NodeSpec, SPACE_SIMULATOR_NODE
 from ..machine.specs import FLOPS_PER_INTERACTION
 from .background import Cosmology, LCDM
-from .ics import InitialConditions
+from .ics import InitialConditions, zeldovich_ics
 from .pm import PMSolver
 
-__all__ = ["ComovingSimulation", "CosmologyRunModel", "PAPER_RUN"]
+__all__ = ["ComovingSimulation", "CosmologyRunModel", "PAPER_RUN", "run_campaign_scenario"]
 
 
 class ComovingSimulation:
@@ -133,6 +134,47 @@ class ComovingSimulation:
         obj.steps_taken = int(snap.meta["steps_taken"])
         obj._g = None
         return obj
+
+
+def run_campaign_scenario(params: Mapping) -> dict:
+    """Campaign entry point: one cosmology scenario → summary dict.
+
+    ``params`` are the fields of
+    :class:`repro.campaign.spec.CosmologySpec`: lattice ``n_side``,
+    start/final scale factors, step size, realization ``seed``, box
+    size, and the flat-FRW cosmology knobs.  Runs Zel'dovich ICs
+    through the PM comoving integrator and returns JSON-scalar
+    observables only — the contract every campaign scenario follows so
+    results are content-addressable and bit-comparable across runs.
+    """
+    cosmo = Cosmology(
+        h=float(params.get("h", 0.7)),
+        omega_m=float(params.get("omega_m", 0.3)),
+        omega_l=float(params.get("omega_l", 0.7)),
+        omega_b=float(params.get("omega_b", 0.045)),
+        n_s=float(params.get("n_s", 1.0)),
+        sigma8=float(params.get("sigma8", 0.9)),
+    )
+    a_start = float(params.get("a_start", 0.05))
+    a_final = float(params.get("a_final", 0.2))
+    ics = zeldovich_ics(
+        n_side=int(params.get("n_side", 4)),
+        box_mpc_h=float(params.get("box_mpc_h", 125.0)),
+        a_start=a_start,
+        cosmology=cosmo,
+        seed=int(params.get("seed", 20031115)),
+    )
+    rms_initial = ics.rms_displacement()
+    sim = ComovingSimulation(ics)
+    sim.run_to(a_final, dlna=float(params.get("dlna", 0.05)))
+    return {
+        "a_final": float(sim.a),
+        "steps": int(sim.steps_taken),
+        "n_particles": int(ics.n_particles),
+        "density_rms": sim.density_rms(),
+        "rms_displacement_initial": float(rms_initial),
+        "growth_ratio": float(cosmo.growth_factor(a_final) / cosmo.growth_factor(a_start)),
+    }
 
 
 @dataclass(frozen=True)

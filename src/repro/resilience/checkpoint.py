@@ -25,6 +25,7 @@ from __future__ import annotations
 import json
 import os
 import re
+import shutil
 from typing import Any, Generator
 
 import numpy as np
@@ -105,6 +106,35 @@ class CheckpointStore:
         if not os.path.exists(self._commit_path(epoch)):
             raise SnapshotError(f"epoch {epoch} was never committed; refusing torn restart")
         return read_snapshot(self.rank_dir(epoch, rank))
+
+    # -- maintenance ----------------------------------------------------
+    def prune(self, keep_last: int = 2) -> list[int]:
+        """Drop superseded epochs, keeping the newest ``keep_last``
+        committed ones; returns the epochs removed.
+
+        Torn epochs (no COMMIT marker) older than the newest kept epoch
+        are removed too — they can never become a restart point.  A
+        torn epoch *newer* than every committed one is left alone: with
+        a single writer it is the epoch currently being written.
+        Callers that checkpoint every unit of progress (the campaign
+        runner commits one epoch per completed shard) use this to keep
+        disk usage bounded by ``keep_last`` ledgers instead of one per
+        shard.
+        """
+        if keep_last < 1:
+            raise ValueError("keep_last must be >= 1")
+        committed = [e for e in self.epochs() if os.path.exists(self._commit_path(e))]
+        if not committed:
+            return []
+        keep = set(committed[-keep_last:])
+        newest_kept = max(keep)
+        removed = []
+        for epoch in self.epochs():
+            if epoch in keep or epoch > newest_kept:
+                continue
+            shutil.rmtree(self.epoch_dir(epoch), ignore_errors=True)
+            removed.append(epoch)
+        return removed
 
 
 class Checkpointer:

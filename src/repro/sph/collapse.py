@@ -33,7 +33,48 @@ __all__ = [
     "CollapseConfig",
     "CollapseHistory",
     "CollapseSimulation",
+    "run_campaign_scenario",
 ]
+
+
+def run_campaign_scenario(params) -> dict:
+    """Campaign entry point: one supernova-progenitor scenario.
+
+    ``params`` are the fields of
+    :class:`repro.campaign.spec.SupernovaSpec`: progenitor resolution
+    and structure (``n_particles``, ``n_poly``, ``seed``), rotation law
+    (``omega0``, ``r0``), the pressure deficit that triggers collapse,
+    and the step budget.  Builds the rotating polytrope, runs the
+    coupled gravity + SPH + EOS driver, and returns JSON scalars only —
+    the campaign scenario contract.  Neutrino transport defaults off so
+    a campaign-sized progenitor (tens of particles) runs in tens of
+    milliseconds; production sweeps turn it back on.
+    """
+    n_particles = int(params.get("n_particles", 48))
+    n_steps = int(params.get("n_steps", 3))
+    pos, masses, u = polytrope_particles(
+        n_particles,
+        n_poly=float(params.get("n_poly", 3.0)),
+        seed=int(params.get("seed", 20031115)),
+    )
+    vel = add_rotation(pos, omega0=float(params.get("omega0", 0.3)),
+                       r0=float(params.get("r0", 0.3)))
+    cfg = CollapseConfig(
+        n_target_neighbors=int(params.get("n_target_neighbors", 12)),
+        pressure_deficit=float(params.get("pressure_deficit", 0.55)),
+        with_neutrinos=bool(params.get("with_neutrinos", False)),
+    )
+    sim = CollapseSimulation(pos, vel, masses, u, cfg)
+    hist = sim.run(n_steps)
+    return {
+        "n_particles": n_particles,
+        "steps": len(hist.times),
+        "time_final": float(sim.time),
+        "max_density": float(hist.max_density),
+        "bounced": bool(hist.bounced(cfg.eos.rho_nuc)),
+        "central_density_final": float(hist.central_density[-1]) if hist.central_density else 0.0,
+        "total_energy_final": float(hist.total_energy[-1]) if hist.total_energy else 0.0,
+    }
 
 
 def lane_emden(n_poly: float = 3.0, dxi: float = 1e-3, xi_max: float = 20.0):

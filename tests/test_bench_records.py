@@ -4,8 +4,8 @@ Every ``benchmarks/bench_*.py`` must expose ``main() -> dict`` built on
 ``benchmarks/_harness.py``, and the record it returns must validate
 against ``benchmarks/schema.json``.  The cheap shape checks (module
 exposes a callable ``main``, the schema file itself is well-formed, the
-subset validator works) run in the default suite; actually executing
-all 24 payloads is marked slow.
+subset validator works, history appends are atomic) run in the default
+suite; actually executing all 25 payloads is marked slow.
 """
 
 import importlib.util
@@ -41,7 +41,7 @@ def harness():
 
 
 def test_bench_files_found():
-    assert len(BENCH_FILES) == 24
+    assert len(BENCH_FILES) == 25
 
 
 @pytest.mark.parametrize("filename", BENCH_FILES)
@@ -55,7 +55,10 @@ class TestSchema:
         schema = harness.load_schema()
         assert schema["type"] == "object"
         assert schema["additionalProperties"] is False
-        assert set(schema["required"]) == set(schema["properties"])
+        assert set(schema["required"]) <= set(schema["properties"])
+        # "shards" is the one optional field: scalar benches keep the
+        # original record shape, campaign benches attach the breakdown.
+        assert set(schema["properties"]) - set(schema["required"]) == {"shards"}
 
     def test_good_record_validates(self, harness):
         record = harness.bench_record(
@@ -79,6 +82,43 @@ class TestSchema:
         errors = harness.validate_record(record)
         assert errors and any(fragment in e for e in errors), errors
 
+    def test_record_with_shards_validates(self, harness):
+        record = harness.bench_record(
+            "unit_test", seconds=0.1,
+            shards=[
+                {"fingerprint": "ab" * 16, "status": "computed",
+                 "kind": "cluster", "seconds": 0.25},
+                {"fingerprint": "cd" * 16, "status": "dedupe",
+                 "kind": "cosmology"},  # per-shard seconds is optional
+            ],
+        )
+        assert harness.validate_record(record) == []
+
+    def test_record_without_shards_has_no_shards_key(self, harness):
+        assert "shards" not in harness.bench_record("unit_test", seconds=0.1)
+
+    @pytest.mark.parametrize("shard,fragment", [
+        ({"fingerprint": "xyz", "status": "computed", "kind": "cluster"}, "pattern"),
+        ({"fingerprint": "ab" * 16, "status": "teleported", "kind": "cluster"}, "pattern"),
+        ({"fingerprint": "ab" * 16, "status": "computed", "kind": "cluster",
+          "seconds": -1.0}, "minimum"),
+        ({"fingerprint": "ab" * 16, "status": "computed"}, "missing required"),
+        ({"fingerprint": "ab" * 16, "status": "computed", "kind": "cluster",
+          "surprise": 1}, "unexpected property"),
+        ("not-a-shard", "expected type"),
+    ])
+    def test_bad_shards_rejected_with_indexed_path(self, harness, shard, fragment):
+        record = harness.bench_record(
+            "unit_test", seconds=0.1,
+            shards=[{"fingerprint": "ab" * 16, "status": "computed",
+                     "kind": "cluster"}],
+        )
+        record["shards"].append(shard)
+        errors = harness.validate_record(record)
+        assert errors and any(fragment in e for e in errors), errors
+        # The items check names the offending element, not just the list.
+        assert any("shards[1]" in e for e in errors), errors
+
     def test_emit_writes_file(self, harness, tmp_path):
         record = harness.bench_record("unit_test", seconds=0.1)
         path = harness.emit(record, str(tmp_path))
@@ -89,6 +129,82 @@ class TestSchema:
     def test_emit_noop_without_dir(self, harness, monkeypatch):
         monkeypatch.delenv("REPRO_BENCH_DIR", raising=False)
         assert harness.emit(harness.bench_record("unit_test", seconds=0.1)) is None
+
+
+class TestAppendHistoryAtomicity:
+    """The history append must be all-or-nothing: a bench run killed
+    mid-write can never leave ``baseline.jsonl`` truncated or torn."""
+
+    def _lines(self, path):
+        with open(path) as fh:
+            return [json.loads(line) for line in fh if line.strip()]
+
+    def test_append_preserves_existing_and_timestamps(self, harness, tmp_path):
+        path = str(tmp_path / "history.jsonl")
+        harness.append_history(harness.bench_record("one", seconds=0.1), path)
+        harness.append_history(harness.bench_record("two", seconds=0.2), path)
+        lines = self._lines(path)
+        assert [r["name"] for r in lines] == ["one", "two"]
+        assert all("ts" in r for r in lines)
+
+    def test_goes_through_temp_file_and_replace(self, harness, tmp_path, monkeypatch):
+        path = str(tmp_path / "history.jsonl")
+        harness.append_history(harness.bench_record("one", seconds=0.1), path)
+        before = open(path).read()
+
+        real_replace = os.replace
+        seen = {}
+
+        def spying_replace(src, dst):
+            seen["src"], seen["dst"] = src, dst
+            with open(src) as fh:
+                seen["tmp_content"] = fh.read()
+            real_replace(src, dst)
+
+        monkeypatch.setattr(harness.os, "replace", spying_replace)
+        harness.append_history(harness.bench_record("two", seconds=0.2), path)
+        # The temp file already held old + new before the swap, so the
+        # reader can never observe a half-written state.
+        assert seen["dst"] == path and seen["src"] != path
+        assert seen["tmp_content"].startswith(before)
+        assert [r["name"] for r in self._lines(path)] == ["one", "two"]
+
+    def test_failed_replace_leaves_original_intact(self, harness, tmp_path, monkeypatch):
+        path = str(tmp_path / "history.jsonl")
+        harness.append_history(harness.bench_record("one", seconds=0.1), path)
+        before = open(path).read()
+
+        def exploding_replace(src, dst):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(harness.os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            harness.append_history(harness.bench_record("two", seconds=0.2), path)
+        monkeypatch.undo()
+        assert open(path).read() == before  # untouched
+        assert not [f for f in os.listdir(tmp_path) if ".tmp." in f]  # cleaned up
+
+    def test_heals_pre_atomic_torn_tail(self, harness, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text('{"name": "old", "ts": "t"}\n{"name": "torn", "half')
+        harness.append_history(harness.bench_record("new", seconds=0.1), str(path))
+        raw = path.read_text().splitlines()
+        assert len(raw) == 3 and json.loads(raw[-1])["name"] == "new"
+        # The torn line is quarantined on its own line, not fused with
+        # the new record; load_history skips it as corrupt.
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(raw[1])
+
+    def test_noop_without_destination(self, harness, monkeypatch):
+        monkeypatch.delenv(harness.HISTORY_ENV, raising=False)
+        assert harness.append_history(harness.bench_record("x", seconds=0.1)) is None
+
+    def test_directory_destination_gets_history_file(self, harness, tmp_path):
+        out = harness.append_history(
+            harness.bench_record("x", seconds=0.1), str(tmp_path),
+        )
+        assert out == str(tmp_path / "history.jsonl")
+        assert os.path.exists(out)
 
 
 @pytest.mark.slow

@@ -1,0 +1,153 @@
+"""Property tests for content-addressed scenario fingerprints.
+
+The campaign engine's dedupe and resume are only sound if a
+fingerprint is a *name* for physics content: identical scenarios must
+collide always (across key orderings, encodings, and process
+restarts), distinct scenarios must collide never (in any corpus we
+can sample).  Hypothesis drives both directions; a subprocess with a
+different ``PYTHONHASHSEED`` pins restart stability the way the spec
+of :func:`repro.core.cellserver.content_fingerprint` promises.
+"""
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign import (
+    ClusterSpec,
+    CosmologySpec,
+    SupernovaSpec,
+    scenario_fingerprint,
+    scenario_fingerprint_hex,
+    spec_from_dict,
+)
+from repro.campaign.fingerprint import canonical_json
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+cluster_specs = st.builds(
+    ClusterSpec,
+    n_nodes=st.integers(min_value=1, max_value=4096),
+    work_hours=st.floats(min_value=0.1, max_value=1e4, allow_nan=False, allow_infinity=False),
+    state_gb_per_node=st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+    restart_hours=st.floats(min_value=0.001, max_value=10.0, allow_nan=False),
+)
+
+supernova_specs = st.builds(
+    SupernovaSpec,
+    n_particles=st.integers(min_value=8, max_value=512),
+    n_steps=st.integers(min_value=0, max_value=50),
+    seed=st.integers(min_value=0, max_value=2**31),
+    omega0=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    pressure_deficit=st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+)
+
+any_spec = st.one_of(cluster_specs, supernova_specs)
+
+
+class TestIdenticalContentCollides:
+    @given(any_spec)
+    def test_deterministic_within_process(self, spec):
+        assert scenario_fingerprint(spec) == scenario_fingerprint(spec)
+        assert len(scenario_fingerprint(spec)) == 16
+
+    @given(any_spec)
+    def test_dict_form_matches_object_form(self, spec):
+        assert scenario_fingerprint(spec.to_dict()) == scenario_fingerprint(spec)
+
+    @given(any_spec)
+    def test_key_order_is_irrelevant(self, spec):
+        d = spec.to_dict()
+        reversed_d = dict(reversed(list(d.items())))
+        assert list(reversed_d) != list(d)  # genuinely shuffled
+        assert scenario_fingerprint(reversed_d) == scenario_fingerprint(d)
+
+    @given(any_spec)
+    def test_json_round_trip_preserves_identity(self, spec):
+        rebuilt = spec_from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert scenario_fingerprint(rebuilt) == scenario_fingerprint(spec)
+
+    def test_stable_across_process_restarts(self):
+        """A fresh interpreter — with adversarial hash randomization —
+        must reproduce fingerprints byte for byte."""
+        specs = [
+            ClusterSpec(n_nodes=64),
+            CosmologySpec(n_side=4, seed=7),
+            SupernovaSpec(n_particles=40),
+        ]
+        expected = [scenario_fingerprint_hex(s) for s in specs]
+        code = (
+            "from repro.campaign import (ClusterSpec, CosmologySpec,"
+            " SupernovaSpec, scenario_fingerprint_hex)\n"
+            "specs = [ClusterSpec(n_nodes=64), CosmologySpec(n_side=4, seed=7),"
+            " SupernovaSpec(n_particles=40)]\n"
+            "print('\\n'.join(scenario_fingerprint_hex(s) for s in specs))\n"
+        )
+        for hashseed in ("0", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=hashseed,
+                       PYTHONPATH=REPO_SRC + os.pathsep + os.environ.get("PYTHONPATH", ""))
+            out = subprocess.run(
+                [sys.executable, "-c", code], env=env,
+                capture_output=True, text=True, timeout=60, check=True,
+            )
+            assert out.stdout.split() == expected, f"PYTHONHASHSEED={hashseed}"
+
+
+class TestDistinctContentNeverCollides:
+    @given(cluster_specs, cluster_specs)
+    @settings(max_examples=200)
+    def test_sampled_cluster_corpus(self, a, b):
+        if a.to_dict() != b.to_dict():
+            assert scenario_fingerprint(a) != scenario_fingerprint(b)
+
+    @given(supernova_specs, supernova_specs)
+    @settings(max_examples=200)
+    def test_sampled_supernova_corpus(self, a, b):
+        if a.to_dict() != b.to_dict():
+            assert scenario_fingerprint(a) != scenario_fingerprint(b)
+
+    @given(cluster_specs, supernova_specs)
+    def test_kinds_never_alias(self, a, b):
+        assert scenario_fingerprint(a) != scenario_fingerprint(b)
+
+
+class TestEveryParameterIsLoadBearing:
+    """Perturbing any single physical parameter must move the digest."""
+
+    @pytest.mark.parametrize("base", [
+        ClusterSpec(), CosmologySpec(), SupernovaSpec(),
+    ], ids=lambda s: s.kind)
+    def test_sensitive_to_each_field(self, base):
+        original = scenario_fingerprint(base)
+        for field in dataclasses.fields(base):
+            value = getattr(base, field.name)
+            if isinstance(value, bool):
+                bumped = not value
+            elif isinstance(value, int):
+                bumped = value + 1
+            elif isinstance(value, float):
+                bumped = value * 1.0000001 + 1e-9
+            else:  # pragma: no cover — specs hold scalars only
+                raise AssertionError(f"unhandled field type for {field.name}")
+            try:
+                perturbed = dataclasses.replace(base, **{field.name: bumped})
+            except ValueError:
+                # Validation rejected the bump (e.g. omega flatness);
+                # try the other direction before giving up.
+                perturbed = dataclasses.replace(base, **{field.name: value * 0.999})
+            assert scenario_fingerprint(perturbed) != original, field.name
+
+
+class TestCanonicalEncoding:
+    def test_compact_sorted_ascii(self):
+        assert canonical_json({"b": 1, "a": [True, None]}) == '{"a":[true,null],"b":1}'
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})

@@ -1,0 +1,174 @@
+"""Crash-recovery suite: SIGKILL a running campaign, resume, lose
+nothing.
+
+A real ``python -m repro.campaign run`` subprocess is killed with
+SIGKILL mid-campaign — no atexit, no cleanup, exactly the §2.1 failure
+mode the two-phase checkpoint protocol exists for.  Resume must then
+(a) recompute **zero** shards that had committed before the kill,
+(b) finish the rest, and (c) finalize a result store byte-identical to
+an uninterrupted run of the same catalog.  Torn epochs (crash between
+ledger write and COMMIT) must be ignored, and the epoch pruning that
+keeps campaign disk bounded must never remove the restart point.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.campaign import ClusterSpec, run_campaign, save_catalog, sweep
+from repro.campaign.runner import CHECKPOINT_SUBDIR, _ledger_arrays, _load_ledger
+from repro.campaign.fingerprint import scenario_fingerprint_hex
+from repro.resilience.checkpoint import CheckpointStore
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+CATALOG = list(sweep(ClusterSpec(work_hours=12.0), n_nodes=list(range(8, 8 + 16))))
+assert len(CATALOG) == 16
+
+
+def _subprocess_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _committed_count(ckpt: CheckpointStore) -> int:
+    """Shards committed so far, 0 while no epoch exists (poll-safe)."""
+    try:
+        epoch = ckpt.latest_committed()
+        if epoch is None:
+            return 0
+        return int(ckpt.commit_meta(epoch)["completed"])
+    except (OSError, json.JSONDecodeError, KeyError):
+        # The coordinator may be mid-commit or mid-prune; poll again.
+        return 0
+
+
+@pytest.mark.slow
+class TestSigkillResume:
+    def test_killed_campaign_resumes_without_recompute(self, tmp_path):
+        catalog_path = tmp_path / "catalog.jsonl"
+        save_catalog(CATALOG, str(catalog_path))
+        crash_dir = tmp_path / "crashed"
+        ckpt = CheckpointStore(str(crash_dir / CHECKPOINT_SUBDIR))
+
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.campaign", "run", str(catalog_path),
+             "--dir", str(crash_dir), "--workers", "2", "--throttle", "0.15"],
+            env=_subprocess_env(),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.time() + 60.0
+            while _committed_count(ckpt) < 3:
+                assert proc.poll() is None, "campaign finished before we could kill it"
+                assert time.time() < deadline, "no progress within 60 s"
+                time.sleep(0.02)
+            os.kill(proc.pid, signal.SIGKILL)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait(timeout=30)
+        assert proc.returncode == -signal.SIGKILL
+
+        # The committed ledger is the survivors' roll: stable now.
+        survivors = set(_load_ledger(ckpt))
+        assert 3 <= len(survivors) < 16, "kill landed mid-campaign"
+
+        report = run_campaign(CATALOG, str(crash_dir), workers=1)
+
+        # (a) zero committed shards recomputed, and nothing left out.
+        recomputed = set(report.computed_fingerprints) & survivors
+        assert recomputed == set()
+        assert report.resume_hits == len(survivors)
+        assert report.computed == 16 - len(survivors)
+        assert report.failed == 0
+        expected = {scenario_fingerprint_hex(s) for s in CATALOG}
+        assert set(report.computed_fingerprints) | survivors == expected
+
+        # (c) byte-identical to a never-interrupted campaign.
+        clean_dir = tmp_path / "clean"
+        clean = run_campaign(CATALOG, str(clean_dir), workers=1)
+        assert clean.computed == 16
+        assert (crash_dir / "results.jsonl").read_bytes() == \
+            (clean_dir / "results.jsonl").read_bytes()
+
+
+class TestTornEpochs:
+    def test_torn_epoch_is_ignored(self, tmp_path):
+        """A ledger written but never committed must not resume."""
+        root = tmp_path / "c"
+        ckpt = CheckpointStore(str(root / CHECKPOINT_SUBDIR))
+        fp = scenario_fingerprint_hex(CATALOG[0])
+        record = {"fingerprint": fp, "kind": "cluster",
+                  "spec": CATALOG[0].to_dict(), "result": {"bogus": 1.0}}
+        ckpt.write_rank(0, 0, _ledger_arrays([record]), {"records": [record]})
+        # no commit: the crash happened between write and COMMIT
+
+        report = run_campaign(CATALOG[:4], str(root), workers=1)
+        assert report.resume_hits == 0
+        assert report.computed == 4
+        # The bogus torn result must not appear in the store.
+        results = (root / "results.jsonl").read_text()
+        assert "bogus" not in results
+
+    def test_stale_fingerprint_in_ledger_recomputes(self, tmp_path):
+        """A committed record whose digest no longer names its spec
+        (encoding bump, corruption) is dropped, not trusted."""
+        root = tmp_path / "c"
+        ckpt = CheckpointStore(str(root / CHECKPOINT_SUBDIR))
+        record = {"fingerprint": "00" * 16, "kind": "cluster",
+                  "spec": CATALOG[0].to_dict(), "result": {"bogus": 1.0}}
+        ckpt.write_rank(0, 0, _ledger_arrays([record]), {"records": [record]})
+        ckpt.commit(0, {"completed": 1})
+
+        report = run_campaign(CATALOG[:2], str(root), workers=1)
+        assert report.resume_hits == 0
+        assert report.computed == 2
+        assert "bogus" not in (root / "results.jsonl").read_text()
+
+
+class TestCheckpointPrune:
+    def test_prune_keeps_restart_point(self, tmp_path):
+        ckpt = CheckpointStore(str(tmp_path / "ck"))
+        for epoch in range(5):
+            ckpt.write_rank(epoch, 0, {"x": np.array([epoch])}, {"epoch": epoch})
+            ckpt.commit(epoch)
+        removed = ckpt.prune(keep_last=2)
+        assert removed == [0, 1, 2]
+        assert ckpt.epochs() == [3, 4]
+        assert ckpt.latest_committed() == 4
+        assert int(ckpt.load_rank(4, 0)["x"][0]) == 4
+
+    def test_prune_spares_newer_torn_epoch(self, tmp_path):
+        ckpt = CheckpointStore(str(tmp_path / "ck"))
+        ckpt.write_rank(0, 0, {"x": np.array([0])})
+        ckpt.commit(0)
+        ckpt.write_rank(1, 0, {"x": np.array([1])})  # in-flight, no commit
+        assert ckpt.prune(keep_last=1) == []
+        assert ckpt.epochs() == [0, 1]
+
+    def test_prune_removes_older_torn_epoch(self, tmp_path):
+        ckpt = CheckpointStore(str(tmp_path / "ck"))
+        ckpt.write_rank(0, 0, {"x": np.array([0])})  # torn
+        ckpt.write_rank(1, 0, {"x": np.array([1])})
+        ckpt.commit(1)
+        assert ckpt.prune(keep_last=1) == [0]
+        assert ckpt.epochs() == [1]
+
+    def test_prune_validates_keep_last(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointStore(str(tmp_path / "ck")).prune(keep_last=0)
+
+    def test_campaign_disk_stays_bounded(self, tmp_path):
+        root = tmp_path / "c"
+        run_campaign(CATALOG, str(root), workers=1, checkpoint_keep=2)
+        ckpt = CheckpointStore(str(root / CHECKPOINT_SUBDIR))
+        assert len(ckpt.epochs()) == 2
+        assert _committed_count(ckpt) == 16

@@ -1,0 +1,148 @@
+"""Unit tests for the campaign result store, obs wiring, and failure
+handling: the queryable-store contract (JSONL truth, sqlite
+accelerator), dedupe counters on the instrumentation recorder, and
+deterministic-failure shards becoming data instead of crashes.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import (
+    ClusterSpec,
+    CosmologySpec,
+    ResultStore,
+    load_catalog,
+    run_campaign,
+    save_catalog,
+    spec_from_dict,
+    sweep,
+)
+from repro.obs import Recorder
+
+
+class TestObsCounters:
+    def test_duplicate_specs_report_dedupe_hits(self, tmp_path):
+        """Acceptance: duplicate catalog entries → dedupe hits > 0 in
+        the obs counters, not just the report."""
+        rec = Recorder()
+        catalog = [ClusterSpec(n_nodes=64), ClusterSpec(n_nodes=64),
+                   ClusterSpec(n_nodes=64), ClusterSpec(n_nodes=128)]
+        report = run_campaign(catalog, str(tmp_path / "c"), observer=rec)
+        assert report.dedupe_hits == 2
+        assert rec.counters["campaign.dedupe_hits"].value == 2
+        assert rec.counters["campaign.computed"].value == 2
+        assert rec.counters["campaign.shards"].value == 4
+
+    def test_cache_hits_counted_on_rerun(self, tmp_path):
+        catalog = [ClusterSpec(n_nodes=16)]
+        run_campaign(catalog, str(tmp_path / "c"))
+        rec = Recorder()
+        run_campaign(catalog, str(tmp_path / "c"), observer=rec)
+        assert rec.counters["campaign.cache_hits"].value == 1
+
+    def test_campaign_and_shard_spans_recorded(self, tmp_path):
+        rec = Recorder()
+        run_campaign([ClusterSpec(n_nodes=16)], str(tmp_path / "c"), observer=rec)
+        names = [s.name for s in rec.spans]
+        assert "campaign" in names
+        assert "shard:cluster" in names
+
+
+class TestFailureShards:
+    # omega_m + omega_l != 1 passes spec validation but the Cosmology
+    # constructor rejects it at run time: a deterministic physics error.
+    BAD = CosmologySpec(n_side=4, omega_m=0.4, omega_l=0.7)
+
+    def test_failed_shard_becomes_data(self, tmp_path):
+        report = run_campaign([self.BAD, ClusterSpec(n_nodes=16)], str(tmp_path / "c"))
+        assert report.failed == 1
+        assert report.computed == 1
+        [error] = report.errors.values()
+        assert "ValueError" in error
+
+    def test_failed_shard_excluded_from_results_included_in_shards(self, tmp_path):
+        root = tmp_path / "c"
+        run_campaign([self.BAD, ClusterSpec(n_nodes=16)], str(root))
+        store = ResultStore(str(root))
+        assert len(store.load_results()) == 1
+        rows = store.load_shards()
+        assert [r["status"] for r in rows] == ["failed", "computed"]
+        assert "ValueError" in rows[0]["error"]
+
+    def test_failed_shard_retried_on_resume(self, tmp_path):
+        root = tmp_path / "c"
+        run_campaign([self.BAD], str(root))
+        report = run_campaign([self.BAD], str(root))
+        assert report.cache_hits == 0 and report.resume_hits == 0
+        assert report.failed == 1  # failures are never cached
+
+
+class TestResultStoreQuery:
+    @pytest.fixture()
+    def populated(self, tmp_path):
+        root = tmp_path / "c"
+        catalog = [
+            *sweep(ClusterSpec(), n_nodes=[16, 32, 64]),
+            CosmologySpec(n_side=4, a_final=0.12),
+        ]
+        run_campaign(catalog, str(root))
+        return ResultStore(str(root))
+
+    def test_query_all(self, populated):
+        rows = populated.query()
+        assert len(rows) == 4
+        assert all({"fingerprint", "kind", "spec", "result"} <= set(r) for r in rows)
+
+    def test_query_by_kind_and_limit(self, populated):
+        assert len(populated.query(kind="cluster")) == 3
+        assert len(populated.query(kind="cluster", limit=2)) == 2
+        assert populated.query(kind="supernova") == []
+
+    def test_query_round_trips_spec(self, populated):
+        for row in populated.query(kind="cosmology"):
+            spec = spec_from_dict(row["spec"])
+            assert spec.kind == "cosmology"
+            assert row["result"]["steps"] > 0
+
+    def test_stale_index_rebuilt(self, populated):
+        populated.query()  # builds index.sqlite
+        assert os.path.exists(populated.db_path)
+        # Make the JSONL newer than the index: the next query rebuilds.
+        records = list(populated.load_results().values())[:1]
+        populated.write_results(records)
+        os.utime(populated.results_path)
+        assert len(populated.query()) == 1
+
+    def test_status_tallies(self, populated):
+        status = populated.status()
+        assert status["results"] == 4
+        assert status["shards"] == 4
+        assert status["by_status"]["computed"] == 4
+
+    def test_empty_store(self, tmp_path):
+        store = ResultStore(str(tmp_path / "nothing"))
+        assert store.load_results() == {}
+        assert store.query() == []
+        assert store.status()["shards"] == 0
+
+
+class TestCatalogRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        path = str(tmp_path / "cat.jsonl")
+        specs = [ClusterSpec(n_nodes=16), CosmologySpec(n_side=4)]
+        save_catalog(specs, path)
+        assert load_catalog(path) == specs
+
+    def test_bad_line_reports_location(self, tmp_path):
+        path = tmp_path / "cat.jsonl"
+        path.write_text('{"kind": "cluster"}\n{"kind": "warp-drive"}\n')
+        with pytest.raises(ValueError, match="cat.jsonl:2"):
+            load_catalog(str(path))
+
+    def test_dicts_accepted_in_catalogs(self, tmp_path):
+        report = run_campaign(
+            [{"kind": "cluster", "n_nodes": 16}], str(tmp_path / "c"),
+        )
+        assert report.computed == 1
