@@ -9,7 +9,11 @@ from repro.analysis import format_table
 from repro.nas import space_simulator_npb_model
 
 BENCHES = ("BT", "SP", "LU", "CG", "FT")
-PROCS = (16, 32, 64, 121, 256)
+# 16..256 regenerate the paper's Figure 4; 512/1024/2560 extrapolate the
+# same analytic model past the Space Simulator toward the PACS-CS-scale
+# machines named in PAPERS.md (see EXPERIMENTS.md, "Scaling past the
+# paper").  Paper-anchored assertions stay pinned to the 256 column.
+PROCS = (16, 32, 64, 121, 256, 512, 1024, 2560)
 
 
 def _build():
@@ -32,14 +36,19 @@ def test_fig4_scaling_class_d(benchmark):
         [[p] + [per[b][i] for b in BENCHES] for i, p in enumerate(PROCS)],
         "Figure 4 (right): class D per-processor Mop/s",
     ))
+    i256 = PROCS.index(256)
     for b in ("BT", "LU"):
         # Near-flat per-proc line: 256-proc rate within 35% of 16-proc.
-        assert per[b][-1] > 0.65 * per[b][0], b
+        assert per[b][i256] > 0.65 * per[b][0], b
     # SP sags more — the paper's own Table 4 has it at 114.6 Mop/s per
     # processor at D/256, ~0.6 of its small-count rate.
-    assert per["SP"][-1] > 0.5 * per["SP"][0]
+    assert per["SP"][i256] > 0.5 * per["SP"][0]
     for b in ("BT", "SP", "LU"):
-        assert total[b][-1] > total[b][0]  # totals keep growing
+        assert total[b][i256] > total[b][0]  # totals keep growing
+        # Past the paper the model crosses its calibration knee (the
+        # per-proc rate steps down beyond 256), but class D stays big
+        # enough that aggregate throughput keeps rising out to 2560.
+        assert total[b][-1] > total[b][i256], b
 
 
 def main() -> dict:

@@ -11,7 +11,10 @@ from repro.analysis import format_table
 from repro.nas import space_simulator_npb_model
 
 BENCHES = ("BT", "SP", "LU", "CG", "FT", "IS")
-PROCS = (1, 4, 16, 64, 256)
+# 1..256 regenerate the paper's Figure 5; 512/1024/2560 extrapolate
+# past the Space Simulator (see EXPERIMENTS.md, "Scaling past the
+# paper").  Paper-anchored assertions stay pinned to the 256 column.
+PROCS = (1, 4, 16, 64, 256, 512, 1024, 2560)
 
 
 def _build():
@@ -34,7 +37,7 @@ def test_fig5_scaling_class_c(benchmark):
     # And class C scaling is worse than class D at 256 procs.
     ss = space_simulator_npb_model()
     for b in ("BT", "LU"):
-        eff_c = per[b][-1] / per[b][PROCS.index(16)]
+        eff_c = per[b][PROCS.index(256)] / per[b][PROCS.index(16)]
         eff_d = ss.mops_per_proc(b, "D", 256) / ss.mops_per_proc(b, "D", 16)
         assert eff_d > eff_c, b
 

@@ -1,0 +1,96 @@
+"""Bench SR — rank scaling past the paper: treecode steps at P ∈ {512, 1024, 2560}.
+
+The Space Simulator stopped at 294 processors; the related work
+(Dubinski's 512-CPU teraflop Beowulf, the 2560-node PACS-CS) points
+well past it.  This bench drives one full parallel treecode force
+calculation — decomposition sort, branch allgather, latency-hiding
+traversal, evaluation — through the discrete-event engine at rank
+counts up to 2560 in a single process, the scale the PR-7 engine
+refactor (indexed matching, tree collectives, sparse request rounds,
+sampled tracing) exists to make routine.
+
+The workload is deliberately communication-dominated: two particles
+per rank keeps the arithmetic trivial, so what the record measures is
+the simulation machinery itself — events processed, request traffic,
+and the virtual time the cost model assigns the collective-heavy step.
+``--smoke`` runs the same pipeline at P ∈ {128, 256} in a few seconds
+for CI, recorded under its own name so the full-scale baselines stay
+unpolluted.
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core.parallel import ParallelConfig, parallel_tree_accelerations
+from repro.simmpi.cost import SpaceSimulatorCost
+
+PROCS = (512, 1024, 2560)
+SMOKE_PROCS = (128, 256)
+PARTICLES_PER_RANK = 2
+
+
+def _run_one(n_ranks: int) -> dict:
+    rng = np.random.default_rng(20030512 + n_ranks)
+    pos = rng.random((PARTICLES_PER_RANK * n_ranks, 3))
+    res = parallel_tree_accelerations(
+        pos,
+        n_ranks=n_ranks,
+        config=ParallelConfig(),
+        cost=SpaceSimulatorCost(),
+        record_trace=False,  # scaling runs keep memory flat
+    )
+    assert np.isfinite(res.accelerations).all()
+    return {
+        "virtual_s": float(res.sim.elapsed),
+        "rounds": float(res.comm.get("rounds", 0.0)),
+        "requests": float(res.comm.get("requests", 0.0)),
+        "prefetch_fetched": float(res.comm.get("prefetch_fetched", 0.0)),
+    }
+
+
+def _build(procs=PROCS):
+    return {p: _run_one(p) for p in procs}
+
+
+def test_scale_ranks_smoke(benchmark):
+    out = benchmark.pedantic(lambda: _build(SMOKE_PROCS), rounds=1, iterations=1)
+    for p in SMOKE_PROCS:
+        assert out[p]["virtual_s"] > 0.0
+    # More ranks means more collective/request traffic, never less.
+    assert out[SMOKE_PROCS[-1]]["requests"] >= out[SMOKE_PROCS[0]]["requests"]
+
+
+def _record(procs, name):
+    from _harness import run_main
+
+    def counters(result):
+        out = {}
+        for p, r in result.items():
+            for k, v in r.items():
+                out[f"{k}_p{p}"] = v
+        return out
+
+    return run_main(
+        name, lambda: _build(procs),
+        params={"procs": list(procs), "per_rank": PARTICLES_PER_RANK},
+        counters=counters,
+        virtual_seconds=lambda result: max(r["virtual_s"] for r in result.values()),
+        notes="one parallel treecode force step per rank count, "
+              "communication-dominated (2 particles/rank)",
+    )
+
+
+def main(smoke: bool = False) -> dict:
+    if smoke:
+        return _record(SMOKE_PROCS, "scale_ranks_smoke")
+    return _record(PROCS, "scale_ranks")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=f"CI mode: P in {SMOKE_PROCS} under a distinct record name",
+    )
+    main(smoke=parser.parse_args().smoke)

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator
 
+from ..simmpi import patterns as mpi_patterns
 from ..simmpi.api import Comm
 
 __all__ = ["ABMChannel"]
@@ -97,6 +98,12 @@ class ABMChannel:
         return list(answered)
 
     def globally_done(self, local_pending: int) -> Generator:
-        """True when *no* rank still has work (allreduce of counters)."""
-        total = yield self.comm.allreduce(int(local_pending) + self.pending_requests)
+        """True when *no* rank still has work (allreduce of counters).
+
+        Routed through the size-selecting collective wrapper: the flat
+        engine primitive below :data:`~repro.simmpi.patterns.FLAT_COLLECTIVE_MAX`
+        ranks, the binomial tree above it."""
+        total = yield from mpi_patterns.allreduce(
+            self.comm, int(local_pending) + self.pending_requests
+        )
         return total == 0

@@ -97,6 +97,7 @@ from ..simmpi.api import MIN as MPI_MIN
 from ..simmpi.cost import CostModel
 from ..simmpi.engine import SimResult, run
 from ..simmpi.faults import FaultPlan
+from ..simmpi import patterns as mpi_patterns
 from ..simmpi.patterns import batched_request_reply
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (resilience -> core)
@@ -270,6 +271,45 @@ def _rec_from_wire(w: tuple) -> CellRecord:
         key=w[0], count=w[1], mass=w[2], com=w[3], quad=w[4], bmax=w[5],
         is_leaf=w[6], children=tuple(w[7]), positions=w[8], masses=w[9],
     )
+
+
+#: Identity-keyed memo for :func:`_frame_from_wires`.  Entries keep a
+#: strong reference to their wire batches, so a cached id can never be
+#: recycled by a new object; collective semantics bound the number of
+#: wire sets live at once (ranks cannot run more than one step apart),
+#: hence the tiny capacity.
+_FRAME_MEMO: dict[tuple, tuple] = {}
+_FRAME_MEMO_CAP = 4
+
+
+def _frame_from_wires(all_wires: list) -> tuple[dict[int, int], dict[int, CellRecord]]:
+    """Owners map + aggregated frame for one allgathered wire set.
+
+    On a real machine every rank assembles the frame from its own copy
+    of the allgathered branch cells.  In the one-process simulation the
+    engine hands every rank references to the *same* per-owner batch
+    objects, and the frame is a pure function of them — so it is
+    computed once and shared.  Safe because both returned structures
+    are read-only after construction (the traversal only looks cells
+    up), and it turns an O(P) replicated build into O(1) per rank —
+    the difference between minutes and hours at P = 2560.
+    """
+    memo_key = tuple(map(id, all_wires))
+    hit = _FRAME_MEMO.get(memo_key)
+    if hit is not None:
+        return hit[1], hit[2]
+    owners: dict[int, int] = {}
+    branch_records: list[CellRecord] = []
+    for owner_rank, batch in enumerate(all_wires):
+        for w in batch:
+            rec = _rec_from_wire(w)
+            owners[rec.key] = owner_rank
+            branch_records.append(rec)
+    frame = _build_frame(branch_records, owners)
+    _FRAME_MEMO[memo_key] = (list(all_wires), owners, frame)
+    while len(_FRAME_MEMO) > _FRAME_MEMO_CAP:
+        del _FRAME_MEMO[next(iter(_FRAME_MEMO))]
+    return owners, frame
 
 
 def _build_frame(branch_records: list[CellRecord], owners: dict[int, int]) -> dict[int, CellRecord]:
@@ -589,7 +629,7 @@ def _run_traversal(
                     label="prefetch",
                 )
             n_need = sum(len(v) for v in need.values())
-            total = yield comm.allreduce(n_need)
+            total = yield from mpi_patterns.allreduce(comm, n_need)
             if total == 0:
                 break
             reqs: list[list[int]] = [[] for _ in range(size)]
@@ -640,7 +680,7 @@ def _run_traversal(
                     flop_efficiency=config.kernel_efficiency,
                     label="traversal",
                 )
-            blocked = yield comm.allreduce(len(still))
+            blocked = yield from mpi_patterns.allreduce(comm, len(still))
             if blocked == 0:
                 yield from evaluate_many(ready)
                 break
@@ -756,8 +796,8 @@ def _make_program(
             # -- global bounding box by reduction --------------------------
             lo = my_pos.min(axis=0) if n_local else np.full(3, np.inf)
             hi = my_pos.max(axis=0) if n_local else np.full(3, -np.inf)
-            glo = yield comm.allreduce(lo, op=MPI_MIN)
-            ghi = yield comm.allreduce(hi, op=MPI_MAX)
+            glo = yield from mpi_patterns.allreduce(comm, lo, op=MPI_MIN)
+            ghi = yield from mpi_patterns.allreduce(comm, hi, op=MPI_MAX)
             span = float((ghi - glo).max())
             span = span if span > 0 else 1.0
             box = BoundingBox(glo - 1e-6 * span, span * (1.0 + 2e-6))
@@ -775,7 +815,7 @@ def _make_program(
                 sample = keys[np.linspace(0, n_local - 1, k).astype(np.int64)]
             else:
                 sample = np.empty(0, dtype=np.uint64)
-            all_samples = yield comm.allgather(sample)
+            all_samples = yield from mpi_patterns.allgather(comm, sample)
             merged = np.sort(np.concatenate([s for s in all_samples if s.size]))
             if merged.size == 0:
                 raise RuntimeError("no particles anywhere")
@@ -793,7 +833,10 @@ def _make_program(
                  mass[bounds[d]:bounds[d + 1]], ids[bounds[d]:bounds[d + 1]])
                 for d in range(size)
             ]
-            received = yield comm.alltoall(sendbuf)
+            received = yield comm.alltoall(
+                sendbuf,
+                nbytes=keys.nbytes + pos.nbytes + mass.nbytes + ids.nbytes + 40 * size,
+            )
             keys = np.concatenate([r[0] for r in received])
             pos = np.concatenate([r[1] for r in received]) if keys.size else np.empty((0, 3))
             mass = np.concatenate([r[2] for r in received])
@@ -832,16 +875,9 @@ def _make_program(
                            label="tree-build")
 
         wires = [_rec_to_wire(b) for b in branches]
-        all_wires = yield comm.allgather(wires)
-        owners: dict[int, int] = {}
-        branch_records: list[CellRecord] = []
+        all_wires = yield from mpi_patterns.allgather(comm, wires)
         branch_keys_mine: list[int] = [b.key for b in branches]
-        for owner_rank, batch in enumerate(all_wires):
-            for w in batch:
-                rec = _rec_from_wire(w)
-                owners[rec.key] = owner_rank
-                branch_records.append(rec)
-        frame = _build_frame(branch_records, owners)
+        owners, frame = _frame_from_wires(all_wires)
 
         # -- traversal + evaluation ---------------------------------------
         remote_cache = CellCache(config.cache_capacity)
@@ -884,6 +920,8 @@ def parallel_tree_accelerations(
     faults: FaultPlan | None = None,
     resilience: "ResilienceConfig | None" = None,
     observer: "Recorder | None" = None,
+    record_trace: bool = True,
+    trace_sample: float = 1.0,
 ) -> ParallelGravityResult:
     """Run one parallel treecode force calculation on a simulated cluster.
 
@@ -916,6 +954,10 @@ def parallel_tree_accelerations(
     observer:
         A :class:`~repro.obs.Recorder` receiving spans from the engine
         plus aggregated ``treecode.comm.*`` counters.
+    record_trace, trace_sample:
+        Forwarded to the engine (fault-free path only): disable or
+        decimate per-event trace retention so large-``n_ranks`` scaling
+        runs keep their memory bounded.  Physics is unaffected.
 
     Invariants: for a fixed ``n_ranks`` the returned accelerations are
     bit-identical across ``config.comm`` schedules, cache capacities,
@@ -965,7 +1007,8 @@ def parallel_tree_accelerations(
         )
         sim = resilient.sim
     else:
-        sim = run(_make_program(chunks, config), n_ranks, cost, observer=observer)
+        sim = run(_make_program(chunks, config), n_ranks, cost, observer=observer,
+                  record_trace=record_trace, trace_sample=trace_sample)
 
     acc = np.zeros((n, 3))
     pot = np.zeros(n)
@@ -1009,9 +1052,9 @@ def _make_run_program(
         lo = my_pos.min(axis=0) if n_local else np.full(3, np.inf)
         hi = my_pos.max(axis=0) if n_local else np.full(3, -np.inf)
         vmax_l = float(np.linalg.norm(my_vel, axis=1).max()) if n_local else 0.0
-        glo = yield comm.allreduce(lo, op=MPI_MIN)
-        ghi = yield comm.allreduce(hi, op=MPI_MAX)
-        vmax = yield comm.allreduce(vmax_l, op=MPI_MAX)
+        glo = yield from mpi_patterns.allreduce(comm, lo, op=MPI_MIN)
+        ghi = yield from mpi_patterns.allreduce(comm, hi, op=MPI_MAX)
+        vmax = yield from mpi_patterns.allreduce(comm, vmax_l, op=MPI_MAX)
         span = float((ghi - glo).max())
         span = span if span > 0 else 1.0
         pad = 2.0 * vmax * abs(dt) * n_steps + 0.125 * span
@@ -1029,7 +1072,7 @@ def _make_run_program(
             sample = keys[np.linspace(0, n_local - 1, k).astype(np.int64)]
         else:
             sample = np.empty(0, dtype=np.uint64)
-        all_samples = yield comm.allgather(sample)
+        all_samples = yield from mpi_patterns.allgather(comm, sample)
         merged = np.sort(np.concatenate([s for s in all_samples if s.size]))
         if merged.size == 0:
             raise RuntimeError("no particles anywhere")
@@ -1048,7 +1091,11 @@ def _make_run_program(
                 tuple(a[bounds[d]:bounds[d + 1]] for a in (keys, pos, mass, vel, ids))
                 for d in range(size)
             ]
-            received = yield comm.alltoall(sendbuf)
+            received = yield comm.alltoall(
+                sendbuf,
+                nbytes=(keys.nbytes + pos.nbytes + mass.nbytes + vel.nbytes
+                        + ids.nbytes + 48 * size),
+            )
             keys = np.concatenate([r[0] for r in received])
             pos = (np.concatenate([r[1] for r in received])
                    if keys.size else np.empty((0, 3)))
@@ -1086,16 +1133,9 @@ def _make_run_program(
                                label="tree-build")
             wires = [_rec_to_wire(b) for b in branches]
             fps_mine = [(b.key, server.branch_fingerprint(b.key)) for b in branches]
-            all_wires = yield comm.allgather(wires)
-            all_fps = yield comm.allgather(fps_mine)
-            owners: dict[int, int] = {}
-            branch_records: list[CellRecord] = []
-            for owner_rank, batch in enumerate(all_wires):
-                for w in batch:
-                    rec = _rec_from_wire(w)
-                    owners[rec.key] = owner_rank
-                    branch_records.append(rec)
-            frame = _build_frame(branch_records, owners)
+            all_wires = yield from mpi_patterns.allgather(comm, wires)
+            all_fps = yield from mpi_patterns.allgather(comm, fps_mine)
+            owners, frame = _frame_from_wires(all_wires)
             branch_fps = {k: fp for batch in all_fps for (k, fp) in batch}
 
             # -- cache carry-over -----------------------------------------
@@ -1128,11 +1168,11 @@ def _make_run_program(
             # Uses the interaction work just measured, while keys are
             # still the pre-drift ones the work was measured against.
             if rebalance and size > 1:
-                totals = yield comm.allgather(float(work.sum()))
+                totals = yield from mpi_patterns.allgather(comm, float(work.sum()))
                 total = float(sum(totals))
                 before = float(sum(totals[:rank]))
                 props = splitter_candidates(keys, work, before, total, size)
-                all_props = yield comm.allgather(props)
+                all_props = yield from mpi_patterns.allgather(comm, props)
                 splitters = merge_splitter_candidates(splitters, list(all_props))
 
             # -- re-key (fixed box) and migrate to owners -----------------
@@ -1173,6 +1213,8 @@ def parallel_nbody_run(
     observer: "Recorder | None" = None,
     cache_across_steps: bool = True,
     rebalance: bool = True,
+    record_trace: bool = True,
+    trace_sample: float = 1.0,
 ) -> ParallelRunResult:
     """Integrate an N-body system for ``n_steps`` kick–drift steps.
 
@@ -1239,6 +1281,7 @@ def parallel_nbody_run(
     sim = run(
         _make_run_program(chunks, config, n_steps, dt, cache_across_steps, rebalance),
         n_ranks, cost, observer=observer,
+        record_trace=record_trace, trace_sample=trace_sample,
     )
 
     final_pos = np.zeros((n, 3))

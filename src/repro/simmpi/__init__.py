@@ -41,6 +41,7 @@ from .engine import (
     CollectiveMismatchError,
     DeadlockError,
     Engine,
+    EventBudgetError,
     RankStats,
     SimResult,
     run,
@@ -68,6 +69,7 @@ __all__ = [
     "RankStats",
     "DeadlockError",
     "CollectiveMismatchError",
+    "EventBudgetError",
     "FaultEvent",
     "FaultPlan",
     "RankFailedError",

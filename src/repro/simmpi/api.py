@@ -123,7 +123,8 @@ class Request:
     the received payload for irecv.
     """
 
-    __slots__ = ("rank", "kind", "seq", "complete_time", "value", "cancelled", "match")
+    __slots__ = ("rank", "kind", "seq", "complete_time", "value", "cancelled", "match",
+                 "waiters")
 
     def __init__(self, rank: int, kind: str, seq: int):
         self.rank = rank
@@ -136,6 +137,9 @@ class Request:
         #: completes: peer rank, tag, post times — what the wait-state
         #: analyzer needs to reconstruct happens-before edges.
         self.match: dict[str, Any] | None = None
+        #: Engine-internal: waiters registered on this request, woken
+        #: when it completes (cleared on completion).
+        self.waiters: list | None = None
 
     @property
     def is_complete(self) -> bool:
@@ -266,16 +270,22 @@ def Gather(payload: Any, root: int) -> CollectiveOp:
     return CollectiveOp("gather", payload=payload, root=root, nbytes=payload_nbytes(payload))
 
 
-def Allgather(payload: Any) -> CollectiveOp:
-    return CollectiveOp("allgather", payload=payload, nbytes=payload_nbytes(payload))
+def Allgather(payload: Any, nbytes: int | None = None) -> CollectiveOp:
+    return CollectiveOp(
+        "allgather", payload=payload,
+        nbytes=payload_nbytes(payload) if nbytes is None else int(nbytes),
+    )
 
 
 def Scatter(payload: Sequence | None, root: int) -> CollectiveOp:
     return CollectiveOp("scatter", payload=payload, root=root, nbytes=payload_nbytes(payload))
 
 
-def Alltoall(payload: Sequence) -> CollectiveOp:
-    return CollectiveOp("alltoall", payload=payload, nbytes=payload_nbytes(payload))
+def Alltoall(payload: Sequence, nbytes: int | None = None) -> CollectiveOp:
+    return CollectiveOp(
+        "alltoall", payload=payload,
+        nbytes=payload_nbytes(payload) if nbytes is None else int(nbytes),
+    )
 
 
 @dataclass
@@ -302,10 +312,17 @@ class Comm:
             raise ValueError(f"peer rank {peer} out of range for size {self.size}")
 
     # -- point to point -------------------------------------------------
-    def send(self, payload: Any, dest: int, tag: int = 0) -> Send:
-        """Blocking send to rank ``dest``; wire size via :func:`payload_nbytes`."""
+    def send(self, payload: Any, dest: int, tag: int = 0,
+             nbytes: int | None = None) -> Send:
+        """Blocking send to rank ``dest``; wire size via :func:`payload_nbytes`.
+
+        Pass ``nbytes`` to override the estimated wire size — the
+        escape hatch for deeply nested payloads whose recursive size
+        walk would dominate (tree-collective protocol messages carry
+        their running size this way)."""
         self._check_peer(dest)
-        return Send(dest, tag, payload, payload_nbytes(payload))
+        return Send(dest, tag, payload,
+                    payload_nbytes(payload) if nbytes is None else int(nbytes))
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Recv:
         """Blocking receive; yields the matched payload.  ``source``/``tag``
@@ -313,11 +330,14 @@ class Comm:
         self._check_peer(source, wildcard_ok=True)
         return Recv(source, tag)
 
-    def isend(self, payload: Any, dest: int, tag: int = 0) -> Isend:
+    def isend(self, payload: Any, dest: int, tag: int = 0,
+              nbytes: int | None = None) -> Isend:
         """Nonblocking send; yields a :class:`Request` to wait on later.
-        Messages between a (sender, receiver, tag) triple match FIFO."""
+        Messages between a (sender, receiver, tag) triple match FIFO.
+        ``nbytes`` overrides the estimated wire size (see :meth:`send`)."""
         self._check_peer(dest)
-        return Isend(dest, tag, payload, payload_nbytes(payload))
+        return Isend(dest, tag, payload,
+                     payload_nbytes(payload) if nbytes is None else int(nbytes))
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Irecv:
         """Nonblocking receive; yields a :class:`Request` whose ``value``
@@ -381,8 +401,10 @@ class Comm:
         self._check_peer(root)
         return Gather(payload, root)
 
-    def allgather(self, payload: Any) -> CollectiveOp:
-        return Allgather(payload)
+    def allgather(self, payload: Any, nbytes: int | None = None) -> CollectiveOp:
+        """All ranks contribute one payload and every rank receives the
+        list of all of them; ``nbytes`` overrides the wire-size walk."""
+        return Allgather(payload, nbytes)
 
     def scatter(self, payload: Sequence | None, root: int = 0) -> CollectiveOp:
         self._check_peer(root)
@@ -392,7 +414,11 @@ class Comm:
             return Scatter(tuple(payload), root)
         return Scatter(None, root)
 
-    def alltoall(self, payload: Sequence) -> CollectiveOp:
+    def alltoall(self, payload: Sequence, nbytes: int | None = None) -> CollectiveOp:
+        """Personalized exchange: rank ``i`` receives element ``i`` of
+        every rank's list; ``nbytes`` overrides the wire-size walk
+        (worth supplying at high rank counts — the default walk visits
+        all P entries of the list)."""
         if len(payload) != self.size:
             raise ValueError("alltoall requires one item per rank")
-        return Alltoall(tuple(payload))
+        return Alltoall(tuple(payload), nbytes)

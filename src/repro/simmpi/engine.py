@@ -16,6 +16,16 @@ Message semantics follow MPI:
 * collectives match by per-rank call order and must agree in kind
   across the communicator, as the standard requires.
 
+Scale: the engine is built to make 1000+-rank runs routine.  Pending
+point-to-point operations are indexed per destination by ``(source,
+tag)`` so matching a post is O(1) amortized instead of a scan over all
+pending operations; waiters register on the requests they wait for and
+are woken by completion, never polled; collectives rendezvous
+incrementally (arrival count, running straggler max) instead of
+re-deriving group state per arrival; and all per-operation records use
+``__slots__``.  ``trace_sample=`` decimates per-rank span emission so
+observability cost stays bounded at large P (see :class:`Engine`).
+
 Time accounting: each rank carries its own clock; a resumed rank's
 blocked interval is charged to ``blocked_s`` so benches can separate
 compute from communication wait, which is exactly the decomposition the
@@ -35,6 +45,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from functools import reduce as _fold
 from typing import Any, Callable, Generator, Sequence
@@ -44,7 +55,6 @@ from ..obs import NULL, Recorder
 from .api import (
     ANY_SOURCE,
     ANY_TAG,
-    Alltoall,
     CollectiveOp,
     Comm,
     Compute,
@@ -67,6 +77,7 @@ from .trace import TraceEvent, spans_to_trace
 __all__ = [
     "DeadlockError",
     "CollectiveMismatchError",
+    "EventBudgetError",
     "RankFailedError",
     "RankStats",
     "SimResult",
@@ -82,6 +93,15 @@ _CRASH = object()
 #: an ``eager_nbytes`` attribute.
 DEFAULT_EAGER_NBYTES = 64 * 1024
 
+#: Historical flat event cap; the default budget never drops below it
+#: so pre-existing callers keep their headroom.
+DEFAULT_MAX_EVENTS = 50_000_000
+
+#: Default per-rank slice of the event budget.  The effective default
+#: cap is ``max(DEFAULT_MAX_EVENTS, DEFAULT_EVENTS_PER_RANK * size)``:
+#: scale-aware, and never stricter than the old flat 50 M.
+DEFAULT_EVENTS_PER_RANK = 250_000
+
 
 class DeadlockError(RuntimeError):
     """All ranks blocked with no pending events: a genuine deadlock."""
@@ -91,7 +111,21 @@ class CollectiveMismatchError(RuntimeError):
     """Ranks disagreed on the kind of their n-th collective call."""
 
 
-@dataclass
+class EventBudgetError(RuntimeError):
+    """The event budget was exhausted before the simulation finished.
+
+    Carries a ``diagnostic`` dict naming the hottest ranks by resume
+    count and a histogram of what every rank was doing when the budget
+    ran out — the first things to look at when deciding whether the
+    run is a runaway or just bigger than the cap.
+    """
+
+    def __init__(self, message: str, diagnostic: dict[str, Any] | None = None):
+        super().__init__(message)
+        self.diagnostic = diagnostic or {}
+
+
+@dataclass(slots=True)
 class RankStats:
     """Per-rank accounting accumulated during the run."""
 
@@ -110,7 +144,8 @@ class SimResult:
     ``observer`` is the :class:`~repro.obs.Recorder` that captured the
     run's spans and counters (None when tracing was disabled and no
     external observer was supplied); ``trace`` is the legacy per-rank
-    interval view derived from it.
+    interval view derived from it.  ``trace_sample`` records the span
+    decimation the engine ran with (1.0 = every rank traced).
     """
 
     clocks: list[float]
@@ -118,6 +153,7 @@ class SimResult:
     returns: list[Any]
     trace: list[TraceEvent] = field(default_factory=list)
     observer: Recorder | None = None
+    trace_sample: float = 1.0
 
     @property
     def elapsed(self) -> float:
@@ -139,7 +175,7 @@ class SimResult:
         return self.total_compute_s / (len(self.clocks) * self.elapsed)
 
 
-@dataclass
+@dataclass(slots=True)
 class _SendRec:
     src: int
     dst: int
@@ -151,7 +187,7 @@ class _SendRec:
     request: Request
 
 
-@dataclass
+@dataclass(slots=True)
 class _RecvRec:
     dst: int
     source: int
@@ -161,15 +197,44 @@ class _RecvRec:
     request: Request
 
 
-@dataclass
 class _Waiter:
-    rank: int
-    requests: tuple[Request, ...]
-    t_posted: float
-    single: bool
+    """One blocked wait/waitall (or blocking send/recv) with a live
+    count of incomplete requests; woken by request completion."""
+
+    __slots__ = ("rank", "requests", "t_posted", "single", "seq", "n_pending")
+
+    def __init__(self, rank: int, requests: tuple[Request, ...], t_posted: float,
+                 single: bool, seq: int):
+        self.rank = rank
+        self.requests = requests
+        self.t_posted = t_posted
+        self.single = single
+        self.seq = seq
+        self.n_pending = 0
 
 
-@dataclass
+class _Rendezvous:
+    """Incremental per-call-index collective matching state.
+
+    Arrivals fold into a count, a running ``(t_last, last_rank)``
+    straggler max, and a running payload-size max, so finishing the
+    collective is O(1) bookkeeping per arrival instead of a group-wide
+    re-derivation — the piece that used to go O(P²)-ish at high rank
+    counts with many in-flight collectives.
+    """
+
+    __slots__ = ("kind", "ops", "count", "t_last", "last_rank", "nbytes")
+
+    def __init__(self, size: int):
+        self.kind: str | None = None
+        self.ops: list[CollectiveOp | None] = [None] * size
+        self.count = 0
+        self.t_last = float("-inf")
+        self.last_rank = -1
+        self.nbytes = 0
+
+
+@dataclass(slots=True)
 class _RankState:
     gen: Generator
     clock: float = 0.0
@@ -183,7 +248,13 @@ class _RankState:
 
 
 class Engine:
-    """Runs a set of rank programs to completion under a cost model."""
+    """Runs a set of rank programs to completion under a cost model.
+
+    ``trace_sample`` decimates per-rank span emission: at 0.25 only
+    every 4th rank (0, 4, 8, ...) emits compute/blocked spans, cutting
+    observer memory at large P while counters and virtual-time
+    accounting stay exact.  1.0 (the default) traces every rank.
+    """
 
     def __init__(
         self,
@@ -192,9 +263,12 @@ class Engine:
         record_trace: bool = True,
         faults: FaultPlan | None = None,
         observer: Recorder | None = None,
+        trace_sample: float = 1.0,
     ):
         if not programs:
             raise ValueError("at least one rank program is required")
+        if not 0.0 < trace_sample <= 1.0:
+            raise ValueError(f"trace_sample must be in (0, 1], got {trace_sample}")
         self.cost = cost if cost is not None else ZeroCost()
         self.record_trace = record_trace
         self.faults = faults
@@ -212,13 +286,33 @@ class Engine:
         self.trace: list[TraceEvent] = []
         self.eager_nbytes = getattr(self.cost, "eager_nbytes", DEFAULT_EAGER_NBYTES)
         self.size = len(programs)
+        self.trace_sample = trace_sample
+        stride = 1 if trace_sample >= 1.0 else max(1, round(1.0 / trace_sample))
+        self._trace_stride = stride
+        observing = bool(getattr(self.observer, "enabled", True))
+        self._traced = [observing and (i % stride == 0) for i in range(self.size)]
         self._seq = itertools.count()
         self._events: list[tuple[float, int, int, Any]] = []  # (time, seq, rank, value)
         self._ranks: list[_RankState] = []
-        self._pending_sends: dict[int, list[_SendRec]] = {i: [] for i in range(self.size)}
-        self._pending_recvs: dict[int, list[_RecvRec]] = {i: [] for i in range(self.size)}
-        self._waiters: list[_Waiter] = []
-        self._collectives: dict[int, dict[int, tuple[CollectiveOp, float]]] = {}
+        # Pending p2p indexes, keyed by destination rank:
+        #   sends[dst]: src -> tag -> FIFO of _SendRec
+        #   recvs[dst]: (source, tag) incl. wildcards -> FIFO of _RecvRec
+        # Each deque is FIFO in post (seq) order, so matching inspects
+        # at most a handful of heads instead of scanning every pending
+        # operation — the difference between O(1) and O(P) per post
+        # during a request storm.
+        self._sends: list[dict[int, dict[int, deque[_SendRec]]]] = [
+            {} for _ in range(self.size)
+        ]
+        self._recvs: list[dict[tuple[int, int], deque[_RecvRec]]] = [
+            {} for _ in range(self.size)
+        ]
+        #: Waiters whose last pending request just completed; flushed
+        #: (fired in creation order) before control returns to the loop.
+        self._ready: list[_Waiter] = []
+        self._waiter_seq = itertools.count()
+        self._collectives: dict[int, _Rendezvous] = {}
+        self._resume_counts = [0] * self.size
         self.comms = [Comm(rank=i, size=self.size) for i in range(self.size)]
         for i, prog in enumerate(programs):
             gen = prog(self.comms[i])
@@ -239,7 +333,7 @@ class Engine:
             raise RuntimeError(f"resume of finished rank {rank}")
         if state.blocked_since is not None:
             state.stats.blocked_s += max(time - state.blocked_since, 0.0)
-            if time > state.blocked_since:
+            if time > state.blocked_since and self._traced[rank]:
                 why = state.blocked_on
                 self.observer.add_span(
                     why or "blocked",
@@ -265,7 +359,9 @@ class Engine:
         state = self._ranks[rank]
         state.blocked_since = state.clock
         state.blocked_on = why
-        state.blocked_args = dict(args) if args else {}
+        # Classification metadata feeds the blocked span; untraced
+        # ranks never emit one, so skip building the dict for them.
+        state.blocked_args = (dict(args) if args else {}) if self._traced[rank] else None
 
     # -- operation dispatch ----------------------------------------------
     def _dispatch(self, rank: int, op: Op) -> None:
@@ -276,7 +372,7 @@ class Engine:
             if self.faults is not None:
                 dt *= self.faults.compute_factor(rank, t)
             state.stats.compute_s += dt
-            if dt > 0:
+            if dt > 0 and self._traced[rank]:
                 self.observer.add_span(
                     op.label or "compute", t, t + dt, track=rank, cat="compute"
                 )
@@ -286,7 +382,7 @@ class Engine:
                 self._throw(rank, ValueError("cannot elapse negative time"))
                 return
             state.stats.compute_s += op.seconds
-            if op.seconds > 0:
+            if op.seconds > 0 and self._traced[rank]:
                 self.observer.add_span(
                     op.label or "elapse", t, t + op.seconds, track=rank, cat="compute"
                 )
@@ -324,20 +420,30 @@ class Engine:
     def _post_send(self, rank: int, op: Send | Isend, t: float) -> None:
         req = Request(rank, "send", next(self._seq))
         rec = _SendRec(rank, op.dest, op.tag, op.payload, op.nbytes, t, req.seq, req)
-        self._ranks[rank].stats.bytes_sent += op.nbytes
-        self._ranks[rank].stats.msgs_sent += 1
+        stats = self._ranks[rank].stats
+        stats.bytes_sent += op.nbytes
+        stats.msgs_sent += 1
         self.observer.count("simmpi.bytes_sent", op.nbytes)
         self.observer.count("simmpi.msgs_sent")
-        eager = op.nbytes <= self.eager_nbytes
-        if eager:
+        if op.nbytes <= self.eager_nbytes:
             # Buffered: sender's obligation ends after the injection
             # overhead, match or no match.
             inject = self.cost.p2p_time(rank, op.dest, 0)
             if self.faults is not None:
                 inject *= self.faults.link_factor(rank, op.dest, t)
             req.complete_time = t + inject
-        self._pending_sends[op.dest].append(rec)
-        self._try_match(op.dest)
+        recv = self._match_new_send(rec)
+        if recv is not None:
+            self._complete_transfer(rec, recv)
+        else:
+            by_tag = self._sends[op.dest].setdefault(rank, {})
+            dq = by_tag.get(op.tag)
+            if dq is None:
+                by_tag[op.tag] = deque((rec,))
+            else:
+                dq.append(rec)
+        if self._ready:
+            self._flush_ready()
         if isinstance(op, Isend):
             self._schedule(t, rank, req)
         elif req.is_complete:
@@ -348,14 +454,25 @@ class Engine:
                 f"send to {op.dest} tag {op.tag}",
                 {"wait": "send", "peer": op.dest, "tag": op.tag, "seq": req.seq},
             )
-            self._waiters.append(_Waiter(rank, (req,), t, single=True))
-            self._check_waiters()
+            self._register_waiter(
+                _Waiter(rank, (req,), t, True, next(self._waiter_seq)), (req,)
+            )
 
     def _post_recv(self, rank: int, op: Recv | Irecv, t: float) -> None:
         req = Request(rank, "recv", next(self._seq))
         rec = _RecvRec(rank, op.source, op.tag, t, req.seq, req)
-        self._pending_recvs[rank].append(rec)
-        self._try_match(rank)
+        send = self._match_new_recv(rec)
+        if send is not None:
+            self._complete_transfer(send, rec)
+        else:
+            key = (op.source, op.tag)
+            dq = self._recvs[rank].get(key)
+            if dq is None:
+                self._recvs[rank][key] = deque((rec,))
+            else:
+                dq.append(rec)
+        if self._ready:
+            self._flush_ready()
         if isinstance(op, Irecv):
             self._schedule(t, rank, req)
         elif req.is_complete:
@@ -366,36 +483,88 @@ class Engine:
                 f"recv from {op.source} tag {op.tag}",
                 {"wait": "recv", "peer": op.source, "tag": op.tag, "seq": req.seq},
             )
-            self._waiters.append(_Waiter(rank, (req,), t, single=True))
-            self._check_waiters()
+            self._register_waiter(
+                _Waiter(rank, (req,), t, True, next(self._waiter_seq)), (req,)
+            )
 
-    @staticmethod
-    def _matches(send: _SendRec, recv: _RecvRec) -> bool:
-        if recv.source != ANY_SOURCE and recv.source != send.src:
-            return False
-        if recv.tag != ANY_TAG and recv.tag != send.tag:
-            return False
-        return True
+    def _match_new_send(self, send: _SendRec) -> _RecvRec | None:
+        """Earliest-posted pending recv at ``send.dst`` matching ``send``.
 
-    def _try_match(self, dst: int) -> None:
-        """Match pending recvs at ``dst`` against pending sends, FIFO."""
-        recvs = self._pending_recvs[dst]
-        sends = self._pending_sends[dst]
-        matched_any = True
-        while matched_any:
-            matched_any = False
-            for r_idx, recv in enumerate(recvs):
-                for s_idx, send in enumerate(sends):
-                    if self._matches(send, recv):
-                        recvs.pop(r_idx)
-                        sends.pop(s_idx)
-                        self._complete_transfer(send, recv)
-                        matched_any = True
-                        break
-                if matched_any:
-                    break
-        if matched_any or True:
-            self._check_waiters()
+        Deques are FIFO in post order, so only the four candidate key
+        heads — (src, tag), (src, ANY), (ANY, tag), (ANY, ANY) — need
+        comparing; the winner is popped and returned.
+        """
+        recvs = self._recvs[send.dst]
+        if not recvs:
+            return None
+        best_key: tuple[int, int] | None = None
+        best_seq = -1
+        for key in (
+            (send.src, send.tag),
+            (send.src, ANY_TAG),
+            (ANY_SOURCE, send.tag),
+            (ANY_SOURCE, ANY_TAG),
+        ):
+            dq = recvs.get(key)
+            if dq and (best_key is None or dq[0].seq < best_seq):
+                best_key = key
+                best_seq = dq[0].seq
+        if best_key is None:
+            return None
+        dq = recvs[best_key]
+        rec = dq.popleft()
+        if not dq:
+            del recvs[best_key]
+        return rec
+
+    def _match_new_recv(self, recv: _RecvRec) -> _SendRec | None:
+        """Earliest-posted pending send matching ``recv`` (at its rank).
+
+        Specific (source, tag) looks at one deque head; each wildcard
+        widens the scan to the matching heads only — non-overtaking
+        FIFO order within a (src, dst, tag) channel is free because the
+        deques are FIFO.
+        """
+        sends = self._sends[recv.dst]
+        if not sends:
+            return None
+        best: _SendRec | None = None
+        if recv.source != ANY_SOURCE:
+            by_tag = sends.get(recv.source)
+            if not by_tag:
+                return None
+            if recv.tag != ANY_TAG:
+                dq = by_tag.get(recv.tag)
+                if dq:
+                    best = dq[0]
+            else:
+                for dq in by_tag.values():
+                    head = dq[0]
+                    if best is None or head.seq < best.seq:
+                        best = head
+        elif recv.tag != ANY_TAG:
+            for by_tag in sends.values():
+                dq = by_tag.get(recv.tag)
+                if dq:
+                    head = dq[0]
+                    if best is None or head.seq < best.seq:
+                        best = head
+        else:
+            for by_tag in sends.values():
+                for dq in by_tag.values():
+                    head = dq[0]
+                    if best is None or head.seq < best.seq:
+                        best = head
+        if best is None:
+            return None
+        by_tag = sends[best.src]
+        dq = by_tag[best.tag]
+        dq.popleft()
+        if not dq:
+            del by_tag[best.tag]
+            if not by_tag:
+                del sends[best.src]
+        return best
 
     def _complete_transfer(self, send: _SendRec, recv: _RecvRec) -> None:
         start = max(send.t_posted, recv.t_posted)
@@ -424,21 +593,48 @@ class Engine:
         stats.msgs_received += 1
         self.observer.count("simmpi.bytes_received", send.nbytes)
         self.observer.count("simmpi.msgs_received")
+        self._notify_completion(recv.request)
         if not send.request.is_complete:
             # Rendezvous: sender is released when the transfer lands.
             send.request.complete_time = t_done
+            self._notify_completion(send.request)
 
     def _probe(self, rank: int, op: Probe) -> tuple[int, int, int] | None:
-        candidates = [
-            s
-            for s in self._pending_sends[rank]
-            if (op.source == ANY_SOURCE or op.source == s.src)
-            and (op.tag == ANY_TAG or op.tag == s.tag)
-        ]
-        if not candidates:
+        sends = self._sends[rank]
+        if not sends:
             return None
-        first = min(candidates, key=lambda s: (s.t_posted, s.seq))
-        return (first.src, first.tag, first.nbytes)
+        best: _SendRec | None = None
+        if op.source != ANY_SOURCE:
+            by_tag = sends.get(op.source)
+            if not by_tag:
+                return None
+            if op.tag != ANY_TAG:
+                dq = by_tag.get(op.tag)
+                if dq:
+                    best = dq[0]
+            else:
+                for dq in by_tag.values():
+                    head = dq[0]
+                    if best is None or head.seq < best.seq:
+                        best = head
+        else:
+            for by_tag in sends.values():
+                if op.tag != ANY_TAG:
+                    dq = by_tag.get(op.tag)
+                    if not dq:
+                        continue
+                    head = dq[0]
+                else:
+                    head = None
+                    for dq in by_tag.values():
+                        h = dq[0]
+                        if head is None or h.seq < head.seq:
+                            head = h
+                if head is not None and (best is None or head.seq < best.seq):
+                    best = head
+        if best is None:
+            return None
+        return (best.src, best.tag, best.nbytes)
 
     # -- waiting ----------------------------------------------------------
     def _post_wait(self, rank: int, requests: tuple[Request, ...], t: float, single: bool) -> None:
@@ -446,38 +642,64 @@ class Engine:
             if not isinstance(req, Request):
                 self._throw(rank, TypeError(f"wait on non-request {req!r}"))
                 return
-        waiter = _Waiter(rank, requests, t, single)
-        self._waiters.append(waiter)
-        if not self._fire_waiter_if_ready(waiter):
-            self._block(
-                rank,
-                f"wait on {len(requests)} request(s)",
-                {"wait": "wait", "n_reqs": len(requests)},
-            )
+        waiter = _Waiter(rank, requests, t, single, next(self._waiter_seq))
+        pending = tuple(r for r in requests if not r.is_complete)
+        if not pending:
+            self._fire_waiter(waiter)
+            return
+        self._block(
+            rank,
+            f"wait on {len(requests)} request(s)",
+            {"wait": "wait", "n_reqs": len(requests)},
+        )
+        self._register_waiter(waiter, pending)
 
-    def _fire_waiter_if_ready(self, waiter: _Waiter) -> bool:
-        if any(not r.is_complete for r in waiter.requests):
-            return False
-        t_done = max([waiter.t_posted] + [r.complete_time for r in waiter.requests])
+    def _register_waiter(self, waiter: _Waiter, pending: tuple[Request, ...]) -> None:
+        waiter.n_pending = len(pending)
+        for req in pending:
+            if req.waiters is None:
+                req.waiters = [waiter]
+            else:
+                req.waiters.append(waiter)
+
+    def _notify_completion(self, req: Request) -> None:
+        waiters = req.waiters
+        if waiters:
+            req.waiters = None
+            for w in waiters:
+                w.n_pending -= 1
+                if w.n_pending == 0:
+                    self._ready.append(w)
+
+    def _flush_ready(self) -> None:
+        """Fire every waiter whose requests all completed, in waiter
+        creation order — the same order the old full-list scan fired
+        them, so traces and event sequencing are unchanged."""
+        ready = self._ready
+        if len(ready) > 1:
+            ready.sort(key=lambda w: w.seq)
+        for waiter in ready:
+            self._fire_waiter(waiter)
+        ready.clear()
+
+    def _fire_waiter(self, waiter: _Waiter) -> None:
+        requests = waiter.requests
+        t_done = waiter.t_posted
+        for r in requests:
+            if r.complete_time > t_done:
+                t_done = r.complete_time
         state = self._ranks[waiter.rank]
         if state.blocked_since is not None and state.blocked_args is not None:
             # The binding request — the one completing last — decides
             # how the blocked span is classified downstream.
-            binding = max(waiter.requests, key=lambda r: (r.complete_time, r.seq))
+            binding = max(requests, key=lambda r: (r.complete_time, r.seq))
             if binding.match is not None:
                 state.blocked_args.update(binding.match)
         if waiter.single:
-            value = waiter.requests[0].value
+            value = requests[0].value
         else:
-            value = [r.value for r in waiter.requests]
-        self._waiters.remove(waiter)
+            value = [r.value for r in requests]
         self._schedule(t_done, waiter.rank, value)
-        return True
-
-    def _check_waiters(self) -> None:
-        for waiter in list(self._waiters):
-            if waiter in self._waiters:
-                self._fire_waiter_if_ready(waiter)
 
     # -- collectives -------------------------------------------------------
     def _post_collective(self, rank: int, op: CollectiveOp, t: float) -> None:
@@ -488,45 +710,51 @@ class Engine:
         self.observer.count("simmpi.collective_calls")
         idx = state.coll_count
         state.coll_count += 1
-        group = self._collectives.setdefault(idx, {})
-        group[rank] = (op, t)
+        rv = self._collectives.get(idx)
+        if rv is None:
+            rv = self._collectives[idx] = _Rendezvous(self.size)
+        if rv.kind is None:
+            rv.kind = op.kind
+        elif op.kind != rv.kind:
+            raise CollectiveMismatchError(
+                f"collective #{idx}: ranks disagree on operation kind: "
+                f"{sorted({rv.kind, op.kind})}"
+            )
+        rv.ops[rank] = op
+        rv.count += 1
+        if t > rv.t_last or (t == rv.t_last and rank > rv.last_rank):
+            rv.t_last = t
+            rv.last_rank = rank
+        if op.nbytes > rv.nbytes:
+            rv.nbytes = op.nbytes
         self._block(
             rank,
             f"collective #{idx} ({op.kind})",
             {"wait": "collective", "coll": idx, "kind": op.kind, "t_arrive": t},
         )
-        if len(group) == self.size:
-            self._finish_collective(idx, group)
+        if rv.count == self.size:
+            self._finish_collective(idx, rv)
 
-    def _finish_collective(self, idx: int, group: dict[int, tuple[CollectiveOp, float]]) -> None:
-        kinds = {op.kind for op, _ in group.values()}
-        if len(kinds) != 1:
-            raise CollectiveMismatchError(
-                f"collective #{idx}: ranks disagree on operation kind: {sorted(kinds)}"
-            )
-        kind = kinds.pop()
-        arrivals = [t for _, t in group.values()]
-        nbytes = max(op.nbytes for op, _ in group.values())
-        t_last = max(arrivals)
-        last_rank = max(group, key=lambda r: (group[r][1], r))
-        t_op = self.cost.collective_time(kind, self.size, nbytes)
+    def _finish_collective(self, idx: int, rv: _Rendezvous) -> None:
+        kind = rv.kind
+        t_last = rv.t_last
+        last_rank = rv.last_rank
+        t_op = self.cost.collective_time(kind, self.size, rv.nbytes)
         t_done = t_last + t_op
         # Stamp the synchronization structure onto every member's
         # pending blocked span: who arrived last, and how much of the
         # wait is the operation itself vs. waiting for stragglers.
-        for rank in group:
-            st = self._ranks[rank]
+        for st in self._ranks:
             if st.blocked_since is not None and st.blocked_args is not None:
                 st.blocked_args.update(
                     {"t_last": t_last, "last_rank": last_rank, "t_op": t_op}
                 )
-        values = self._collective_values(kind, group)
+        values = self._collective_values(kind, rv.ops)
         del self._collectives[idx]
         for rank in range(self.size):
             self._schedule(t_done, rank, values[rank])
 
-    def _collective_values(self, kind: str, group: dict[int, tuple[CollectiveOp, float]]) -> list[Any]:
-        ops = {rank: op for rank, (op, _) in group.items()}
+    def _collective_values(self, kind: str, ops: list[CollectiveOp]) -> list[Any]:
         size = self.size
         if kind == "barrier":
             return [None] * size
@@ -535,14 +763,14 @@ class Engine:
             payload = ops[root].payload
             return [payload] * size
         if kind in ("reduce", "allreduce"):
-            payloads = [ops[r].payload for r in range(size)]
+            payloads = [op.payload for op in ops]
             folded = _fold(ops[0].op, payloads)
             if kind == "allreduce":
                 return [folded] * size
             root = ops[0].root
             return [folded if r == root else None for r in range(size)]
         if kind in ("gather", "allgather"):
-            everything = [ops[r].payload for r in range(size)]
+            everything = [op.payload for op in ops]
             if kind == "allgather":
                 return [list(everything) for _ in range(size)]
             root = ops[0].root
@@ -555,8 +783,77 @@ class Engine:
             return [[ops[src].payload[dst] for src in range(size)] for dst in range(size)]
         raise ValueError(f"unknown collective kind {kind!r}")
 
+    # -- event budget diagnostics ------------------------------------------
+    def _resolve_event_budget(
+        self, max_events: int | None, max_events_per_rank: int | None
+    ) -> int:
+        if max_events_per_rank is not None:
+            return max_events_per_rank * self.size
+        if max_events is not None:
+            return max_events
+        return max(DEFAULT_MAX_EVENTS, DEFAULT_EVENTS_PER_RANK * self.size)
+
+    def _event_budget_error(self, cap: int) -> EventBudgetError:
+        counts = self._resume_counts
+        hottest = sorted(range(self.size), key=lambda r: (-counts[r], r))[:5]
+        states: dict[str, int] = {}
+        for st in self._ranks:
+            if st.done:
+                key = "finished"
+            elif st.blocked_since is None:
+                key = "running"
+            else:
+                # 'send', 'recv', 'wait', 'collective' — the leading
+                # word of the blocked_on description.
+                key = st.blocked_on.split(" ", 1)[0] or "blocked"
+            states[key] = states.get(key, 0) + 1
+        diagnostic = {
+            "cap": cap,
+            "size": self.size,
+            "per_rank_budget": cap / self.size,
+            "hottest_ranks": [(r, counts[r]) for r in hottest],
+            "rank_states": states,
+            "pending_sends": sum(
+                len(dq) for sq in self._sends for by_tag in sq.values()
+                for dq in by_tag.values()
+            ),
+            "pending_recvs": sum(
+                len(dq) for rq in self._recvs for dq in rq.values()
+            ),
+            "collectives_in_flight": len(self._collectives),
+        }
+        hot = ", ".join(f"rank {r}: {n} resumes" for r, n in diagnostic["hottest_ranks"])
+        hist = ", ".join(f"{k}={v}" for k, v in sorted(states.items()))
+        msg = (
+            f"event budget exhausted: {cap} events across {self.size} rank(s) "
+            f"(~{cap / self.size:.0f}/rank). Hottest ranks: {hot}. "
+            f"Rank states: {hist}. Pending ops: "
+            f"{diagnostic['pending_sends']} send(s), "
+            f"{diagnostic['pending_recvs']} recv(s), "
+            f"{diagnostic['collectives_in_flight']} collective(s) in flight. "
+            "Runaway simulation? If the workload is genuinely this large, "
+            "raise max_events or max_events_per_rank."
+        )
+        return EventBudgetError(msg, diagnostic)
+
     # -- main loop ----------------------------------------------------------
-    def run(self, max_events: int = 50_000_000) -> SimResult:
+    def run(
+        self,
+        max_events: int | None = None,
+        *,
+        max_events_per_rank: int | None = None,
+    ) -> SimResult:
+        """Run to completion; returns the :class:`SimResult`.
+
+        The event budget is scale-aware: by default it is
+        ``max(50_000_000, 250_000 * n_ranks)`` so big simulations get
+        budget proportional to their size.  An explicit ``max_events``
+        sets the total cap directly; ``max_events_per_rank`` wins over
+        both and caps at ``max_events_per_rank * n_ranks``.  Exhausting
+        the budget raises :class:`EventBudgetError` with per-rank
+        diagnostics instead of an opaque failure.
+        """
+        cap = self._resolve_event_budget(max_events, max_events_per_rank)
         if self.faults is not None:
             # Armed before the t=0 resumes so a crash sorts ahead of any
             # rank activity at the same virtual time.
@@ -565,35 +862,41 @@ class Engine:
         for rank in range(self.size):
             self._schedule(0.0, rank)
         processed = 0
-        while self._events:
-            time, _, rank, value = heapq.heappop(self._events)
+        events = self._events
+        ranks = self._ranks
+        counts = self._resume_counts
+        pop = heapq.heappop
+        while events:
+            time, _, rank, value = pop(events)
             if value is _CRASH:
-                if self._ranks[rank].done:
+                if ranks[rank].done:
                     continue  # node died after its rank finished: job survives
                 self.observer.add_span("node crash", time, time, track=rank, cat="failed")
                 if self.record_trace:
                     self.trace.append(TraceEvent(rank, time, time, "failed", "node crash"))
                 raise RankFailedError(rank, time)
-            if self._ranks[rank].done:
+            if ranks[rank].done:
                 continue
             self._resume(rank, time, value)
+            counts[rank] += 1
             processed += 1
-            if processed > max_events:
-                raise RuntimeError(f"exceeded {max_events} events; runaway simulation?")
-        unfinished = [i for i, s in enumerate(self._ranks) if not s.done]
+            if processed > cap:
+                raise self._event_budget_error(cap)
+        unfinished = [i for i, s in enumerate(ranks) if not s.done]
         if unfinished:
             detail = ", ".join(
-                f"rank {i}: {self._ranks[i].blocked_on or 'never blocked'}" for i in unfinished
+                f"rank {i}: {ranks[i].blocked_on or 'never blocked'}" for i in unfinished
             )
             raise DeadlockError(f"simulation deadlocked with {len(unfinished)} rank(s) blocked ({detail})")
         if self.record_trace:
             self.trace = spans_to_trace(list(self.observer.spans))
         return SimResult(
-            clocks=[s.clock for s in self._ranks],
-            stats=[s.stats for s in self._ranks],
-            returns=[s.return_value for s in self._ranks],
+            clocks=[s.clock for s in ranks],
+            stats=[s.stats for s in ranks],
+            returns=[s.return_value for s in ranks],
             trace=self.trace,
             observer=self.observer if self.observer is not NULL else None,
+            trace_sample=self.trace_sample,
         )
 
 
@@ -601,9 +904,12 @@ def run(
     program: Callable[[Comm], Generator] | Sequence[Callable[[Comm], Generator]],
     n_ranks: int | None = None,
     cost: CostModel | None = None,
-    max_events: int = 50_000_000,
+    max_events: int | None = None,
     faults: FaultPlan | None = None,
     observer: Recorder | None = None,
+    record_trace: bool = True,
+    trace_sample: float = 1.0,
+    max_events_per_rank: int | None = None,
 ) -> SimResult:
     """Convenience front door: run one program SPMD-style or a list MPMD-style.
 
@@ -613,6 +919,9 @@ def run(
     and may raise :class:`~repro.simmpi.faults.RankFailedError`.
     With ``observer``, the engine records its spans and counters into
     the given :class:`~repro.obs.Recorder` instead of a private one.
+    ``trace_sample`` decimates span emission (see :class:`Engine`) and
+    ``max_events`` / ``max_events_per_rank`` size the event budget (see
+    :meth:`Engine.run`).
     """
     if callable(program):
         if n_ranks is None or n_ranks <= 0:
@@ -622,4 +931,7 @@ def run(
         programs = list(program)
         if n_ranks is not None and n_ranks != len(programs):
             raise ValueError("n_ranks disagrees with the number of programs")
-    return Engine(programs, cost, faults=faults, observer=observer).run(max_events=max_events)
+    return Engine(
+        programs, cost, record_trace=record_trace, faults=faults,
+        observer=observer, trace_sample=trace_sample,
+    ).run(max_events=max_events, max_events_per_rank=max_events_per_rank)

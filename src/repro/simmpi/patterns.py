@@ -9,18 +9,38 @@ is in the right neighborhood of an explicit algorithm, and executable
 documentation of the classic algorithms (binomial-tree broadcast,
 ring allgather, pairwise-exchange alltoall).
 
+Two families coexist here:
+
+* the classic teaching patterns (``ring_allgather``, ``binomial_bcast``,
+  ``pairwise_alltoall``) with O(P) round structure, and
+* the scalable **tree collectives** (``tree_gather``/``tree_reduce``/
+  ``tree_allreduce``/``tree_bcast``/``tree_allgather``/``tree_scatter``/
+  ``tree_barrier``) with O(log P) depth, built for the 1000+-rank runs.
+  Their results are bit-identical to the engine's flat collectives —
+  reductions gather payloads up a binomial tree and fold **in rank
+  order at the root**, exactly like the flat left-fold, so floating-
+  point non-associativity can never make the two disagree.
+
+The ``allreduce``/``reduce``/``bcast``/``gather``/``allgather``/
+``scatter``/``barrier`` wrappers select between the engine primitive
+and the tree algorithm automatically by group size (flat at or below
+:data:`FLAT_COLLECTIVE_MAX` ranks, tree above), so rank programs write
+one call and get the scalable algorithm only where it pays.
+
 All are generator functions to be delegated with ``yield from`` inside
 a rank program::
 
     data = yield from patterns.sendrecv(comm, my_block, dest, source)
     everything = yield from patterns.ring_allgather(comm, my_block)
+    total = yield from patterns.allreduce(comm, my_part)  # auto flat/tree
 """
 
 from __future__ import annotations
 
+from functools import reduce as _fold
 from typing import Any, Callable, Generator
 
-from .api import ANY_SOURCE, Comm
+from .api import ANY_SOURCE, SUM, Comm, payload_nbytes
 
 __all__ = [
     "sendrecv",
@@ -29,7 +49,28 @@ __all__ = [
     "binomial_bcast",
     "pairwise_alltoall",
     "batched_request_reply",
+    "tree_gather",
+    "tree_reduce",
+    "tree_bcast",
+    "tree_allreduce",
+    "tree_allgather",
+    "tree_scatter",
+    "tree_barrier",
+    "allreduce",
+    "reduce",
+    "bcast",
+    "gather",
+    "allgather",
+    "scatter",
+    "barrier",
+    "FLAT_COLLECTIVE_MAX",
 ]
+
+#: Group size at or below which the auto-selecting collective wrappers
+#: use the engine's flat primitive; above it they switch to the tree
+#: algorithms.  Small groups keep the analytically-costed primitive
+#: (and its existing golden traces); large groups get O(log P) depth.
+FLAT_COLLECTIVE_MAX = 32
 
 #: Default tags of the :func:`batched_request_reply` message streams.
 #: Requests and replies between the same pair of ranks are in flight
@@ -100,6 +141,7 @@ def batched_request_reply(
     serve: Callable[[int, Any], Any],
     overlap: Generator | None = None,
     tag: int = REQUEST_TAG,
+    sparse: bool | None = None,
 ) -> Generator:
     """One nonblocking round of batched request/reply with overlap.
 
@@ -114,9 +156,10 @@ def batched_request_reply(
     ----------
     requests_by_peer:
         Length-``comm.size`` list; entry ``p`` is the request batch for
-        rank ``p`` (ignored at index ``comm.rank``).  Empty batches are
-        sent anyway so the exchange stays symmetric and deterministic —
-        every rank posts exactly the same pattern of operations.
+        rank ``p`` (ignored at index ``comm.rank``).  In the dense
+        exchange, empty batches are sent anyway so the pattern stays
+        symmetric and deterministic — every rank posts exactly the same
+        operations.  In the sparse exchange only truthy batches travel.
     serve:
         ``serve(peer, batch) -> reply`` called once per peer after that
         peer's request batch arrives.  It must not communicate.
@@ -126,12 +169,24 @@ def batched_request_reply(
         charges fill the time the requests spend on the wire.
     tag:
         Base tag; requests use ``tag`` and replies ``tag + 1``.
+    sparse:
+        ``False`` runs the classic dense round: every rank exchanges
+        with every peer, empty batches included — O(P²) messages, fine
+        at the paper's machine size, and the behavior all existing
+        traces were recorded against.  ``True`` first agrees on the
+        active pairs with one alltoall of flags, then posts messages
+        only where a batch actually travels — O(active pairs), the
+        difference between minutes and hours of simulation at P = 2560
+        when most batches are empty.  ``None`` (default) selects by
+        group size: dense at or below :data:`FLAT_COLLECTIVE_MAX`
+        ranks (preserving the existing goldens), sparse above.
 
     Returns
     -------
     (replies, overlap_result):
         ``replies`` is a length-``comm.size`` list with peer ``p``'s
-        reply at index ``p`` (``None`` at ``comm.rank``);
+        reply at index ``p`` (``None`` at ``comm.rank``, and in the
+        sparse exchange also at peers we sent no batch to);
         ``overlap_result`` is the ``overlap`` generator's return value
         (``None`` when no generator was given).
 
@@ -143,20 +198,32 @@ def batched_request_reply(
     if len(requests_by_peer) != size:
         raise ValueError("one request batch per peer rank required")
     peers = [p for p in range(size) if p != rank]
+    if sparse is None:
+        sparse = size > FLAT_COLLECTIVE_MAX
+    if sparse:
+        # One flag per destination; after the alltoall every rank knows
+        # exactly which peers will send it a request batch, so both
+        # message directions have a fixed, deterministic schedule.
+        flags = [1 if p != rank and requests_by_peer[p] else 0 for p in range(size)]
+        incoming = yield comm.alltoall(flags)
+        senders = [p for p in peers if incoming[p]]
+        targets = [p for p in peers if flags[p]]
+    else:
+        senders = targets = peers
 
     # Post all receives first (requests and replies), then launch the
     # request batches: from this point every message of the round is in
     # flight and the overlap work runs concurrently with the network.
     req_in = []
-    for p in peers:
+    for p in senders:
         r = yield comm.irecv(source=p, tag=tag)
         req_in.append(r)
     rep_in = []
-    for p in peers:
+    for p in targets:
         r = yield comm.irecv(source=p, tag=tag + 1)
         rep_in.append(r)
     out = []
-    for p in peers:
+    for p in targets:
         r = yield comm.isend(requests_by_peer[p], dest=p, tag=tag)
         out.append(r)
 
@@ -165,13 +232,13 @@ def batched_request_reply(
         overlap_result = yield from overlap
 
     batches = yield comm.waitall(req_in)
-    for p, batch in zip(peers, batches):
+    for p, batch in zip(senders, batches):
         r = yield comm.isend(serve(p, batch), dest=p, tag=tag + 1)
         out.append(r)
 
     replies: list[Any] = [None] * size
     answers = yield comm.waitall(rep_in)
-    for p, answer in zip(peers, answers):
+    for p, answer in zip(targets, answers):
         replies[p] = answer
     yield comm.waitall(out)
     return replies, overlap_result
@@ -190,3 +257,291 @@ def pairwise_alltoall(comm: Comm, blocks: list[Any], tag: int = 3_000) -> Genera
         received = yield from sendrecv(comm, blocks[dest], dest, source, tag + step)
         out[source] = received
     return out
+
+
+# -- tree collectives ---------------------------------------------------
+#
+# All tree collectives are *collective calls*: every rank of the comm
+# must enter them the same number of times, like the engine primitives.
+# Protocol messages carry ``(payload, nbytes)`` pairs and pass the
+# running size to ``comm.send(..., nbytes=...)`` explicitly, so the
+# cost accounting stays exact while the recursive wire-size walk over
+# ever-growing block dictionaries — O(P^2) entries across a gather —
+# is never performed.
+
+#: Base tags of the tree-collective message streams (distinct from the
+#: classic patterns at 1000/2000/3000 and the request/reply pair at
+#: 7101/7102; FIFO ordering disambiguates successive calls).
+TREE_GATHER_TAG = 5_100
+TREE_REDUCE_TAG = 5_150
+TREE_ALLREDUCE_TAG = 5_200
+TREE_BCAST_TAG = 5_250
+TREE_ALLGATHER_TAG = 5_300
+TREE_SCATTER_TAG = 5_400
+TREE_BARRIER_TAG = 5_500
+
+#: Per-entry framing overhead charged on tree protocol messages.
+_FRAME_NBYTES = 16
+
+
+def tree_gather(comm: Comm, payload: Any, root: int = 0,
+                tag: int = TREE_GATHER_TAG) -> Generator:
+    """Binomial-tree gather: log2(P) depth, contiguous block merging.
+
+    Ranks fold their payload dictionaries up a binomial tree rooted at
+    ``root``; the root returns the payloads **in absolute rank order**
+    (the ``comm.gather`` contract), everyone else returns ``None``.
+    """
+    size, rank = comm.size, comm.rank
+    rel = (rank - root) % size
+    blocks: dict[int, Any] = {rel: payload}
+    nbytes = payload_nbytes(payload)
+    mask = 1
+    while mask < size:
+        if rel & mask:
+            parent = ((rel ^ mask) + root) % size
+            yield comm.send((blocks, nbytes), dest=parent, tag=tag,
+                            nbytes=nbytes + _FRAME_NBYTES)
+            return None
+        child = rel | mask
+        if child < size:
+            got, got_nb = yield comm.recv(source=(child + root) % size, tag=tag)
+            blocks.update(got)
+            nbytes += got_nb
+        mask <<= 1
+    return [blocks[(r - root) % size] for r in range(size)]
+
+
+def tree_reduce(comm: Comm, payload: Any, root: int = 0, op: Callable = SUM,
+                tag: int = TREE_REDUCE_TAG) -> Generator:
+    """Binomial-tree reduction, bit-identical to ``comm.reduce``.
+
+    Payloads are *gathered* up the tree and folded left-to-right in
+    rank order at the root — never partially combined at interior
+    nodes — so floating-point results match the flat collective
+    exactly, not just to rounding.  Root gets the folded value,
+    everyone else ``None``.
+    """
+    gathered = yield from tree_gather(comm, payload, root=root, tag=tag)
+    if gathered is None:
+        return None
+    return _fold(op, gathered)
+
+
+def tree_bcast(comm: Comm, payload: Any, root: int = 0,
+               tag: int = TREE_BCAST_TAG, nbytes: int | None = None) -> Generator:
+    """Binomial-tree broadcast with sized protocol messages.
+
+    Same round structure as :func:`binomial_bcast`, but the payload's
+    wire size is computed once at the root and forwarded with the
+    message, so broadcasting a P-entry list costs O(P) size accounting
+    instead of O(P^2).  Every rank returns the same payload object.
+    """
+    size, rank = comm.size, comm.rank
+    rel = (rank - root) % size
+    if rank == root:
+        data = payload
+        nb = payload_nbytes(payload) if nbytes is None else int(nbytes)
+    else:
+        data, nb = None, 0
+    mask = 1
+    while mask < size:
+        if rel < mask:
+            partner = rel | mask
+            if partner < size:
+                yield comm.send((data, nb), dest=(partner + root) % size,
+                                tag=tag, nbytes=nb + _FRAME_NBYTES)
+        elif rel < 2 * mask:
+            data, nb = yield comm.recv(source=((rel ^ mask) + root) % size, tag=tag)
+        mask <<= 1
+    return data
+
+
+def tree_allreduce(comm: Comm, payload: Any, op: Callable = SUM,
+                   tag: int = TREE_ALLREDUCE_TAG) -> Generator:
+    """Reduce-to-root-0 then broadcast: bit-identical to ``comm.allreduce``.
+
+    Like the flat collective, every rank receives the *same* folded
+    object (payloads travel by reference inside the simulator).
+    """
+    folded = yield from tree_reduce(comm, payload, root=0, op=op, tag=tag)
+    result = yield from tree_bcast(comm, folded, root=0, tag=tag + 1)
+    return result
+
+
+def tree_allgather(comm: Comm, payload: Any,
+                   tag: int = TREE_ALLGATHER_TAG) -> Generator:
+    """Allgather with O(log P) depth; matches ``comm.allgather``.
+
+    Power-of-two groups use recursive doubling (each round exchanges
+    the accumulated block dictionary with the rank ``2^k`` away);
+    other sizes gather to rank 0 and broadcast.  Every rank returns a
+    *fresh* list in rank order, like the flat collective.
+    """
+    size, rank = comm.size, comm.rank
+    if size & (size - 1) == 0:
+        blocks: dict[int, Any] = {rank: payload}
+        nb = payload_nbytes(payload)
+        mask, step = 1, 0
+        while mask < size:
+            partner = rank ^ mask
+            # Snapshot the dict before sending: payloads travel by
+            # reference, and this rank keeps mutating its own copy.
+            req = yield comm.isend((dict(blocks), nb), partner, tag + step,
+                                   nbytes=nb + _FRAME_NBYTES)
+            got, got_nb = yield comm.recv(source=partner, tag=tag + step)
+            yield comm.wait(req)
+            blocks.update(got)
+            nb += got_nb
+            mask <<= 1
+            step += 1
+        return [blocks[r] for r in range(size)]
+    gathered = yield from tree_gather(comm, payload, root=0, tag=tag)
+    everything = yield from tree_bcast(comm, gathered, root=0, tag=tag + 64)
+    return list(everything)
+
+
+def tree_scatter(comm: Comm, items: "list[Any] | None", root: int = 0,
+                 tag: int = TREE_SCATTER_TAG) -> Generator:
+    """Binomial-tree scatter; matches ``comm.scatter`` (same objects).
+
+    The root splits its item list into contiguous relative-rank block
+    ranges and sends each subtree its half, halving at every level;
+    each rank ends with exactly its own item.
+    """
+    size, rank = comm.size, comm.rank
+    rel = (rank - root) % size
+    if rank == root:
+        if items is None or len(items) != size:
+            raise ValueError("scatter root must supply one item per rank")
+        blocks = {i: items[(i + root) % size] for i in range(size)}
+        sizes = {i: payload_nbytes(blocks[i]) for i in range(size)}
+        top = 1
+        while top < size:
+            top <<= 1
+    else:
+        b = rel & -rel  # lowest set bit: the level this rank receives at
+        parent = ((rel ^ b) + root) % size
+        blocks, sizes = yield comm.recv(source=parent, tag=tag)
+        top = b
+    mask = top >> 1
+    while mask:
+        child = rel | mask
+        if child != rel and child < size:
+            span = range(child, min(child + mask, size))
+            sub = {i: blocks.pop(i) for i in span}
+            sub_sizes = {i: sizes.pop(i) for i in span}
+            nb = sum(sub_sizes.values())
+            yield comm.send((sub, sub_sizes), dest=(child + root) % size,
+                            tag=tag, nbytes=nb + _FRAME_NBYTES * len(sub))
+        mask >>= 1
+    return blocks[rel]
+
+
+def tree_barrier(comm: Comm, tag: int = TREE_BARRIER_TAG) -> Generator:
+    """Dissemination barrier: ceil(log2(P)) rounds, any group size.
+
+    Round ``k`` exchanges a token with the ranks ``2^k`` away in both
+    directions; after the last round every rank transitively heard
+    from every other, which is exactly the barrier guarantee.
+    """
+    size, rank = comm.size, comm.rank
+    mask, step = 1, 0
+    while mask < size:
+        dest = (rank + mask) % size
+        source = (rank - mask) % size
+        yield from sendrecv(comm, None, dest, source, tag + step)
+        mask <<= 1
+        step += 1
+    return None
+
+
+# -- automatic algorithm selection --------------------------------------
+
+def _choose(algorithm: str, size: int, threshold: int | None) -> str:
+    if algorithm not in ("auto", "flat", "tree"):
+        raise ValueError(
+            f"algorithm must be 'auto', 'flat', or 'tree', got {algorithm!r}"
+        )
+    if algorithm != "auto":
+        return algorithm
+    limit = FLAT_COLLECTIVE_MAX if threshold is None else int(threshold)
+    return "flat" if size <= limit else "tree"
+
+
+def allreduce(comm: Comm, payload: Any, op: Callable = SUM, *,
+              algorithm: str = "auto", threshold: int | None = None) -> Generator:
+    """Size-selected allreduce: flat primitive small, tree large.
+
+    Bit-identical results either way (see :func:`tree_allreduce`);
+    ``threshold`` overrides :data:`FLAT_COLLECTIVE_MAX` for this call.
+    """
+    if _choose(algorithm, comm.size, threshold) == "flat":
+        result = yield comm.allreduce(payload, op=op)
+    else:
+        result = yield from tree_allreduce(comm, payload, op=op)
+    return result
+
+
+def reduce(comm: Comm, payload: Any, root: int = 0, op: Callable = SUM, *,
+           algorithm: str = "auto", threshold: int | None = None) -> Generator:
+    """Size-selected reduce-to-root (bit-identical to ``comm.reduce``)."""
+    if _choose(algorithm, comm.size, threshold) == "flat":
+        result = yield comm.reduce(payload, root=root, op=op)
+    else:
+        result = yield from tree_reduce(comm, payload, root=root, op=op)
+    return result
+
+
+def bcast(comm: Comm, payload: Any, root: int = 0, *,
+          algorithm: str = "auto", threshold: int | None = None) -> Generator:
+    """Size-selected broadcast (same object delivered to every rank)."""
+    if _choose(algorithm, comm.size, threshold) == "flat":
+        result = yield comm.bcast(payload, root=root)
+    else:
+        result = yield from tree_bcast(comm, payload, root=root)
+    return result
+
+
+def gather(comm: Comm, payload: Any, root: int = 0, *,
+           algorithm: str = "auto", threshold: int | None = None) -> Generator:
+    """Size-selected gather-to-root (rank-ordered list at the root)."""
+    if _choose(algorithm, comm.size, threshold) == "flat":
+        result = yield comm.gather(payload, root=root)
+    else:
+        result = yield from tree_gather(comm, payload, root=root)
+    return result
+
+
+def allgather(comm: Comm, payload: Any, *, nbytes: int | None = None,
+              algorithm: str = "auto", threshold: int | None = None) -> Generator:
+    """Size-selected allgather (fresh rank-ordered list on every rank).
+
+    ``nbytes`` overrides the flat primitive's wire-size walk; the tree
+    path sizes its own protocol messages incrementally.
+    """
+    if _choose(algorithm, comm.size, threshold) == "flat":
+        result = yield comm.allgather(payload, nbytes=nbytes)
+    else:
+        result = yield from tree_allgather(comm, payload)
+    return result
+
+
+def scatter(comm: Comm, items: "list[Any] | None", root: int = 0, *,
+            algorithm: str = "auto", threshold: int | None = None) -> Generator:
+    """Size-selected scatter (each rank gets exactly its own item)."""
+    if _choose(algorithm, comm.size, threshold) == "flat":
+        result = yield comm.scatter(items, root=root)
+    else:
+        result = yield from tree_scatter(comm, items, root=root)
+    return result
+
+
+def barrier(comm: Comm, *, algorithm: str = "auto",
+            threshold: int | None = None) -> Generator:
+    """Size-selected barrier (flat primitive vs dissemination rounds)."""
+    if _choose(algorithm, comm.size, threshold) == "flat":
+        yield comm.barrier()
+    else:
+        yield from tree_barrier(comm)
+    return None

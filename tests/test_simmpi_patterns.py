@@ -238,3 +238,186 @@ class TestBatchedRequestReply:
                 return "caught"
 
         assert run(prog, 3).returns == ["caught"] * 3
+
+
+class TestTreeCollectives:
+    """The O(log P) collectives must be drop-in equal to the flat
+    engine primitives — bit-for-bit, at any group size."""
+
+    @given(st.integers(1, 24), st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_allreduce_bitwise_equal_to_flat(self, size, seed):
+        rng = np.random.default_rng(seed)
+        scale = 10.0 ** int(rng.integers(-3, 4))
+        vals = [float(v) * scale for v in rng.standard_normal(size)]
+
+        def prog(comm):
+            flat = yield comm.allreduce(vals[comm.rank])
+            tree = yield from patterns.tree_allreduce(comm, vals[comm.rank])
+            # repr equality pins the exact float bits, not just ==.
+            return repr(flat) == repr(tree)
+
+        assert all(run(prog, size).returns)
+
+    @given(st.integers(1, 24), st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_reduce_and_bcast_match_flat(self, size, seed):
+        rng = np.random.default_rng(seed)
+        root = int(rng.integers(0, size))
+        vals = [float(v) for v in rng.standard_normal(size)]
+
+        def prog(comm):
+            f_red = yield comm.reduce(vals[comm.rank], root=root)
+            t_red = yield from patterns.tree_reduce(comm, vals[comm.rank], root=root)
+            f_bc = yield comm.bcast(vals[0] if comm.rank == root else None, root=root)
+            t_bc = yield from patterns.tree_bcast(
+                comm, vals[0] if comm.rank == root else None, root=root
+            )
+            return repr(f_red) == repr(t_red) and repr(f_bc) == repr(t_bc)
+
+        assert all(run(prog, size).returns)
+
+    @given(st.integers(1, 20), st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_allgather_ragged_payloads(self, size, seed):
+        # Per-rank payloads of *different* shapes and types — the tree
+        # forwards them opaquely, exactly like the flat primitive.
+        rng = np.random.default_rng(seed)
+        payloads = [
+            list(range(int(rng.integers(0, 6)))) if r % 3 else {"rank": r}
+            for r in range(size)
+        ]
+
+        def prog(comm):
+            flat = yield comm.allgather(payloads[comm.rank])
+            tree = yield from patterns.tree_allgather(comm, payloads[comm.rank])
+            return flat == tree
+
+        assert all(run(prog, size).returns)
+
+    @given(st.integers(1, 20), st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_gather_scatter_roundtrip(self, size, seed):
+        rng = np.random.default_rng(seed)
+        root = int(rng.integers(0, size))
+
+        def prog(comm):
+            gathered = yield from patterns.tree_gather(comm, comm.rank * 11, root=root)
+            if comm.rank == root:
+                assert gathered == [r * 11 for r in range(size)]
+                items = [g + 1 for g in gathered]
+            else:
+                items = None
+            mine = yield from patterns.tree_scatter(comm, items, root=root)
+            return mine == comm.rank * 11 + 1
+
+        assert all(run(prog, size).returns)
+
+    @pytest.mark.parametrize("size", [1, 2, 3, 5, 8, 13, 16, 31, 33])
+    def test_barrier_all_sizes(self, size):
+        def prog(comm):
+            yield from patterns.tree_barrier(comm)
+            return "ok"
+
+        assert run(prog, size).returns == ["ok"] * size
+
+
+class TestAutoWrappers:
+    def test_selection_by_group_size(self):
+        # Below the threshold the wrapper must use the engine primitive
+        # (exactly one collective call in the stats per rank); above it
+        # the tree algorithm (gather + bcast p2p messages, more total
+        # sends than ranks).
+        def prog(comm):
+            total = yield from patterns.allreduce(comm, 1)
+            return total
+
+        small = run(prog, 4)
+        assert small.returns == [4] * 4
+        assert all(s.msgs_sent == 1 for s in small.stats)
+
+        big_size = patterns.FLAT_COLLECTIVE_MAX + 1
+        big = run(prog, big_size)
+        assert big.returns == [big_size] * big_size
+        assert sum(s.msgs_sent for s in big.stats) > big_size
+
+    def test_explicit_algorithm_override(self):
+        def prog(comm):
+            flat = yield from patterns.allreduce(comm, comm.rank, algorithm="flat")
+            tree = yield from patterns.allreduce(comm, comm.rank, algorithm="tree")
+            return flat == tree == comm.size * (comm.size - 1) // 2
+
+        assert all(run(prog, 6).returns)
+
+    def test_unknown_algorithm_rejected(self):
+        def prog(comm):
+            yield from patterns.allreduce(comm, 1, algorithm="ring")
+
+        with pytest.raises(ValueError, match="algorithm"):
+            run(prog, 2)
+
+    def test_wrapper_mismatch_detected_in_flat_regime(self):
+        from repro.simmpi import CollectiveMismatchError
+
+        def prog(comm):
+            if comm.rank == 0:
+                yield from patterns.allreduce(comm, 1)
+            else:
+                yield from patterns.barrier(comm)
+
+        with pytest.raises(CollectiveMismatchError):
+            run(prog, 4)
+
+
+class TestSparseBatchedRequestReply:
+    @staticmethod
+    def _ring_prog(sparse):
+        def prog(comm):
+            reqs = [[] for _ in range(comm.size)]
+            reqs[(comm.rank + 1) % comm.size] = [comm.rank]
+            replies, _ = yield from patterns.batched_request_reply(
+                comm, reqs, lambda peer, batch: [x * 10 for x in batch],
+                sparse=sparse,
+            )
+            return replies
+
+        return prog
+
+    def test_sparse_replies_match_dense_for_active_pairs(self):
+        size = 6
+        dense = run(self._ring_prog(False), size).returns
+        sparse = run(self._ring_prog(True), size).returns
+        for rank, (d, s) in enumerate(zip(dense, sparse)):
+            target = (rank + 1) % size
+            assert s[target] == d[target] == [rank * 10]
+            # Inactive pairs: dense serves the empty batch, sparse
+            # never sends one.
+            for p in range(size):
+                if p not in (rank, target):
+                    assert d[p] == [] and s[p] is None
+
+    def test_sparse_sends_fewer_messages(self):
+        size = 8
+        dense = run(self._ring_prog(False), size)
+        sparse = run(self._ring_prog(True), size)
+        assert sum(s.msgs_sent for s in sparse.stats) < sum(
+            s.msgs_sent for s in dense.stats
+        )
+
+    def test_auto_gate_follows_group_size(self):
+        # At FLAT_COLLECTIVE_MAX ranks the default is the dense round
+        # (empty batches travel); one rank more switches to sparse.
+        def prog(comm):
+            reqs = [[] for _ in range(comm.size)]
+            replies, _ = yield from patterns.batched_request_reply(
+                comm, reqs, lambda peer, batch: list(batch)
+            )
+            return replies
+
+        # Dense: every rank sends a request and a reply to each peer.
+        at_gate = run(prog, patterns.FLAT_COLLECTIVE_MAX)
+        assert all(s.msgs_sent == 2 * (patterns.FLAT_COLLECTIVE_MAX - 1)
+                   for s in at_gate.stats)
+        # Sparse with nothing to send: just the flags alltoall.
+        above = run(prog, patterns.FLAT_COLLECTIVE_MAX + 1)
+        assert all(s.msgs_sent == 1 for s in above.stats)
