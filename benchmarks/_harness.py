@@ -12,7 +12,9 @@ table.
 The schema checker is a deliberate small subset of JSON Schema
 (``type``, ``required``, ``properties``, ``additionalProperties``,
 ``pattern``, ``minimum``, ``items``) so the suite needs no third-party
-validator.
+validator; it lives in :mod:`repro.obs.schemacheck` (shared with the
+fleet ledger and the ``python -m repro.obs validate`` CI step) and is
+re-exported here.
 """
 
 from __future__ import annotations
@@ -24,6 +26,8 @@ import re
 import subprocess
 import time
 from typing import Any, Callable, Mapping
+
+from repro.obs.schemacheck import check_value as _check
 
 __all__ = [
     "HISTORY_ENV",
@@ -46,16 +50,6 @@ SCHEMA_VERSION = 1
 HISTORY_ENV = "REPRO_BENCH_HISTORY"
 SCHEMA_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "schema.json")
 
-_TYPES: dict[str, tuple[type, ...]] = {
-    "object": (dict,),
-    "array": (list,),
-    "string": (str,),
-    "number": (int, float),
-    "integer": (int,),
-    "boolean": (bool,),
-    "null": (type(None),),
-}
-
 
 def git_rev() -> str:
     """Short hash of the checked-out revision, or ``"unknown"``."""
@@ -76,45 +70,6 @@ def git_rev() -> str:
 def load_schema() -> dict:
     with open(SCHEMA_PATH) as fh:
         return json.load(fh)
-
-
-def _type_ok(value: Any, name: str) -> bool:
-    if name in ("number", "integer") and isinstance(value, bool):
-        return False  # bool is an int in Python but not in JSON Schema
-    return isinstance(value, _TYPES[name])
-
-
-def _check(value: Any, schema: Mapping, path: str, errors: list[str]) -> None:
-    declared = schema.get("type")
-    if declared is not None:
-        names = [declared] if isinstance(declared, str) else list(declared)
-        if not any(_type_ok(value, n) for n in names):
-            errors.append(f"{path}: expected type {'/'.join(names)}, got {type(value).__name__}")
-            return
-    if isinstance(value, str) and "pattern" in schema:
-        if not re.search(schema["pattern"], value):
-            errors.append(f"{path}: {value!r} does not match pattern {schema['pattern']!r}")
-    if isinstance(value, (int, float)) and not isinstance(value, bool) and "minimum" in schema:
-        if value < schema["minimum"]:
-            errors.append(f"{path}: {value} is below minimum {schema['minimum']}")
-    if isinstance(value, list):
-        items = schema.get("items")
-        if isinstance(items, dict):
-            for i, item in enumerate(value):
-                _check(item, items, f"{path}[{i}]", errors)
-    if isinstance(value, dict):
-        props = schema.get("properties", {})
-        for key in schema.get("required", ()):
-            if key not in value:
-                errors.append(f"{path}: missing required property {key!r}")
-        extra = schema.get("additionalProperties", True)
-        for key, item in value.items():
-            if key in props:
-                _check(item, props[key], f"{path}.{key}", errors)
-            elif extra is False:
-                errors.append(f"{path}: unexpected property {key!r}")
-            elif isinstance(extra, dict):
-                _check(item, extra, f"{path}.{key}", errors)
 
 
 def validate_record(record: Any, schema: Mapping | None = None) -> list[str]:

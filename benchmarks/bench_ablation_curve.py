@@ -20,20 +20,20 @@ from repro.core.hilbert import (
 )
 
 
-def _clouds():
+def _clouds(n=3000):
     rng = np.random.default_rng(12)
-    uniform = rng.random((3000, 3))
-    r = rng.random(3000) ** 3
-    d = rng.standard_normal((3000, 3))
+    uniform = rng.random((n, 3))
+    r = rng.random(n) ** 3
+    d = rng.standard_normal((n, 3))
     d /= np.linalg.norm(d, axis=1, keepdims=True)
     clustered = 0.5 + 0.45 * r[:, None] * d
     return {"uniform": uniform, "clustered": clustered}
 
 
-def _build():
+def _build(n=3000):
     box = BoundingBox(np.zeros(3), 1.0)
     rows = []
-    for name, pos in _clouds().items():
+    for name, pos in _clouds(n).items():
         orders = {
             "Morton": np.argsort(keys_from_positions(pos, box)),
             "Hilbert": np.argsort(hilbert_keys_from_positions(pos, box)),
@@ -71,15 +71,29 @@ def test_ablation_curve(benchmark):
     assert hilbert[4] <= 1.2 * morton[4]
 
 
-def main() -> dict:
+#: Reduced smoke: the 3000-point decomposition-surface scan costs ~3 s
+#: (pairwise radius counts); smoke shrinks the clouds under a distinct
+#: record name so full-mode baselines stay clean.
+FLEET = {"tags": ("ablation", "treecode"), "smoke": "reduced"}
+
+
+def main(smoke: bool = False) -> dict:
     from _harness import run_main
 
+    n = 1200 if smoke else 3000
     return run_main(
-        "ablation_curve", _build,
-        params={"n_pieces": 8, "radius": 0.05},
+        "ablation_curve_smoke" if smoke else "ablation_curve",
+        lambda: _build(n=n),
+        params={"n": n, "n_pieces": 8, "radius": 0.05},
         counters=lambda rows: {"rows": len(rows)},
     )
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="smaller clouds under the ablation_curve_smoke "
+                             "record name")
+    main(smoke=parser.parse_args().smoke)

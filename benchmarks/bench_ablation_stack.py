@@ -23,13 +23,13 @@ def _cloud(n=3000, seed=8):
     return r[:, None] * d, np.full(n, 1.0 / n)
 
 
-def _build():
-    pos, m = _cloud()
+def _build(n=3000, n_ranks=8):
+    pos, m = _cloud(n)
     cfg = ParallelConfig(theta=0.8, eps=0.01, kernel_efficiency=0.27)
     rows = []
     for stack in FIGURE2_STACKS:
         cost = SpaceSimulatorCost(stack=stack)
-        sim = parallel_tree_accelerations(pos, m, n_ranks=8, config=cfg, cost=cost).sim
+        sim = parallel_tree_accelerations(pos, m, n_ranks=n_ranks, config=cfg, cost=cost).sim
         rows.append([stack.name, sim.elapsed * 1e3,
                      np.mean([s.blocked_s for s in sim.stats]) * 1e3,
                      sim.parallel_efficiency()])
@@ -53,16 +53,31 @@ def test_ablation_message_stack(benchmark):
     assert 1.0 < gap < 1.6
 
 
-def main() -> dict:
+#: Reduced smoke: one treecode force solve per Figure 2 stack costs
+#: ~3 s at N=3000/P=8; smoke shrinks the cloud and rank count under a
+#: distinct record name so full-mode baselines stay clean.
+FLEET = {"tags": ("ablation", "network", "treecode"), "smoke": "reduced"}
+
+
+def main(smoke: bool = False) -> dict:
     from _harness import run_main
 
+    n, n_ranks = (1200, 4) if smoke else (3000, 8)
     return run_main(
-        "ablation_stack", _build,
-        params={"n_ranks": 8, "stacks": [s.name for s in FIGURE2_STACKS]},
+        "ablation_stack_smoke" if smoke else "ablation_stack",
+        lambda: _build(n=n, n_ranks=n_ranks),
+        params={"n": n, "n_ranks": n_ranks,
+                "stacks": [s.name for s in FIGURE2_STACKS]},
         counters=lambda rows: {"rows": len(rows)},
         virtual_seconds=lambda rows: sum(r[1] for r in rows) / 1e3,
     )
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="smaller cloud and rank count under the "
+                             "ablation_stack_smoke record name")
+    main(smoke=parser.parse_args().smoke)

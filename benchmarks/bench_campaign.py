@@ -59,13 +59,19 @@ def _run_twice(root: str, specs: list) -> dict:
     }
 
 
+#: Reduced smoke: the smoke catalog drops the cosmology/supernova
+#: specs, so it reports under a distinct record name to keep full-mode
+#: baselines clean.
+FLEET = {"tags": ("campaign",), "smoke": "reduced"}
+
+
 def main(smoke: bool = False) -> dict:
     from _harness import run_main
 
     specs = catalog(smoke)
     with tempfile.TemporaryDirectory() as tmp:
         return run_main(
-            "campaign",
+            "campaign_smoke" if smoke else "campaign",
             lambda: _run_twice(tmp, specs),
             params={"n_specs": len(specs), "workers": 1, "smoke": smoke},
             counters=lambda out: {

@@ -51,7 +51,12 @@ def test_fig4_scaling_class_d(benchmark):
         assert total[b][-1] > total[b][i256], b
 
 
-def main() -> dict:
+#: Fleet registry metadata: this bench is already CI-cheap, so
+#: smoke mode runs the full workload under the same record name.
+FLEET = {"tags": ('figure', 'npb'), "smoke": "full"}
+
+
+def main(smoke: bool = False) -> dict:
     from _harness import run_main
 
     return run_main(
@@ -65,4 +70,9 @@ def main() -> dict:
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-budget run (same workload for this bench)")
+    main(smoke=parser.parse_args().smoke)

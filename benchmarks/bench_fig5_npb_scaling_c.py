@@ -42,7 +42,12 @@ def test_fig5_scaling_class_c(benchmark):
         assert eff_d > eff_c, b
 
 
-def main() -> dict:
+#: Fleet registry metadata: this bench is already CI-cheap, so
+#: smoke mode runs the full workload under the same record name.
+FLEET = {"tags": ('figure', 'npb'), "smoke": "full"}
+
+
+def main(smoke: bool = False) -> dict:
     from _harness import run_main
 
     return run_main(
@@ -56,4 +61,9 @@ def main() -> dict:
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-budget run (same workload for this bench)")
+    main(smoke=parser.parse_args().smoke)

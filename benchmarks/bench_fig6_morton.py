@@ -58,7 +58,12 @@ def test_fig6_morton(benchmark):
     assert tree.level.max() > uniform_depth + 1
 
 
-def main() -> dict:
+#: Fleet registry metadata: this bench is already CI-cheap, so
+#: smoke mode runs the full workload under the same record name.
+FLEET = {"tags": ('figure', 'treecode'), "smoke": "full"}
+
+
+def main(smoke: bool = False) -> dict:
     import numpy as _np
 
     from _harness import run_main
@@ -75,4 +80,9 @@ def main() -> dict:
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-budget run (same workload for this bench)")
+    main(smoke=parser.parse_args().smoke)

@@ -21,12 +21,12 @@ from repro.sph import (
 )
 
 
-def _build():
-    pos, m, u = polytrope_particles(350, seed=11)
+def _build(n_particles=350, max_steps=160):
+    pos, m, u = polytrope_particles(n_particles, seed=11)
     vel = add_rotation(pos, omega0=0.45, r0=0.25)
     cfg = CollapseConfig()
     sim = CollapseSimulation(pos, vel, m, u, cfg)
-    for _ in range(160):
+    for _ in range(max_steps):
         sim.step()
         if sim.history.bounced(cfg.eos.rho_nuc):
             break
@@ -57,12 +57,20 @@ def test_fig8_supernova(benchmark):
     assert max(hist.neutrino_luminosity) > 0
 
 
-def main() -> dict:
+#: Reduced smoke: the 350-particle collapse-to-bounce run costs ~3 s;
+#: smoke collapses a smaller polytrope for fewer steps under a distinct
+#: record name so full-mode baselines stay clean.
+FLEET = {"tags": ("figure", "supernova", "sph"), "smoke": "reduced"}
+
+
+def main(smoke: bool = False) -> dict:
     from _harness import run_main
 
+    n_particles, max_steps = (200, 90) if smoke else (350, 160)
     return run_main(
-        "fig8_supernova", _build,
-        params={"n_particles": 350, "max_steps": 160},
+        "fig8_supernova_smoke" if smoke else "fig8_supernova",
+        lambda: _build(n_particles=n_particles, max_steps=max_steps),
+        params={"n_particles": n_particles, "max_steps": max_steps},
         counters=lambda r: {
             "l_cone": r[4],
             "l_equator": r[5],
@@ -72,4 +80,10 @@ def main() -> dict:
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="smaller polytrope, fewer steps, under the "
+                             "fig8_supernova_smoke record name")
+    main(smoke=parser.parse_args().smoke)

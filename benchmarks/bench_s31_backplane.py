@@ -41,7 +41,12 @@ def test_s31_backplane(benchmark):
     assert by_p[294] < 0.5 * by_p[224]  # the >256-processor cliff
 
 
-def main() -> dict:
+#: Fleet registry metadata: this bench is already CI-cheap, so
+#: smoke mode runs the full workload under the same record name.
+FLEET = {"tags": ('section', 'network'), "smoke": "full"}
+
+
+def main(smoke: bool = False) -> dict:
     from _harness import run_main
 
     return run_main(
@@ -55,4 +60,9 @@ def main() -> dict:
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-budget run (same workload for this bench)")
+    main(smoke=parser.parse_args().smoke)

@@ -81,6 +81,11 @@ def _record(procs, name):
     )
 
 
+#: Reduced smoke: the full rank ladder runs for minutes; CI keeps to
+#: SMOKE_PROCS under the scale_ranks_smoke record name.
+FLEET = {"tags": ("scale", "simmpi"), "smoke": "reduced"}
+
+
 def main(smoke: bool = False) -> dict:
     if smoke:
         return _record(SMOKE_PROCS, "scale_ranks_smoke")

@@ -48,7 +48,12 @@ def test_table4_npb_class_d_256(benchmark):
     assert ss_rank == ["LU", "BT", "SP", "FT", "CG"]
 
 
-def main() -> dict:
+#: Fleet registry metadata: this bench is already CI-cheap, so
+#: smoke mode runs the full workload under the same record name.
+FLEET = {"tags": ('table', 'npb'), "smoke": "full"}
+
+
+def main(smoke: bool = False) -> dict:
     from _harness import run_main
 
     return run_main(
@@ -59,4 +64,9 @@ def main() -> dict:
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-budget run (same workload for this bench)")
+    main(smoke=parser.parse_args().smoke)

@@ -116,7 +116,13 @@ def test_batched_vs_walker_speedup(benchmark):
     assert r["backends"]["numpy"]["speedup"] > 3.0
 
 
-def main() -> dict:
+#: Already CI-cheap (micro-kernel timings); smoke == full.  The
+#: heavyweight batched-speedup record stays behind --speedup and out of
+#: the fleet catalog.
+FLEET = {"tags": ("table", "kernel"), "smoke": "full"}
+
+
+def main(smoke: bool = False) -> dict:
     from _harness import run_main
 
     return run_main(
@@ -150,6 +156,6 @@ def speedup_main() -> dict:
 if __name__ == "__main__":
     import sys
 
-    main()
+    main(smoke="--smoke" in sys.argv)
     if "--speedup" in sys.argv:
         speedup_main()

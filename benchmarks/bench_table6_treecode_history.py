@@ -60,19 +60,46 @@ def test_table6_treecode_history(benchmark):
     assert mfpp > gd.mflops_per_proc
 
 
-def main() -> dict:
+def _counters(r) -> dict:
+    from repro.obs import wait_summary
+
+    hits = r.comm.get("cache_hits", 0.0)
+    misses = r.comm.get("cache_misses", 0.0)
+    out = {
+        "mflops_per_proc": r.mflops_per_proc,
+        "parallel_efficiency": r.sim.parallel_efficiency(),
+        # Latency-hiding health on the Table 6 workload: cell-cache
+        # effectiveness (the fleet gate holds hit_rate's floor) and the
+        # engine's wait-state mix in virtual seconds.
+        "cellcache.hits": hits,
+        "cellcache.misses": misses,
+        "cellcache.evictions": r.comm.get("cache_evictions", 0.0),
+        "cellcache.hit_rate": hits / max(1.0, hits + misses),
+    }
+    for cause, s in wait_summary(r.sim.observer)["by_cause"].items():
+        out[f"wait.{cause}_s"] = s
+    return out
+
+
+#: Already CI-cheap (one 4-rank force solve), so smoke == full.
+FLEET = {"tags": ("table", "treecode", "comm"), "smoke": "full"}
+
+
+def main(smoke: bool = False) -> dict:
     from _harness import run_main
 
     return run_main(
         "table6_treecode_history", _build,
         params={"n": 6000, "n_ranks": 4, "theta": 0.8},
-        counters=lambda r: {
-            "mflops_per_proc": r.mflops_per_proc,
-            "parallel_efficiency": r.sim.parallel_efficiency(),
-        },
+        counters=_counters,
         virtual_seconds=lambda r: r.sim.elapsed,
     )
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-budget run (same workload for this bench)")
+    main(smoke=parser.parse_args().smoke)

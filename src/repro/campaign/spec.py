@@ -14,6 +14,13 @@ onto the paper's three workload families:
   Section 2.1 checkpoint economics, executed by
   :func:`repro.cluster.checkpoint.run_campaign_scenario`.
 
+A fourth kind makes the benchmark suite itself campaign work:
+:class:`BenchSpec` names one ``benchmarks/bench_*.py`` entry point
+(plus its smoke/full parameterization) and is executed by
+:func:`repro.obs.fleet.run_bench_scenario` — which is how the fleet
+runner (`python -m repro.obs fleet`) inherits dedupe, crash-safe
+resume, and the worker pool for free.
+
 Every spec round-trips through plain JSON dicts (``to_dict`` /
 :func:`spec_from_dict`), which is what makes scenarios
 content-addressable: the canonical encoding of that dict *is* the
@@ -41,6 +48,7 @@ __all__ = [
     "CosmologySpec",
     "SupernovaSpec",
     "ClusterSpec",
+    "BenchSpec",
     "SPEC_KINDS",
     "spec_from_dict",
     "load_catalog",
@@ -173,8 +181,40 @@ class ClusterSpec(ScenarioSpec):
         return run_campaign_scenario
 
 
+@dataclass(frozen=True)
+class BenchSpec(ScenarioSpec):
+    """One ``benchmarks/bench_<bench>.py`` run as a campaign shard.
+
+    ``bench`` is the module stem (``fig7_cosmology``), ``smoke``
+    selects the CI-budget parameterization every bench must declare
+    (see :func:`repro.obs.fleet.build_registry`).  The result is the
+    bench's own schema-validated record, so a fleet campaign's store is
+    a machine-readable performance study.
+    """
+
+    kind = "bench"
+
+    bench: str = ""
+    smoke: bool = True
+
+    def __post_init__(self) -> None:
+        import re
+
+        if not re.fullmatch(r"[a-z0-9][a-z0-9_]*", self.bench or ""):
+            raise ValueError(
+                f"bench must be a bench module stem like 'fig7_cosmology', "
+                f"got {self.bench!r}"
+            )
+
+    @staticmethod
+    def _entry_point():
+        from ..obs.fleet import run_bench_scenario
+
+        return run_bench_scenario
+
+
 SPEC_KINDS: dict[str, type[ScenarioSpec]] = {
-    cls.kind: cls for cls in (CosmologySpec, SupernovaSpec, ClusterSpec)
+    cls.kind: cls for cls in (CosmologySpec, SupernovaSpec, ClusterSpec, BenchSpec)
 }
 
 

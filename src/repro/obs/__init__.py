@@ -42,11 +42,17 @@ from .export import (
     recorder_from_chrome_trace,
 )
 from .history import (
+    DEFAULT_FLEET_GATES,
     BenchComparison,
     ComparisonReport,
+    MetricGate,
+    MultiComparisonReport,
     compare_history,
+    compare_history_multi,
     format_comparison_report,
+    format_multi_report,
     load_history,
+    parse_gate_spec,
     robust_baseline,
 )
 from .model import (
@@ -58,7 +64,14 @@ from .model import (
     Span,
     validate_nesting,
 )
-from .report import html_report, svg_timeline, write_report
+from .report import (
+    fleet_report,
+    html_report,
+    svg_sparkline,
+    svg_timeline,
+    write_fleet_report,
+    write_report,
+)
 
 __all__ = [
     "Span",
@@ -89,12 +102,21 @@ __all__ = [
     # history / regression gate
     "BenchComparison",
     "ComparisonReport",
+    "MetricGate",
+    "MultiComparisonReport",
+    "DEFAULT_FLEET_GATES",
     "load_history",
     "robust_baseline",
     "compare_history",
+    "compare_history_multi",
     "format_comparison_report",
+    "format_multi_report",
+    "parse_gate_spec",
     # report
     "html_report",
+    "fleet_report",
     "svg_timeline",
+    "svg_sparkline",
     "write_report",
+    "write_fleet_report",
 ]

@@ -19,12 +19,27 @@ Three subcommands drive the analysis stack from the shell:
     longitudinal record ``benchmarks/_harness.py`` appends under
     ``REPRO_BENCH_HISTORY``.  Exits 1 when any bench regressed beyond
     the threshold and the noise model, which is what CI keys off.
+
+``fleet``
+    Run the whole benchmark suite (or ``--bench`` subsets) as one
+    campaign (:mod:`repro.obs.fleet`): content-fingerprinted dedupe,
+    crash-safe resume, ``--workers`` parallelism, one ``fleet.jsonl``
+    ledger line per bench.  ``--baseline`` + ``--gate`` runs the
+    multi-metric regression gate over the committed history;
+    ``--html`` writes the self-contained fleet report.  Exits 1 on a
+    failed bench or a gate regression.
+
+``validate FILE.jsonl [...]``
+    Strict schema check of record files (``benchmarks/baseline.jsonl``,
+    ``fleet.jsonl``) against ``benchmarks/schema.json`` — corrupt JSON
+    is an error here, unlike the forgiving history reader.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any
 
@@ -105,6 +120,85 @@ def _cmd_report(opts: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(opts: argparse.Namespace) -> int:
+    from .fleet import build_registry, run_fleet
+    from .history import (
+        DEFAULT_FLEET_GATES,
+        compare_history_multi,
+        format_multi_report,
+        parse_gate_spec,
+    )
+    from .report import write_fleet_report
+
+    if opts.list:
+        registry = build_registry(opts.bench_dir)
+        for entry in sorted(registry.values(), key=lambda e: e.name):
+            print(f"{entry.name:30s} smoke={entry.smoke:8s} tags={','.join(entry.tags)}")
+        return 0
+
+    run = run_fleet(
+        opts.bench or None,
+        out_dir=opts.out,
+        smoke=not opts.full,
+        workers=opts.workers,
+        bench_dir=opts.bench_dir,
+        throttle=opts.throttle,
+        history=opts.history,
+    )
+    print(json.dumps(run.to_dict(), indent=2, sort_keys=True))
+    for record in run.failed:
+        print(f"FAILED {record['fleet']['bench']}: "
+              f"{record['fleet'].get('error', '?')}", file=sys.stderr)
+
+    multi = None
+    baseline = load_history(opts.baseline) if opts.baseline else []
+    if opts.gate or opts.gate_spec:
+        gates = (
+            tuple(parse_gate_spec(s) for s in opts.gate_spec)
+            if opts.gate_spec else DEFAULT_FLEET_GATES
+        )
+        live = [r for r in run.rows if r["fleet"]["status"] != "failed"]
+        multi = compare_history_multi(baseline + live, gates, window=opts.window)
+        print()
+        print(format_multi_report(multi))
+
+    if opts.html:
+        path = write_fleet_report(
+            opts.html, run.rows, history=baseline, multi=multi,
+            title=f"fleet {run.fleet_id[:12]} ({run.mode})",
+        )
+        print(f"wrote {path}")
+
+    if not run.ok:
+        return 1
+    return 0 if multi is None or multi.ok else 1
+
+
+def _cmd_validate(opts: argparse.Namespace) -> int:
+    from .fleet import default_bench_dir
+    from .schemacheck import validate_jsonl_lines
+
+    schema_path = opts.schema
+    if schema_path is None:
+        schema_path = os.path.join(default_bench_dir(), "schema.json")
+    with open(schema_path) as fh:
+        schema = json.load(fh)
+    bad = 0
+    for path in opts.files:
+        with open(path) as fh:
+            errors = validate_jsonl_lines(fh, schema)
+        if errors:
+            bad += 1
+            print(f"{path}: {len(errors)} schema violation(s)")
+            for err in errors:
+                print(f"  - {err}")
+        else:
+            with open(path) as fh:
+                n = sum(1 for line in fh if line.strip())
+            print(f"{path}: OK ({n} record(s))")
+    return 1 if bad else 0
+
+
 def _cmd_compare(opts: argparse.Namespace) -> int:
     entries = load_history(opts.history)
     report = compare_history(
@@ -160,6 +254,49 @@ def main(argv: list[str] | None = None) -> int:
                        help="rolling-baseline window of prior runs")
     p_cmp.add_argument("--json", action="store_true", help="machine-readable output")
     p_cmp.set_defaults(func=_cmd_compare)
+
+    p_fl = sub.add_parser("fleet", help="run the bench suite as one campaign")
+    p_fl.add_argument("--out", default="fleet-out",
+                      help="output directory: campaign store + fleet.jsonl "
+                           "(default fleet-out)")
+    p_fl.add_argument("--bench", action="append", default=[], metavar="NAME",
+                      help="run only this bench (repeatable; default: all)")
+    p_fl.add_argument("--full", action="store_true",
+                      help="full-workload parameterizations (default: smoke)")
+    p_fl.add_argument("--workers", type=int, default=None,
+                      help="campaign worker processes (default: "
+                           "REPRO_CAMPAIGN_WORKERS or serial)")
+    p_fl.add_argument("--bench-dir", default=None,
+                      help="bench suite directory (default: benchmarks/ or "
+                           "REPRO_BENCH_ROOT)")
+    p_fl.add_argument("--list", action="store_true",
+                      help="print the registry and exit")
+    p_fl.add_argument("--baseline", metavar="HISTORY.jsonl", default=None,
+                      help="longitudinal history for gates and sparklines")
+    p_fl.add_argument("--gate", action="store_true",
+                      help="run the multi-metric regression gate against "
+                           "--baseline (exit 1 on regression)")
+    p_fl.add_argument("--gate-spec", action="append", default=[],
+                      metavar="METRIC[:THR[:DIR]]",
+                      help="override the default gates (repeatable), e.g. "
+                           "virtual_seconds:0.15 or "
+                           "counters.cellcache.hit_rate:0.1:higher")
+    p_fl.add_argument("--window", type=int, default=5,
+                      help="rolling-baseline window (default 5)")
+    p_fl.add_argument("--html", metavar="OUT.html", default=None,
+                      help="also write the self-contained fleet report")
+    p_fl.add_argument("--history", metavar="PATH", default=None,
+                      help="append freshly computed records to this history "
+                           "file (default: REPRO_BENCH_HISTORY)")
+    p_fl.add_argument("--throttle", type=float, default=0.0,
+                      help="per-shard pacing delay, for crash drills")
+    p_fl.set_defaults(func=_cmd_fleet)
+
+    p_val = sub.add_parser("validate", help="strict schema check of record JSONL")
+    p_val.add_argument("files", nargs="+", help="baseline.jsonl / fleet.jsonl files")
+    p_val.add_argument("--schema", default=None,
+                       help="subset JSON Schema (default benchmarks/schema.json)")
+    p_val.set_defaults(func=_cmd_validate)
 
     opts = parser.parse_args(argv)
     return opts.func(opts)

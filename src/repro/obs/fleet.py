@@ -1,0 +1,440 @@
+"""The benchmark fleet: every ``benchmarks/bench_*.py`` as one campaign.
+
+The repo's benches each know how to measure one figure or table and
+emit one schema-validated record (``benchmarks/_harness.py``).  This
+module is the layer above: a **registry** that enumerates the whole
+suite and refuses benches that don't declare a smoke parameterization,
+a **scenario adapter** (:class:`repro.campaign.spec.BenchSpec` +
+:func:`run_bench_scenario`) that turns one bench run into one campaign
+shard, and a **fleet runner** (:func:`run_fleet`, surfaced as
+``python -m repro.obs fleet``) that pushes the catalog through
+:func:`repro.campaign.runner.run_campaign` — so the suite inherits
+content-fingerprinted dedupe, cross-run caching, crash-safe resume,
+and the OS-process worker pool without any bench knowing about them.
+
+The product is ``fleet.jsonl``: one ledger line per catalog entry —
+the bench's own record plus a ``fleet`` stamp (deterministic fleet id,
+smoke/full mode, shard status, wall seconds, registry tags) — every
+line valid against ``benchmarks/schema.json``.  Failed shards become
+schema-valid rows too (status ``failed``, synthesized record carrying
+the error), so a fleet ledger is always complete: 26 catalog entries
+in, 26 rows out.
+
+Two deliberate containment rules keep concurrent workers honest:
+
+* ``run_bench_scenario`` strips ``REPRO_BENCH_DIR`` /
+  ``REPRO_BENCH_HISTORY`` from the worker's environment, because
+  ``append_history``'s read-modify-replace is atomic against crashes
+  but not against *concurrent writers*.  The fleet coordinator appends
+  freshly-computed records to the history centrally, single-writer.
+* Bench stdout (each bench prints its record) is swallowed in the
+  worker; the coordinator owns all reporting.
+
+The read side: :func:`load_fleet` for the ledger,
+:func:`repro.obs.history.compare_history_multi` for the multi-metric
+gate, and :func:`repro.obs.report.fleet_report` for the HTML view.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import importlib.util
+import inspect
+import io
+import json
+import os
+import sys
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from .model import NULL, Recorder
+from .schemacheck import validate_value
+
+__all__ = [
+    "BENCH_ROOT_ENV",
+    "FLEET_FILE",
+    "SMOKE_KINDS",
+    "BenchEntry",
+    "FleetError",
+    "FleetRun",
+    "build_registry",
+    "default_bench_dir",
+    "fleet_id",
+    "load_fleet",
+    "run_bench_scenario",
+    "run_fleet",
+]
+
+#: Overrides where the bench suite lives (tests point it at fixtures).
+BENCH_ROOT_ENV = "REPRO_BENCH_ROOT"
+
+#: Ledger filename written into the fleet output directory.
+FLEET_FILE = "fleet.jsonl"
+
+#: Valid ``FLEET["smoke"]`` declarations: ``"full"`` means the smoke
+#: workload *is* the full workload (already CI-cheap); ``"reduced"``
+#: means smoke mode cuts the problem down and must emit its record
+#: under a distinct ``<name>_smoke`` name so full-mode rolling
+#: baselines are never polluted with small-workload timings.
+SMOKE_KINDS = ("full", "reduced")
+
+#: Environment the worker must not see (single-writer rule above).
+_SUPPRESSED_ENV = ("REPRO_BENCH_DIR", "REPRO_BENCH_HISTORY")
+
+
+class FleetError(ValueError):
+    """A bench suite or fleet-ledger contract violation."""
+
+
+def default_bench_dir() -> str:
+    """The ``benchmarks/`` directory (``REPRO_BENCH_ROOT`` overrides)."""
+    env = os.environ.get(BENCH_ROOT_ENV, "").strip()
+    if env:
+        return env
+    here = os.path.dirname(os.path.abspath(__file__))  # src/repro/obs
+    root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    return os.path.join(root, "benchmarks")
+
+
+def _load_bench_module(bench_dir: str, stem: str):
+    """Import ``bench_<stem>.py`` under a private module name.
+
+    ``bench_dir`` goes on ``sys.path`` first because bench modules do
+    ``from _harness import run_main`` at call time.  Loaded modules are
+    cached in ``sys.modules`` so registry building and shard execution
+    in the same process import each file once.
+    """
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    name = f"_fleet_bench_{stem}"
+    if name in sys.modules:
+        return sys.modules[name]
+    path = os.path.join(bench_dir, f"bench_{stem}.py")
+    spec = importlib.util.spec_from_file_location(name, path)
+    if spec is None or spec.loader is None:
+        raise FleetError(f"cannot load bench module {path}")
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules[name] = mod
+    try:
+        spec.loader.exec_module(mod)
+    except BaseException:
+        sys.modules.pop(name, None)
+        raise
+    return mod
+
+
+def _harness(bench_dir: str):
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    import _harness  # noqa: PLC0415 — lives next to the benches
+
+    return _harness
+
+
+@dataclass(frozen=True)
+class BenchEntry:
+    """One registered bench: module stem, file, and FLEET metadata."""
+
+    name: str  # module stem, e.g. "fig7_cosmology"
+    path: str
+    tags: tuple[str, ...]
+    smoke: str  # one of SMOKE_KINDS
+
+    @property
+    def smoke_record_name(self) -> str:
+        """Record name the bench emits in smoke mode."""
+        return self.name if self.smoke == "full" else f"{self.name}_smoke"
+
+
+def build_registry(bench_dir: str | None = None) -> dict[str, BenchEntry]:
+    """Enumerate the suite; refuse benches without a smoke contract.
+
+    Every ``bench_*.py`` must expose ``main(smoke: bool = False)`` and a
+    module-level ``FLEET = {"tags": (...), "smoke": "full" | "reduced"}``.
+    Any offender fails the *whole* registry with one error naming all of
+    them — a fleet with silently missing benches would report green on
+    partial coverage, which is worse than failing loudly.
+    """
+    bench_dir = bench_dir or default_bench_dir()
+    if not os.path.isdir(bench_dir):
+        raise FleetError(f"bench directory not found: {bench_dir}")
+    entries: dict[str, BenchEntry] = {}
+    problems: list[str] = []
+    for filename in sorted(os.listdir(bench_dir)):
+        if not (filename.startswith("bench_") and filename.endswith(".py")):
+            continue
+        stem = filename[len("bench_"):-len(".py")]
+        try:
+            mod = _load_bench_module(bench_dir, stem)
+        except Exception as exc:  # noqa: BLE001 — collected, not fatal per-file
+            problems.append(f"{filename}: import failed ({type(exc).__name__}: {exc})")
+            continue
+        main = getattr(mod, "main", None)
+        if not callable(main):
+            problems.append(f"{filename}: no callable main()")
+            continue
+        if "smoke" not in inspect.signature(main).parameters:
+            problems.append(f"{filename}: main() lacks a smoke= parameter")
+            continue
+        meta = getattr(mod, "FLEET", None)
+        if not isinstance(meta, Mapping):
+            problems.append(f"{filename}: no FLEET metadata dict")
+            continue
+        smoke = meta.get("smoke")
+        if smoke not in SMOKE_KINDS:
+            problems.append(
+                f"{filename}: FLEET['smoke'] must be one of {SMOKE_KINDS}, got {smoke!r}"
+            )
+            continue
+        tags = tuple(str(t) for t in meta.get("tags", ()))
+        entries[stem] = BenchEntry(
+            name=stem, path=os.path.join(bench_dir, filename), tags=tags, smoke=smoke,
+        )
+    if problems:
+        listing = "\n".join(f"  - {p}" for p in problems)
+        raise FleetError(
+            f"{len(problems)} bench(es) violate the fleet smoke contract "
+            f"(main(smoke=...) plus FLEET metadata):\n{listing}"
+        )
+    if not entries:
+        raise FleetError(f"no bench_*.py found under {bench_dir}")
+    return entries
+
+
+def run_bench_scenario(params: Mapping) -> dict:
+    """Campaign entry point for :class:`~repro.campaign.spec.BenchSpec`.
+
+    Runs one bench's ``main(smoke=...)`` in this (worker) process with
+    record side channels disabled — environment-driven emit/history is
+    popped for the duration, stdout is swallowed — and returns the
+    bench record itself as the shard result.
+    """
+    bench = str(params["bench"])
+    smoke = bool(params.get("smoke", True))
+    mod = _load_bench_module(default_bench_dir(), bench)
+    saved = {k: os.environ.pop(k) for k in _SUPPRESSED_ENV if k in os.environ}
+    try:
+        with contextlib.redirect_stdout(io.StringIO()):
+            record = mod.main(smoke=smoke)
+    finally:
+        os.environ.update(saved)
+    if not isinstance(record, dict):
+        raise TypeError(f"bench {bench!r} main() returned {type(record).__name__}, not dict")
+    return record
+
+
+def fleet_id(catalog: Iterable, smoke: bool) -> str:
+    """Deterministic 32-hex id of a fleet: content of its catalog.
+
+    Same catalog + same mode -> same id, across machines and runs —
+    the fleet analogue of a scenario fingerprint, and what makes the
+    HTML report and golden-file tests reproducible.
+    """
+    from ..campaign.fingerprint import canonical_json
+    from ..campaign.spec import as_spec
+
+    h = hashlib.blake2b(digest_size=16)
+    h.update(b"fleet/smoke" if smoke else b"fleet/full")
+    for spec in catalog:
+        h.update(canonical_json(as_spec(spec).to_dict()).encode())
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+@dataclass
+class FleetRun:
+    """What one :func:`run_fleet` call produced."""
+
+    fleet_id: str
+    mode: str  # "smoke" | "full"
+    out_dir: str
+    ledger_path: str
+    rows: list[dict] = field(default_factory=list)
+    campaign: "object | None" = None  # CampaignReport
+
+    @property
+    def status_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for row in self.rows:
+            status = row["fleet"]["status"]
+            counts[status] = counts.get(status, 0) + 1
+        return counts
+
+    @property
+    def failed(self) -> list[dict]:
+        return [r for r in self.rows if r["fleet"]["status"] == "failed"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def to_dict(self) -> dict:
+        d = {
+            "fleet_id": self.fleet_id,
+            "mode": self.mode,
+            "out_dir": self.out_dir,
+            "ledger_path": self.ledger_path,
+            "benches": len(self.rows),
+            "ok": self.ok,
+            "status_counts": self.status_counts,
+        }
+        if self.campaign is not None:
+            d["campaign"] = self.campaign.to_dict()
+        return d
+
+
+def run_fleet(
+    benches: Sequence[str] | None = None,
+    *,
+    out_dir: str,
+    smoke: bool = True,
+    workers: int | None = None,
+    bench_dir: str | None = None,
+    observer: Recorder = NULL,
+    throttle: float = 0.0,
+    history: str | None = None,
+) -> FleetRun:
+    """Run the bench suite (or a subset) as one campaign.
+
+    ``benches`` selects registry stems (default: every registered
+    bench, sorted); unknown names fail fast.  ``out_dir`` receives the
+    campaign store under ``campaign/`` — rerunning the same fleet into
+    the same directory is all cache hits, and a fleet killed mid-run
+    resumes from its committed shards — plus the ``fleet.jsonl``
+    ledger.  ``history`` (or ``REPRO_BENCH_HISTORY``) receives one
+    appended line per *freshly computed* record, written only by this
+    coordinator process.
+    """
+    from ..campaign.runner import run_campaign
+    from ..campaign.spec import BenchSpec
+    from ..campaign.store import ResultStore
+
+    bench_dir = bench_dir or default_bench_dir()
+    registry = build_registry(bench_dir)
+    if benches is None:
+        names = sorted(registry)
+    else:
+        unknown = sorted(set(benches) - set(registry))
+        if unknown:
+            raise FleetError(
+                f"unknown bench(es) {unknown}; registered: {sorted(registry)}"
+            )
+        names = list(benches)
+
+    catalog = [BenchSpec(bench=name, smoke=smoke) for name in names]
+    mode = "smoke" if smoke else "full"
+    fid = fleet_id(catalog, smoke)
+    os.makedirs(out_dir, exist_ok=True)
+    campaign_dir = os.path.join(out_dir, "campaign")
+
+    # Shard execution resolves the suite via default_bench_dir(), both
+    # in-process and in pool workers (which inherit the environment at
+    # fork/spawn) — so an explicit bench_dir must ride the env var.
+    saved_root = os.environ.get(BENCH_ROOT_ENV)
+    os.environ[BENCH_ROOT_ENV] = bench_dir
+    t0 = observer.now()
+    try:
+        report = run_campaign(
+            catalog, campaign_dir, workers=workers, observer=observer, throttle=throttle,
+        )
+    finally:
+        if saved_root is None:
+            os.environ.pop(BENCH_ROOT_ENV, None)
+        else:
+            os.environ[BENCH_ROOT_ENV] = saved_root
+
+    store = ResultStore(campaign_dir)
+    results = store.load_results()
+    shard_rows = store.load_shards()  # catalog order, one row per entry
+    harness = _harness(bench_dir)
+    schema = harness.load_schema()
+
+    rows: list[dict] = []
+    for name, shard in zip(names, shard_rows):
+        entry = registry[name]
+        fp = shard["fingerprint"]
+        status = shard["status"]
+        error = shard.get("error") or report.errors.get(fp, "")
+        if fp in results:
+            record = dict(results[fp]["result"])
+        else:
+            # Failed shard (or dedupe of one): synthesize a schema-valid
+            # row so the ledger always covers the full catalog.
+            record = harness.bench_record(
+                name,
+                params={"smoke": smoke},
+                seconds=float(shard.get("seconds", 0.0)),
+                notes=f"FAILED: {error}" if error else "FAILED: no result",
+            )
+        stamp = {
+            "id": fid,
+            "mode": mode,
+            "bench": name,
+            "status": status,
+            "shard_seconds": float(shard.get("seconds", 0.0)),
+            "tags": list(entry.tags),
+        }
+        if error:
+            stamp["error"] = str(error)
+        record["fleet"] = stamp
+        errors = validate_value(record, schema)
+        if errors:
+            raise FleetError(
+                f"fleet row for bench {name!r} violates schema.json: {errors}"
+            )
+        rows.append(record)
+
+    ledger_path = os.path.join(out_dir, FLEET_FILE)
+    tmp = f"{ledger_path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w") as fh:
+            for row in rows:
+                fh.write(json.dumps(row, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, ledger_path)
+    finally:
+        if os.path.exists(tmp):
+            os.remove(tmp)
+
+    # Single-writer history append: only freshly computed records join
+    # the longitudinal baseline (cache/resume hits are old news, failed
+    # rows would poison rolling medians with near-zero timings).
+    history = history or os.environ.get(harness.HISTORY_ENV)
+    if history:
+        for row in rows:
+            if row["fleet"]["status"] == "computed":
+                harness.append_history(row, history)
+
+    observer.count("fleet.benches", len(rows))
+    observer.count("fleet.failed", len([r for r in rows if r["fleet"]["status"] == "failed"]))
+    observer.add_span("fleet", t0, observer.now(), cat="fleet",
+                      args={"id": fid, "mode": mode, "benches": len(rows)})
+    return FleetRun(
+        fleet_id=fid, mode=mode, out_dir=out_dir, ledger_path=ledger_path,
+        rows=rows, campaign=report,
+    )
+
+
+def load_fleet(path: str) -> list[dict]:
+    """Read a ``fleet.jsonl`` ledger (rows in catalog order).
+
+    Forgiving like :func:`repro.obs.history.load_history` — blank or
+    corrupt lines are skipped; rows without a ``fleet`` stamp are not
+    fleet rows and are skipped too.  Strict validation is the
+    ``python -m repro.obs validate`` verb's job.
+    """
+    rows: list[dict] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(row, dict) and isinstance(row.get("fleet"), dict):
+                rows.append(row)
+    return rows

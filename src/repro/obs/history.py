@@ -30,10 +30,16 @@ from typing import Any, Iterable, Mapping
 __all__ = [
     "BenchComparison",
     "ComparisonReport",
+    "MetricGate",
+    "MultiComparisonReport",
+    "DEFAULT_FLEET_GATES",
     "load_history",
     "robust_baseline",
     "compare_history",
+    "compare_history_multi",
     "format_comparison_report",
+    "format_multi_report",
+    "parse_gate_spec",
 ]
 
 #: How many baseline sigmas the latest run must exceed, in addition to
@@ -104,6 +110,7 @@ class ComparisonReport:
     metric: str
     threshold: float
     window: int
+    direction: str = "lower"  # "lower" | "higher" — which way is better
     rows: list[BenchComparison] = field(default_factory=list)
 
     @property
@@ -123,15 +130,35 @@ class ComparisonReport:
             "metric": self.metric,
             "threshold": self.threshold,
             "window": self.window,
+            "direction": self.direction,
             "ok": self.ok,
             "benches": [vars(r) for r in self.rows],
         }
 
 
+def _resolve_path(obj: Any, path: str) -> Any:
+    """Resolve a dotted metric path against (possibly nested) mappings.
+
+    A flat key containing dots wins at every level (``counters`` in
+    bench records is a flat ``str -> float`` mapping whose keys may
+    themselves be dotted, e.g. ``"cellcache.hit_rate"``); otherwise the
+    path descends one mapping per segment, so nested layouts like
+    ``{"counters": {"cellcache": {"hits": 5}}}`` resolve too.  Records
+    with neither shape yield None and are skipped, never dropped with a
+    wrong value.
+    """
+    if not isinstance(obj, Mapping):
+        return None
+    if path in obj:
+        return obj[path]
+    head, _, rest = path.partition(".")
+    if rest and head in obj:
+        return _resolve_path(obj[head], rest)
+    return None
+
+
 def _metric_value(entry: Mapping, metric: str) -> float | None:
-    value = entry.get(metric)
-    if metric.startswith("counters."):
-        value = entry.get("counters", {}).get(metric.split(".", 1)[1])
+    value = _resolve_path(entry, metric)
     if isinstance(value, bool) or not isinstance(value, (int, float)):
         return None
     return float(value)
@@ -144,24 +171,34 @@ def compare_history(
     threshold: float = 0.05,
     window: int = 5,
     noise_sigmas: float = NOISE_SIGMAS,
+    direction: str = "lower",
 ) -> ComparisonReport:
     """Compare each bench's latest run against its rolling baseline.
 
     ``metric`` names a top-level record field (``seconds``,
-    ``virtual_seconds``) or a counter via ``counters.<name>``.  Runs
-    whose metric is missing or non-positive are excluded (a bench that
-    never reports virtual time is skipped rather than failed).
+    ``virtual_seconds``) or a dotted path into nested or flat-dotted
+    mappings (``counters.cache_hits``, ``counters.cellcache.hit_rate``).
+    Runs whose metric is missing or non-positive are excluded (a bench
+    that never reports virtual time is skipped rather than failed).
+
+    ``direction`` says which way is better: ``"lower"`` (timings — a
+    higher latest value regresses) or ``"higher"`` (rates like cache
+    hit rate — a *lower* latest value regresses).
     """
     if threshold <= 0:
         raise ValueError("threshold must be positive")
     if window < 1:
         raise ValueError("window must be >= 1")
+    if direction not in ("lower", "higher"):
+        raise ValueError(f"direction must be 'lower' or 'higher', got {direction!r}")
     by_name: dict[str, list[float]] = {}
     for entry in entries:
         value = _metric_value(entry, metric)
         if value is not None and value > 0:
             by_name.setdefault(str(entry["name"]), []).append(value)
-    report = ComparisonReport(metric=metric, threshold=threshold, window=window)
+    report = ComparisonReport(
+        metric=metric, threshold=threshold, window=window, direction=direction,
+    )
     for name in sorted(by_name):
         values = by_name[name]
         if len(values) < 2:
@@ -174,13 +211,18 @@ def compare_history(
         base_window = values[max(0, len(values) - 1 - window):-1]
         med, sigma = robust_baseline(base_window)
         delta = latest / med - 1.0
-        if latest > med * (1.0 + threshold) and latest > med + noise_sigmas * sigma:
+        worse = latest > med * (1.0 + threshold) and latest > med + noise_sigmas * sigma
+        better = latest < med * (1.0 - threshold) and latest < med - noise_sigmas * sigma
+        if direction == "higher":
+            worse, better = better, worse
+        if worse:
             status = "regression"
             reason = (
                 f"{metric} {latest:.6g} is {delta:+.1%} vs baseline {med:.6g} "
-                f"(threshold {threshold:.0%}, noise sigma {sigma:.3g})"
+                f"(threshold {threshold:.0%}, noise sigma {sigma:.3g}, "
+                f"{direction} is better)"
             )
-        elif latest < med * (1.0 - threshold) and latest < med - noise_sigmas * sigma:
+        elif better:
             status = "improvement"
             reason = f"{metric} improved {delta:+.1%} vs baseline {med:.6g}"
         else:
@@ -190,6 +232,118 @@ def compare_history(
             name, len(values), med, sigma, latest, delta, status, reason,
         ))
     return report
+
+
+@dataclass(frozen=True)
+class MetricGate:
+    """One gated metric: what to compare, how far it may drift, which
+    way is better.  The unit of the fleet's multi-metric CI gate."""
+
+    metric: str
+    threshold: float = 0.05
+    direction: str = "lower"
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if self.direction not in ("lower", "higher"):
+            raise ValueError(
+                f"direction must be 'lower' or 'higher', got {self.direction!r}"
+            )
+
+
+#: The fleet CI gate: deterministic virtual seconds are the sharp edge,
+#: wall-clock is an order-of-magnitude backstop only — fleet shards run
+#: under worker-pool contention, which swings wall time several-fold
+#: run to run, so anything tighter than 400% flakes — recovery
+#: overhead guards the resilience benches (virtual, hence tight-able),
+#: and the cell-cache hit rate gates *downward* drift of the
+#: latency-hiding layer's effectiveness.
+DEFAULT_FLEET_GATES: tuple[MetricGate, ...] = (
+    MetricGate("virtual_seconds", 0.15),
+    MetricGate("seconds", 4.0),
+    MetricGate("counters.recovery_overhead_s", 0.25),
+    MetricGate("counters.cellcache.hit_rate", 0.10, direction="higher"),
+)
+
+
+@dataclass
+class MultiComparisonReport:
+    """One :class:`ComparisonReport` per gated metric, one verdict."""
+
+    window: int
+    reports: list[ComparisonReport] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[tuple[str, BenchComparison]]:
+        return [(rep.metric, row) for rep in self.reports for row in rep.regressions]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def gate_status(self, name: str) -> dict[str, str]:
+        """Per-metric status ("ok"/"regression"/...) for one bench."""
+        out: dict[str, str] = {}
+        for rep in self.reports:
+            for row in rep.rows:
+                if row.name == name:
+                    out[rep.metric] = row.status
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "window": self.window,
+            "ok": self.ok,
+            "metrics": [rep.to_dict() for rep in self.reports],
+        }
+
+
+def compare_history_multi(
+    entries: Iterable[Mapping],
+    gates: Iterable[MetricGate] = DEFAULT_FLEET_GATES,
+    *,
+    window: int = 5,
+    noise_sigmas: float = NOISE_SIGMAS,
+) -> MultiComparisonReport:
+    """The multi-metric regression gate over one shared history.
+
+    Runs :func:`compare_history` once per :class:`MetricGate`; the
+    verdict is the conjunction — any regression in any gated metric
+    fails the whole gate.  Benches missing a metric are skipped for
+    that metric only (a closed-form bench has no recovery time; that
+    must not mask a treecode cache regression).
+    """
+    entries = list(entries)
+    multi = MultiComparisonReport(window=window)
+    for gate in gates:
+        multi.reports.append(compare_history(
+            entries,
+            metric=gate.metric,
+            threshold=gate.threshold,
+            window=window,
+            noise_sigmas=noise_sigmas,
+            direction=gate.direction,
+        ))
+    return multi
+
+
+def parse_gate_spec(spec: str) -> MetricGate:
+    """Parse a CLI gate spec ``metric[:threshold[:direction]]``.
+
+    >>> parse_gate_spec("virtual_seconds:0.15")
+    MetricGate(metric='virtual_seconds', threshold=0.15, direction='lower')
+    >>> parse_gate_spec("counters.cellcache.hit_rate:0.1:higher").direction
+    'higher'
+    """
+    parts = spec.split(":")
+    if not parts[0]:
+        raise ValueError(f"empty metric in gate spec {spec!r}")
+    if len(parts) > 3:
+        raise ValueError(f"gate spec {spec!r} has too many fields")
+    threshold = float(parts[1]) if len(parts) > 1 and parts[1] else 0.05
+    direction = parts[2] if len(parts) > 2 else "lower"
+    return MetricGate(parts[0], threshold, direction)
 
 
 def format_comparison_report(report: ComparisonReport) -> str:
@@ -221,3 +375,23 @@ def format_comparison_report(report: ComparisonReport) -> str:
         lines = "\n".join(f"  - {r.name}: {r.reason}" for r in report.regressions)
         verdict = f"REGRESSION in {len(report.regressions)} bench(es):\n{lines}"
     return f"{table}\n{verdict}"
+
+
+def format_multi_report(multi: MultiComparisonReport) -> str:
+    """All per-metric tables plus the one conjoined verdict."""
+    blocks = [format_comparison_report(rep) for rep in multi.reports]
+    if multi.ok:
+        verdict = (
+            f"FLEET GATE OK: no regressions across "
+            f"{len(multi.reports)} gated metric(s)"
+        )
+    else:
+        lines = "\n".join(
+            f"  - [{metric}] {row.name}: {row.reason}"
+            for metric, row in multi.regressions
+        )
+        verdict = (
+            f"FLEET GATE REGRESSION in {len(multi.regressions)} "
+            f"bench-metric pair(s):\n{lines}"
+        )
+    return "\n\n".join(blocks + [verdict])

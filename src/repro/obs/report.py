@@ -33,7 +33,16 @@ from .analysis import (
 )
 from .model import Recorder, Span
 
-__all__ = ["svg_timeline", "html_report", "write_report", "CATEGORY_COLORS"]
+__all__ = [
+    "svg_timeline",
+    "svg_sparkline",
+    "html_report",
+    "fleet_report",
+    "write_report",
+    "write_fleet_report",
+    "CATEGORY_COLORS",
+    "WAIT_BAR_COLORS",
+]
 
 #: Category -> (light, dark) fill; a validated categorical palette
 #: (blue/orange/aqua), reserved red for crashes, neutral gray for
@@ -308,6 +317,273 @@ def html_report(
 def write_report(path: str, source: Recorder | Iterable[Span], **kwargs: Any) -> str:
     """Write :func:`html_report` output to ``path``; returns the path."""
     doc = html_report(source, **kwargs)
+    with open(path, "w") as fh:
+        fh.write(doc)
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Fleet report: the whole bench suite on one page.
+# ---------------------------------------------------------------------------
+
+#: Wait-cause -> fill for the stacked breakdown bars.  Identity is
+#: never color-alone: every segment carries a <title> tooltip and the
+#: same numbers appear in the adjacent table cells.
+WAIT_BAR_COLORS: dict[str, str] = {
+    "late-sender": "#eb6834",
+    "late-receiver": "#d95926",
+    "transfer": "#9a9890",
+    "collective-op": "#1baf7a",
+    "collective-imbalance": "#2a78d6",
+    "unclassified": "#52514e",
+}
+
+
+def svg_sparkline(
+    values: Iterable[float],
+    *,
+    width: int = 130,
+    height: int = 26,
+    label: str = "",
+) -> str:
+    """Tiny inline trend line for one bench metric series.
+
+    Degenerate inputs degrade gracefully rather than erroring: an empty
+    series renders a muted placeholder, a single point renders one dot,
+    and a flat series draws its line mid-band instead of dividing by a
+    zero range.  The full series is in the ``<title>`` tooltip.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return "<span class='muted'>(no history)</span>"
+    pad = 3.0
+    lo, hi = min(vals), max(vals)
+    span = hi - lo
+
+    def y(v: float) -> float:
+        if span == 0:
+            return height / 2.0
+        return pad + (height - 2 * pad) * (1.0 - (v - lo) / span)
+
+    def x(i: int) -> float:
+        if len(vals) == 1:
+            return width / 2.0
+        return pad + (width - 2 * pad) * i / (len(vals) - 1)
+
+    tip = html.escape(
+        (f"{label}: " if label else "") + ", ".join(f"{v:.6g}" for v in vals)
+    )
+    parts = [
+        f"<svg viewBox='0 0 {width} {height}' width='{width}' height='{height}' "
+        f"xmlns='http://www.w3.org/2000/svg' role='img' "
+        f"aria-label='{html.escape(label) or 'trend'}'><title>{tip}</title>"
+    ]
+    if len(vals) > 1:
+        pts = " ".join(f"{x(i):.2f},{y(v):.2f}" for i, v in enumerate(vals))
+        parts.append(
+            f"<polyline points='{pts}' fill='none' stroke='#2a78d6' "
+            "stroke-width='1.5'/>"
+        )
+    parts.append(
+        f"<circle cx='{x(len(vals) - 1):.2f}' cy='{y(vals[-1]):.2f}' r='2.4' "
+        "fill='#d95926'/>"
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _wait_bar(by_cause: Mapping[str, float], width: int = 220, height: int = 14) -> str:
+    """One stacked horizontal bar of wait seconds per cause."""
+    total = sum(v for v in by_cause.values() if v > 0)
+    if total <= 0:
+        return "<span class='muted'>(no blocked time)</span>"
+    parts = [
+        f"<svg viewBox='0 0 {width} {height}' width='{width}' height='{height}' "
+        "xmlns='http://www.w3.org/2000/svg' role='img' "
+        "aria-label='wait-state breakdown'>"
+    ]
+    x0 = 0.0
+    for cause in sorted(by_cause):
+        v = by_cause[cause]
+        if v <= 0:
+            continue
+        w = width * v / total
+        fill = WAIT_BAR_COLORS.get(cause, WAIT_BAR_COLORS["unclassified"])
+        tip = html.escape(f"{cause}: {v:.6g}s ({v / total:.0%})")
+        parts.append(
+            f"<rect x='{x0:.2f}' y='0' width='{max(w, 0.5):.2f}' "
+            f"height='{height}' fill='{fill}'><title>{tip}</title></rect>"
+        )
+        x0 += w
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _metric_series(history: Iterable[Mapping], name: str, metric: str) -> list[float]:
+    """History values of one metric for one bench, oldest first."""
+    from .history import _metric_value
+
+    out = []
+    for entry in history:
+        if entry.get("name") != name:
+            continue
+        value = _metric_value(entry, metric)
+        if value is not None:
+            out.append(value)
+    return out
+
+
+def _wait_causes(record: Mapping) -> dict[str, float]:
+    """``wait.<cause>_s`` counters of one record, as cause -> seconds."""
+    out = {}
+    for key, value in record.get("counters", {}).items():
+        if key.startswith("wait.") and key.endswith("_s"):
+            out[key[len("wait."):-len("_s")]] = float(value)
+    return out
+
+
+def _gate_cell(statuses: Mapping[str, str]) -> str:
+    """The red/green gate column for one bench.
+
+    ``regression`` anywhere is red; all-skipped means the gate never
+    saw this bench (no baseline yet) and renders muted, not green.
+    """
+    seen = set(statuses.values())
+    if "regression" in seen:
+        detail = ", ".join(m for m, s in sorted(statuses.items()) if s == "regression")
+        return f"<span class='bad'>FAIL ({html.escape(detail)})</span>"
+    if seen and seen != {"skipped"}:
+        return "<span class='ok'>OK</span>"
+    return "<span class='muted'>no baseline</span>"
+
+
+def fleet_report(
+    rows: Iterable[Mapping],
+    *,
+    history: Iterable[Mapping] | None = None,
+    multi: Any | None = None,
+    title: str = "repro.obs fleet report",
+) -> str:
+    """Render one fleet ledger as a single self-contained HTML page.
+
+    ``rows`` is the ``fleet.jsonl`` content (:func:`repro.obs.fleet.load_fleet`);
+    ``history`` the longitudinal record behind the per-bench sparklines
+    (wall seconds, virtual seconds, cell-cache hit rate); ``multi`` a
+    :class:`repro.obs.history.MultiComparisonReport` driving the
+    red/green gate column.  Output is deterministic for fixed inputs —
+    no timestamps, no environment — so golden-file tests can pin it.
+    """
+    rows = list(rows)
+    history = list(history or [])
+    fleet_meta = rows[0]["fleet"] if rows else {}
+    n_failed = sum(1 for r in rows if r["fleet"]["status"] == "failed")
+
+    body_rows = []
+    for r in rows:
+        meta = r["fleet"]
+        name = str(r.get("name", meta["bench"]))
+        wall = _metric_series(history, name, "seconds") + [float(r["seconds"])]
+        virt = _metric_series(history, name, "virtual_seconds")
+        v_now = float(r.get("virtual_seconds", 0.0))
+        if v_now > 0:
+            virt.append(v_now)
+        hit = _metric_series(history, name, "counters.cellcache.hit_rate")
+        hit_now = r.get("counters", {}).get("cellcache.hit_rate")
+        if hit_now is not None:
+            hit.append(float(hit_now))
+        status = meta["status"]
+        status_cell = (
+            f"<span class='bad'>{html.escape(status)}</span>" if status == "failed"
+            else html.escape(status)
+        )
+        gate = _gate_cell(multi.gate_status(name)) if multi is not None else (
+            "<span class='muted'>-</span>"
+        )
+        body_rows.append(
+            "<tr>"
+            f"<td>{html.escape(name)}</td>"
+            f"<td>{status_cell}</td>"
+            f"<td>{html.escape(', '.join(meta.get('tags', [])))}</td>"
+            f"<td>{_fmt(float(r['seconds']))}</td>"
+            f"<td>{svg_sparkline(wall, label=f'{name} wall s')}</td>"
+            f"<td>{_fmt(v_now) if v_now > 0 else '-'}</td>"
+            f"<td>{svg_sparkline(virt, label=f'{name} virtual s')}</td>"
+            f"<td>{svg_sparkline(hit, label=f'{name} cache hit rate')}</td>"
+            f"<td>{gate}</td>"
+            "</tr>"
+        )
+    head = "".join(
+        f"<th>{html.escape(h)}</th>"
+        for h in ["bench", "status", "tags", "wall s", "wall trend",
+                  "virtual s", "virtual trend", "cache hit trend", "gate"]
+    )
+    summary = (
+        f"<table><thead><tr>{head}</tr></thead>"
+        f"<tbody>{''.join(body_rows)}</tbody></table>"
+    )
+
+    sections = [
+        "<h2>Suite</h2>"
+        + (
+            f"<p class='bad'>{n_failed} bench(es) FAILED</p>" if n_failed
+            else "<p class='ok'>all benches completed</p>"
+        )
+        + summary
+    ]
+
+    wait_rows = []
+    for r in rows:
+        causes = _wait_causes(r)
+        if not causes:
+            continue
+        total = sum(causes.values())
+        top = max(causes, key=lambda c: causes[c]) if total > 0 else "-"
+        wait_rows.append([
+            html.escape(str(r.get("name", ""))), total, top, _wait_bar(causes),
+        ])
+    if wait_rows:
+        body = "".join(
+            "<tr>" + "".join(
+                f"<td>{cell if isinstance(cell, str) else _fmt(cell)}</td>"
+                for cell in row
+            ) + "</tr>"
+            for row in wait_rows
+        )
+        sections.append(
+            "<h2>Wait states</h2>"
+            "<p class='muted'>Engine wait-state mix (virtual seconds) for "
+            "benches that record it; hover a segment for cause and share.</p>"
+            "<table><thead><tr><th>bench</th><th>blocked s</th>"
+            "<th>dominant cause</th><th>breakdown</th></tr></thead>"
+            f"<tbody>{body}</tbody></table>"
+        )
+
+    if multi is not None:
+        from .history import format_multi_report
+
+        sections.append(
+            "<h2>Multi-metric gate</h2>"
+            f"<pre class='muted'>{html.escape(format_multi_report(multi))}</pre>"
+        )
+
+    subtitle = (
+        f"fleet {html.escape(str(fleet_meta.get('id', '?')))} &middot; "
+        f"mode {html.escape(str(fleet_meta.get('mode', '?')))} &middot; "
+        f"{len(rows)} bench(es)"
+    )
+    return (
+        "<!doctype html><html lang='en'><head><meta charset='utf-8'>"
+        f"<title>{html.escape(title)}</title><style>{_CSS}</style></head><body>"
+        f"<h1>{html.escape(title)}</h1>"
+        f"<p class='muted'>{subtitle}</p>"
+        + "".join(sections)
+        + "</body></html>\n"
+    )
+
+
+def write_fleet_report(path: str, rows: Iterable[Mapping], **kwargs: Any) -> str:
+    """Write :func:`fleet_report` output to ``path``; returns the path."""
+    doc = fleet_report(rows, **kwargs)
     with open(path, "w") as fh:
         fh.write(doc)
     return path

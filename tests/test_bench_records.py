@@ -56,9 +56,11 @@ class TestSchema:
         assert schema["type"] == "object"
         assert schema["additionalProperties"] is False
         assert set(schema["required"]) <= set(schema["properties"])
-        # "shards" is the one optional field: scalar benches keep the
-        # original record shape, campaign benches attach the breakdown.
-        assert set(schema["properties"]) - set(schema["required"]) == {"shards"}
+        # Optional fields: "shards" (campaign benches attach the
+        # breakdown), "ts" (append_history timestamps history lines),
+        # "fleet" (the fleet runner stamps ledger lines).  Scalar bench
+        # records keep the original required-only shape.
+        assert set(schema["properties"]) - set(schema["required"]) == {"shards", "ts", "fleet"}
 
     def test_good_record_validates(self, harness):
         record = harness.bench_record(

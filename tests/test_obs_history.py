@@ -13,7 +13,18 @@ import sys
 
 import pytest
 
-from repro.obs import compare_history, format_comparison_report, load_history, robust_baseline
+from repro.obs import (
+    DEFAULT_FLEET_GATES,
+    MetricGate,
+    compare_history,
+    compare_history_multi,
+    format_comparison_report,
+    format_multi_report,
+    load_history,
+    parse_gate_spec,
+    robust_baseline,
+)
+from repro.obs.history import _metric_value
 
 BENCH_DIR = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "benchmarks"
@@ -183,3 +194,140 @@ class TestHarnessAppendHistory:
         assert entry["name"] == "unit.history"
         assert entry["virtual_seconds"] == 0.5
         assert entry["seconds"] == record["seconds"]
+
+
+class TestDottedMetricPaths:
+    """Regression suite for the ``_metric_value`` dotted-path fix:
+    bench counters are a *flat* ``str -> float`` map whose keys may
+    themselves contain dots (``cellcache.hit_rate``), so a flat key
+    must win before any nested descent is attempted."""
+
+    def test_flat_dotted_counter_key_resolves(self):
+        entry = {"name": "b", "counters": {"cellcache.hit_rate": 0.9}}
+        assert _metric_value(entry, "counters.cellcache.hit_rate") == 0.9
+
+    def test_nested_mapping_still_resolves(self):
+        entry = {"name": "b", "counters": {"cellcache": {"hit_rate": 0.8}}}
+        assert _metric_value(entry, "counters.cellcache.hit_rate") == 0.8
+
+    def test_flat_key_wins_over_nested_descent(self):
+        entry = {"name": "b", "counters": {
+            "cellcache.hit_rate": 0.9, "cellcache": {"hit_rate": 0.1},
+        }}
+        assert _metric_value(entry, "counters.cellcache.hit_rate") == 0.9
+
+    def test_missing_and_non_numeric_yield_none(self):
+        assert _metric_value({"name": "b"}, "counters.x") is None
+        assert _metric_value({"counters": {"x": "fast"}}, "counters.x") is None
+        assert _metric_value({"counters": {"x": True}}, "counters.x") is None
+        assert _metric_value({"counters": 3.0}, "counters.x") is None
+
+    def test_compare_history_gates_on_dotted_counter(self):
+        entries = [
+            {"name": "b", "counters": {"cellcache.hit_rate": v}}
+            for v in (0.9, 0.9, 0.9, 0.9, 0.4)  # latest collapses
+        ]
+        report = compare_history(
+            entries, metric="counters.cellcache.hit_rate",
+            threshold=0.1, direction="higher",
+        )
+        (row,) = report.rows
+        assert row.status == "regression"
+
+
+class TestMetricGateSpec:
+    def test_parse_forms(self):
+        gate = parse_gate_spec("virtual_seconds")
+        assert gate == MetricGate("virtual_seconds", 0.05, "lower")
+        assert parse_gate_spec("seconds:2.0").threshold == 2.0
+        gate = parse_gate_spec("counters.cellcache.hit_rate:0.1:higher")
+        assert gate.metric == "counters.cellcache.hit_rate"
+        assert gate.direction == "higher"
+        # Empty threshold field keeps the default.
+        assert parse_gate_spec("seconds::higher").threshold == 0.05
+
+    def test_parse_rejects_malformed_specs(self):
+        with pytest.raises(ValueError):
+            parse_gate_spec(":0.1")
+        with pytest.raises(ValueError):
+            parse_gate_spec("a:b:c:d")
+        with pytest.raises(ValueError):
+            parse_gate_spec("seconds:0.1:sideways")
+
+    def test_metric_gate_validates(self):
+        with pytest.raises(ValueError):
+            MetricGate("seconds", threshold=0.0)
+        with pytest.raises(ValueError):
+            MetricGate("seconds", direction="up")
+
+    def test_default_fleet_gates_cover_issue_metrics(self):
+        metrics = {g.metric for g in DEFAULT_FLEET_GATES}
+        assert {"seconds", "virtual_seconds",
+                "counters.recovery_overhead_s",
+                "counters.cellcache.hit_rate"} <= metrics
+        by_metric = {g.metric: g for g in DEFAULT_FLEET_GATES}
+        assert by_metric["counters.cellcache.hit_rate"].direction == "higher"
+
+
+class TestMultiMetricGate:
+    @staticmethod
+    def _history():
+        entries = []
+        for _ in range(4):
+            entries.append({"name": "t", "seconds": 1.0, "virtual_seconds": 10.0,
+                            "counters": {"cellcache.hit_rate": 0.9}})
+            entries.append({"name": "cheap", "seconds": 0.2})
+        return entries
+
+    def test_clean_history_passes_every_gate(self):
+        multi = compare_history_multi(self._history() + [
+            {"name": "t", "seconds": 1.0, "virtual_seconds": 10.0,
+             "counters": {"cellcache.hit_rate": 0.9}},
+        ])
+        assert multi.ok
+        assert "FLEET GATE OK" in format_multi_report(multi)
+
+    def test_one_regressed_metric_fails_the_whole_gate(self):
+        multi = compare_history_multi(self._history() + [
+            {"name": "t", "seconds": 1.0, "virtual_seconds": 14.0,  # +40%
+             "counters": {"cellcache.hit_rate": 0.9}},
+        ])
+        assert not multi.ok
+        assert [(m, r.name) for m, r in multi.regressions] == \
+            [("virtual_seconds", "t")]
+        assert "FLEET GATE REGRESSION in 1 bench-metric pair(s)" in \
+            format_multi_report(multi)
+
+    def test_hit_rate_gates_downward_drift(self):
+        multi = compare_history_multi(self._history() + [
+            {"name": "t", "seconds": 1.0, "virtual_seconds": 10.0,
+             "counters": {"cellcache.hit_rate": 0.5}},  # cache collapsed
+        ])
+        assert [(m, r.name) for m, r in multi.regressions] == \
+            [("counters.cellcache.hit_rate", "t")]
+
+    def test_missing_metric_skips_without_masking(self):
+        """A bench with no recovery/cache counters is skipped for those
+        metrics only; its timing gates still run."""
+        multi = compare_history_multi(self._history() + [
+            {"name": "cheap", "seconds": 0.2},
+        ])
+        assert multi.ok
+        status = multi.gate_status("cheap")
+        assert status["seconds"] == "ok"
+        assert "counters.recovery_overhead_s" not in status  # never seen
+
+    def test_gate_status_per_bench(self):
+        multi = compare_history_multi(self._history() + [
+            {"name": "t", "seconds": 1.0, "virtual_seconds": 14.0,
+             "counters": {"cellcache.hit_rate": 0.9}},
+        ])
+        status = multi.gate_status("t")
+        assert status["virtual_seconds"] == "regression"
+        assert status["seconds"] == "ok"
+        assert multi.gate_status("nonexistent") == {}
+
+    def test_to_dict_is_json_ready(self):
+        multi = compare_history_multi(self._history())
+        doc = json.dumps(multi.to_dict())
+        assert '"ok": true' in doc
