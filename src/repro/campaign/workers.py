@@ -3,11 +3,13 @@
 SimMPI simulates parallelism inside one interpreter; the campaign
 layer is where this repo uses *real* cores.  Shards are independent by
 construction (a spec is pure data, a result is pure content), so the
-pool is plain :class:`concurrent.futures.ProcessPoolExecutor` — no
-shared state, results travel back by value, and the coordinator
-remains the only process that ever writes the store or the checkpoint
-ledger.  A worker therefore cannot corrupt a campaign: the worst a
-dying worker does is fail its shard.
+pool is :class:`repro.core.procpool.ProcPool` — no shared state,
+results travel back by value, and the coordinator remains the only
+process that ever writes the store or the checkpoint ledger.  A worker
+therefore cannot corrupt a campaign: a task exception becomes a
+``failed`` shard record inside :func:`execute_shard`, and a *dying*
+worker (SIGKILL, OOM) is retried once in a rebuilt pool before it too
+becomes an error record — never an exception out of the generator.
 
 Worker count resolution, in priority order: explicit ``workers=``
 kwarg, the ``REPRO_CAMPAIGN_WORKERS`` environment variable, serial.
@@ -20,9 +22,9 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Iterable, Iterator, Mapping
 
+from ..core.procpool import ProcPool
 from .spec import spec_from_dict
 
 __all__ = ["WORKERS_ENV", "resolve_workers", "execute_shard", "run_shards"]
@@ -89,19 +91,27 @@ def run_shards(
     runner checkpoints per completion and canonicalizes order at
     finalization, which is exactly what makes the two modes
     bit-identical at the store level.
+
+    Pool-level failures (a worker killed hard enough to exhaust the
+    retry) surface as :func:`execute_shard`-shaped error records, so a
+    chaos event degrades to one failed shard row instead of aborting
+    the campaign.
     """
     items = list(items)
     if workers <= 1 or len(items) <= 1:
         for fp, spec_dict in items:
             yield fp, execute_shard(spec_dict, throttle)
         return
-    with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
-        pending = {
-            pool.submit(execute_shard, spec_dict, throttle): fp
-            for fp, spec_dict in items
-        }
-        while pending:
-            done, _ = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                fp = pending.pop(future)
-                yield fp, future.result()
+    with ProcPool(workers=min(workers, len(items))) as pool:
+        args_list = [(spec_dict, throttle) for _, spec_dict in items]
+        for result in pool.imap_unordered(execute_shard, args_list):
+            fp, spec_dict = items[result.index]
+            if result.ok:
+                yield fp, result.value
+            else:
+                yield fp, {
+                    "kind": str(spec_dict.get("kind", "?")),
+                    "spec": dict(spec_dict),
+                    "error": result.error,
+                    "seconds": 0.0,
+                }

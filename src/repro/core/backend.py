@@ -53,6 +53,23 @@ accumulated in place):
   gather sum); empty segments produce exact zeros.
 * ``scatter_add(target, idx, values)`` — unordered scatter-add (the
   SPH pairwise force accumulation).
+* ``bincount_sum(idx, weights, minlength)`` — weighted bincount that
+  accumulates **in input order** (the contract the CIC deposit and the
+  histogram binners rely on for bit-identity with their references;
+  ``weights=None`` counts into int64).
+* ``scatter_min(target, idx, values)`` — unordered scatter-minimum
+  (the FoF hook step; minimum is order-independent, so it needs no
+  ordering contract).
+* ``pair_within(pos, i_idx, j_idx, r2)`` — boolean mask of index
+  pairs with squared separation ``<= r2`` (the SPH neighbor distance
+  filter; pure comparisons, exact on every backend).
+
+The ``multiprocess`` backend (see :mod:`repro.core.procpool`) wraps a
+base backend and shards the two rectangle kernels across an OS-process
+pool; everything else runs inline.  Because each rectangle's per-sink
+result is independent of how rectangles are batched (padding is a
+function of the rectangle's own width only), the sharded evaluation is
+bit-identical to serial.
 """
 
 from __future__ import annotations
@@ -101,6 +118,15 @@ class KernelBackend:
         raise NotImplementedError
 
     def scatter_add(self, target, idx, values):
+        raise NotImplementedError
+
+    def bincount_sum(self, idx, weights=None, minlength=0):
+        raise NotImplementedError
+
+    def scatter_min(self, target, idx, values):
+        raise NotImplementedError
+
+    def pair_within(self, pos, i_idx, j_idx, r2):
         raise NotImplementedError
 
     def __repr__(self) -> str:
@@ -206,9 +232,12 @@ class NumpyBackend(KernelBackend):
         if cell_ids.size == 0:
             return
         widths = np.diff(offsets)
-        col_cache = np.arange(int(widths.max()), dtype=np.int64)
         for sel, W in _pad_bins(widths):
-            col = col_cache[:W]
+            # W can exceed widths.max() (it pads *up*), so build the
+            # column index per bin: a rect's padded row length must be a
+            # function of its own width only, or per-rect results would
+            # depend on call composition through the reduction grouping.
+            col = np.arange(W, dtype=np.int64)
             for lo, hi in _chunk_rects(counts[sel], W, pair_chunk):
                 sub = sel[lo:hi]
                 wv = widths[sub]
@@ -307,9 +336,8 @@ class NumpyBackend(KernelBackend):
         if src_ids.size == 0:
             return
         widths = np.diff(offsets)
-        col_cache = np.arange(int(widths.max()), dtype=np.int64)
         for sel, W in _pad_bins(widths):
-            col = col_cache[:W]
+            col = np.arange(W, dtype=np.int64)  # per bin: W can exceed widths.max()
             for lo, hi in _chunk_rects(counts[sel], W, pair_chunk):
                 sub = sel[lo:hi]
                 wv = widths[sub]
@@ -384,6 +412,19 @@ class NumpyBackend(KernelBackend):
     def scatter_add(self, target, idx, values):
         np.add.at(target, idx, values)
 
+    def bincount_sum(self, idx, weights=None, minlength=0):
+        # np.bincount accumulates weights sequentially in input order,
+        # the same order np.add.at applies them — the property the CIC
+        # deposit's bit-identity with its reference rests on.
+        return np.bincount(idx, weights=weights, minlength=minlength)
+
+    def scatter_min(self, target, idx, values):
+        np.minimum.at(target, idx, values)
+
+    def pair_within(self, pos, i_idx, j_idx, r2):
+        d = pos[i_idx] - pos[j_idx]
+        return np.einsum("ij,ij->i", d, d) <= r2
+
 
 # -- registry -----------------------------------------------------------
 
@@ -441,3 +482,12 @@ def _make_numba() -> KernelBackend:
 
 if _numba_importable():  # pragma: no cover - exercised on the numba CI leg
     register_backend("numba", _make_numba)
+
+
+def _make_multiprocess() -> KernelBackend:
+    from .procpool import MultiprocessBackend
+
+    return MultiprocessBackend()
+
+
+register_backend("multiprocess", _make_multiprocess)

@@ -151,6 +151,36 @@ def _scatter_add_1d(target, idx, values):
 
 
 @njit(cache=True)
+def _bincount_weighted(idx, weights, out):
+    # Sequential in input order — same accumulation order as
+    # np.bincount/np.add.at, so the deposit bit-identity holds here too.
+    for k in range(idx.shape[0]):
+        out[idx[k]] += weights[k]
+
+
+@njit(cache=True)
+def _bincount_plain(idx, out):
+    for k in range(idx.shape[0]):
+        out[idx[k]] += 1
+
+
+@njit(cache=True)
+def _scatter_min_kernel(target, idx, values):
+    for k in range(idx.shape[0]):
+        if values[k] < target[idx[k]]:
+            target[idx[k]] = values[k]
+
+
+@njit(cache=True)
+def _pair_within_kernel(pos, i_idx, j_idx, r2, out):
+    for k in range(i_idx.shape[0]):
+        dx = pos[i_idx[k], 0] - pos[j_idx[k], 0]
+        dy = pos[i_idx[k], 1] - pos[j_idx[k], 1]
+        dz = pos[i_idx[k], 2] - pos[j_idx[k], 2]
+        out[k] = dx * dx + dy * dy + dz * dz <= r2[k]
+
+
+@njit(cache=True)
 def _scatter_add_2d(target, idx, values):
     for k in range(idx.shape[0]):
         for d in range(values.shape[1]):
@@ -224,3 +254,33 @@ class NumbaBackend(KernelBackend):
             _scatter_add_1d(target, idx, values)
         else:
             _scatter_add_2d(target, idx, values)
+
+    def bincount_sum(self, idx, weights=None, minlength=0):
+        idx = np.ascontiguousarray(idx, dtype=np.int64)
+        length = max(int(minlength), int(idx.max()) + 1 if idx.size else 0)
+        if weights is None:
+            out = np.zeros(length, dtype=np.int64)
+            if idx.size:
+                _bincount_plain(idx, out)
+            return out
+        out = np.zeros(length, dtype=np.float64)
+        if idx.size:
+            _bincount_weighted(idx, np.ascontiguousarray(weights, dtype=np.float64), out)
+        return out
+
+    def scatter_min(self, target, idx, values):
+        idx = np.ascontiguousarray(idx, dtype=np.int64)
+        values = np.ascontiguousarray(values, dtype=target.dtype)
+        if idx.size:
+            _scatter_min_kernel(target, idx, values)
+
+    def pair_within(self, pos, i_idx, j_idx, r2):
+        i_idx = np.ascontiguousarray(i_idx, dtype=np.int64)
+        out = np.empty(i_idx.shape[0], dtype=np.bool_)
+        if i_idx.size:
+            _pair_within_kernel(
+                np.ascontiguousarray(pos, dtype=np.float64), i_idx,
+                np.ascontiguousarray(j_idx, dtype=np.int64),
+                np.ascontiguousarray(r2, dtype=np.float64), out,
+            )
+        return out

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -70,8 +71,13 @@ def content_fingerprint(chunks, digest_size: int = 16) -> bytes:
     return h.digest()
 
 
+@lru_cache(maxsize=1 << 20)
 def key_interval(key: int) -> tuple[int, int]:
-    """Particle-key interval [lo, hi) covered by a cell key."""
+    """Particle-key interval [lo, hi) covered by a cell key.
+
+    Cached: every sink group's walk re-derives intervals for the same
+    shared top-of-tree keys, so this sits on the traversal hot path.
+    """
     level = key_level(key)
     width = 3 * (MAX_LEVEL - level)
     body = (key - (1 << (3 * level))) << width
@@ -221,6 +227,10 @@ class CellServer:
         second[:, 5] = self.masses * p[:, 1] * p[:, 2]
         self._cs = np.zeros((n + 1, 6))
         np.cumsum(second, axis=0, out=self._cs[1:])
+        # Default-variant record memo: records are immutable once built
+        # and a server's particle data never changes, so every repeat
+        # ask (local walks, remote serving, prefetch) shares one record.
+        self._record_memo: dict[int, CellRecord] = {}
 
     @property
     def n_particles(self) -> int:
@@ -263,11 +273,19 @@ class CellServer:
         ``with_particles`` defaults to "yes if leaf" (what a remote
         requester needs); pass False to suppress the payload.
         """
+        default = with_particles is None
+        if default:
+            memo = self._record_memo.get(key)
+            if memo is not None:
+                return memo
         s, e = self.run_of(key)
         count = e - s
         level = key_level(key)
         if count == 0:
-            return CellRecord(key, 0, 0.0, np.zeros(3), np.zeros(6), 0.0, True)
+            rec = CellRecord(key, 0, 0.0, np.zeros(3), np.zeros(6), 0.0, True)
+            if default:
+                self._record_memo[key] = rec
+            return rec
         mass = float(self._cm[e] - self._cm[s])
         mx = self._cmx[e] - self._cmx[s]
         raw2 = self._cs[e] - self._cs[s]
@@ -300,6 +318,8 @@ class CellServer:
         if with_particles and is_leaf:
             rec.positions = self.positions[s:e].copy()
             rec.masses = self.masses[s:e].copy()
+        if default:
+            self._record_memo[key] = rec
         return rec
 
     def leaf_groups(self, branch_keys: list[int]) -> list[tuple[int, int, int]]:

@@ -11,11 +11,19 @@ from .background import EDS, LCDM, Cosmology
 from .correlation import (
     correlation_function,
     measured_power_spectrum,
+    measured_power_spectrum_reference,
     pair_counts_periodic,
+    pair_counts_periodic_reference,
 )
-from .fof import FofResult, Halo, friends_of_friends
+from .fof import FofResult, Halo, friends_of_friends, friends_of_friends_reference
 from .ics import InitialConditions, gaussian_field, zeldovich_ics
-from .pm import PMSolver, cic_deposit, cic_interpolate
+from .pm import (
+    PMSolver,
+    cic_deposit,
+    cic_deposit_reference,
+    cic_interpolate,
+    cic_interpolate_reference,
+)
 from .power import PowerSpectrum, bbks_transfer, tophat_window
 from .simulation import PAPER_RUN, ComovingSimulation, CosmologyRunModel
 
@@ -31,14 +39,19 @@ __all__ = [
     "gaussian_field",
     "PMSolver",
     "cic_deposit",
+    "cic_deposit_reference",
     "cic_interpolate",
+    "cic_interpolate_reference",
     "ComovingSimulation",
     "CosmologyRunModel",
     "PAPER_RUN",
     "Halo",
     "FofResult",
     "friends_of_friends",
+    "friends_of_friends_reference",
     "pair_counts_periodic",
+    "pair_counts_periodic_reference",
     "correlation_function",
     "measured_power_spectrum",
+    "measured_power_spectrum_reference",
 ]

@@ -5,7 +5,23 @@ paper's: particles closer than ``b`` times the mean interparticle
 separation belong to the same group ("dark matter halos" whose
 "sub-structure" the Section 4.3 runs resolve).  Periodic boundaries are
 honored; linking uses a cell grid so only neighboring cells are
-searched, and group merging is union-find with path compression.
+searched.
+
+Two implementations share the grid hashing and the halo extraction:
+
+* :func:`friends_of_friends_reference` — per-pair Python union-find
+  with path compression, the historical implementation.
+* :func:`friends_of_friends` — the default batched path: close pairs
+  are collected per cell-pair block (the same vectorized distance
+  test), and connected components are solved by min-label propagation
+  — backend ``scatter_min`` hooks plus pointer jumping.
+
+They produce **bit-identical catalogs**: the union-find's
+``parent[max] = min`` rule makes every final root the minimum particle
+index of its component (induction over unions), and min-label
+propagation converges to exactly that labeling; identical roots walk
+through the shared extraction to identical halos and group ids
+(pinned by ``tests/test_cosmology_backend_differential.py``).
 """
 
 from __future__ import annotations
@@ -14,7 +30,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Halo", "FofResult", "friends_of_friends"]
+from ..core.backend import get_backend
+
+__all__ = ["Halo", "FofResult", "friends_of_friends", "friends_of_friends_reference"]
 
 
 class _UnionFind:
@@ -72,27 +90,23 @@ def _periodic_com(positions: np.ndarray, masses: np.ndarray) -> np.ndarray:
     return np.mod(np.arctan2(s, c) / (2.0 * np.pi), 1.0)
 
 
-def friends_of_friends(
-    positions: np.ndarray,
-    masses: np.ndarray | None = None,
-    *,
-    linking_length: float = 0.2,
-    min_members: int = 10,
-) -> FofResult:
-    """FoF groups on a periodic unit box.
+def _prepare(positions, masses, linking_length, min_members):
+    """Shared validation + grid hashing for both implementations.
 
-    ``linking_length`` is in units of the mean interparticle separation
-    (the community-standard b = 0.2 default); ``min_members`` drops
-    spurious few-particle groups, as every halo catalog does.
+    Returns ``(positions, masses, link2, n_cells, members_of)`` with
+    ``members_of`` mapping cell id -> member particle indices, or
+    ``None`` for an empty input (no particles — no halos).
     """
     positions = np.mod(np.asarray(positions, dtype=np.float64), 1.0)
     n = positions.shape[0]
     if positions.ndim != 2 or positions.shape[1] != 3:
         raise ValueError("positions must be (N, 3)")
     if masses is None:
-        masses = np.full(n, 1.0 / n)
+        masses = np.full(n, 1.0 / n) if n else np.zeros(0)
     if linking_length <= 0 or min_members < 1:
         raise ValueError("invalid FoF parameters")
+    if n == 0:
+        return None
     link = linking_length * n ** (-1.0 / 3.0)  # box units
     # Cell grid with cells >= the linking length.
     n_cells = max(int(1.0 / link), 1)
@@ -108,14 +122,22 @@ def friends_of_friends(
         int(sorted_ids[boundaries[i]]): order[boundaries[i] : boundaries[i + 1]]
         for i in range(boundaries.size - 1)
     }
-    uf = _UnionFind(n)
-    link2 = link * link
-    offsets = [(dx, dy, dz) for dx in (-1, 0, 1) for dy in (-1, 0, 1) for dz in (-1, 0, 1)]
+    return positions, masses, link * link, n_cells, members_of
+
+
+_NEIGHBOR_OFFSETS = [
+    (dx, dy, dz) for dx in (-1, 0, 1) for dy in (-1, 0, 1) for dz in (-1, 0, 1)
+]
+
+
+def _cell_pairs(members_of: dict[int, np.ndarray], n_cells: int):
+    """Yield ``(idx_a, idx_b, same_cell)`` member blocks to link, each
+    unordered cell pair exactly once (the reference's visit order)."""
     for cid, idx_a in members_of.items():
         cz = cid % n_cells
         cy = (cid // n_cells) % n_cells
         cx = cid // (n_cells * n_cells)
-        for dx, dy, dz in offsets:
+        for dx, dy, dz in _NEIGHBOR_OFFSETS:
             nid = (
                 ((cx + dx) % n_cells) * n_cells + ((cy + dy) % n_cells)
             ) * n_cells + ((cz + dz) % n_cells)
@@ -124,13 +146,19 @@ def friends_of_friends(
             idx_b = members_of.get(int(nid))
             if idx_b is None:
                 continue
-            d = positions[idx_a][:, None, :] - positions[idx_b][None, :, :]
-            d -= np.round(d)  # periodic minimum image
-            close = (d**2).sum(axis=2) <= link2
-            for ia, ib in zip(*np.nonzero(close)):
-                if nid != cid or idx_a[ia] < idx_b[ib]:
-                    uf.union(int(idx_a[ia]), int(idx_b[ib]))
-    roots = np.array([uf.find(i) for i in range(n)])
+            yield idx_a, idx_b, nid == cid
+
+
+def _close_pairs(positions, idx_a, idx_b, link2):
+    """Boolean (A, B) matrix of periodic separations <= link."""
+    d = positions[idx_a][:, None, :] - positions[idx_b][None, :, :]
+    d -= np.round(d)  # periodic minimum image
+    return (d**2).sum(axis=2) <= link2
+
+
+def _extract_halos(roots, positions, masses, min_members) -> FofResult:
+    """Roots -> catalog; shared, so identical roots give identical halos."""
+    n = positions.shape[0]
     group_id = np.full(n, -1, dtype=np.int64)
     halos: list[Halo] = []
     for root in np.unique(roots):
@@ -148,8 +176,104 @@ def friends_of_friends(
         )
     halos.sort(key=lambda h: -h.mass)
     # Re-map group ids to the sorted order.
-    remap = {id(h): i for i, h in enumerate(halos)}
     new_gid = np.full(n, -1, dtype=np.int64)
     for i, h in enumerate(halos):
         new_gid[h.members] = i
     return FofResult(halos, new_gid)
+
+
+def friends_of_friends_reference(
+    positions: np.ndarray,
+    masses: np.ndarray | None = None,
+    *,
+    linking_length: float = 0.2,
+    min_members: int = 10,
+) -> FofResult:
+    """FoF via per-pair union-find — the differential-test anchor."""
+    prep = _prepare(positions, masses, linking_length, min_members)
+    if prep is None:
+        return FofResult([], np.full(0, -1, dtype=np.int64))
+    positions, masses, link2, n_cells, members_of = prep
+    n = positions.shape[0]
+    uf = _UnionFind(n)
+    for idx_a, idx_b, same_cell in _cell_pairs(members_of, n_cells):
+        close = _close_pairs(positions, idx_a, idx_b, link2)
+        for ia, ib in zip(*np.nonzero(close)):
+            if not same_cell or idx_a[ia] < idx_b[ib]:
+                uf.union(int(idx_a[ia]), int(idx_b[ib]))
+    roots = np.array([uf.find(i) for i in range(n)])
+    return _extract_halos(roots, positions, masses, min_members)
+
+
+def _connected_minima(n: int, a: np.ndarray, b: np.ndarray, kb) -> np.ndarray:
+    """Per-particle minimum index of its connected component.
+
+    Min-label propagation: every particle starts labeled with its own
+    index; each round scatters the smaller endpoint label across every
+    edge (backend ``scatter_min``) and then pointer-jumps labels to
+    their fixpoint.  Labels only decrease and are bounded by the true
+    component minimum, which is reachable, so the loop converges — to
+    the same labeling the union-find's ``parent[max] = min`` rule
+    produces.
+    """
+    labels = np.arange(n, dtype=np.int64)
+    if a.size == 0:
+        return labels
+    while True:
+        prev = labels.copy()
+        m = np.minimum(labels[a], labels[b])
+        kb.scatter_min(labels, a, m)
+        kb.scatter_min(labels, b, m)
+        while True:  # pointer jumping: label of my label
+            nxt = labels[labels]
+            if np.array_equal(nxt, labels):
+                break
+            labels = nxt
+        if np.array_equal(labels, prev):
+            return labels
+
+
+def friends_of_friends(
+    positions: np.ndarray,
+    masses: np.ndarray | None = None,
+    *,
+    linking_length: float = 0.2,
+    min_members: int = 10,
+    backend=None,
+) -> FofResult:
+    """FoF groups on a periodic unit box.
+
+    ``linking_length`` is in units of the mean interparticle separation
+    (the community-standard b = 0.2 default); ``min_members`` drops
+    spurious few-particle groups, as every halo catalog does.
+
+    Batched: close pairs are collected per cell-pair block and solved
+    as one connected-components problem — bit-identical to
+    :func:`friends_of_friends_reference` (module docstring has the
+    argument).
+    """
+    prep = _prepare(positions, masses, linking_length, min_members)
+    if prep is None:
+        return FofResult([], np.full(0, -1, dtype=np.int64))
+    positions, masses, link2, n_cells, members_of = prep
+    n = positions.shape[0]
+    kb = get_backend(backend)
+    pair_a: list[np.ndarray] = []
+    pair_b: list[np.ndarray] = []
+    for idx_a, idx_b, same_cell in _cell_pairs(members_of, n_cells):
+        close = _close_pairs(positions, idx_a, idx_b, link2)
+        if same_cell:
+            # Keep each unordered pair once; drop self-pairs.  (The
+            # reference unions a < b only; the extra b > a pairs a
+            # dedup would keep are unions of already-joined nodes —
+            # component structure is unchanged either way.)
+            ia, ib = np.nonzero(np.triu(close, k=1))
+        else:
+            ia, ib = np.nonzero(close)
+        if ia.size:
+            pair_a.append(idx_a[ia])
+            pair_b.append(idx_b[ib])
+    a = np.concatenate(pair_a) if pair_a else np.zeros(0, dtype=np.int64)
+    b = np.concatenate(pair_b) if pair_b else np.zeros(0, dtype=np.int64)
+    roots = _connected_minima(n, a, b, kb)
+    return _extract_halos(roots, positions, masses, min_members)

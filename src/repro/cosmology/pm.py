@@ -8,6 +8,17 @@ Poisson solve with the grid-corrected Green's function, spectral
 gradient, and CIC force interpolation back to the particles; fully
 vectorized.
 
+The deposit/interpolation hot paths route through the kernel-backend
+registry (:mod:`repro.core.backend`).  The batched deposit issues the
+eight CIC corner scatters as **one** ``bincount_sum`` over the
+concatenated corner streams — ``np.bincount`` and ``np.add.at`` both
+accumulate sequentially in input order, and the concatenation preserves
+the reference loop's corner-major order, so the fast path is
+bit-identical to :func:`cic_deposit_reference` (pinned by
+``tests/test_cosmology_backend_differential.py``).  The batched
+interpolation gathers from the flattened grid and accumulates corner by
+corner in the reference order, so it is bit-identical too.
+
 Units here are "box units": the box has side 1, total mass 1, and the
 Poisson equation solved is ``del^2 phi = delta`` (density contrast
 source); callers scale by the physical prefactor (see
@@ -18,24 +29,49 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["cic_deposit", "cic_interpolate", "PMSolver"]
+from ..core.backend import get_backend
+
+__all__ = [
+    "cic_deposit",
+    "cic_deposit_reference",
+    "cic_interpolate",
+    "cic_interpolate_reference",
+    "PMSolver",
+]
 
 
-def cic_deposit(positions: np.ndarray, grid: int, weights: np.ndarray | None = None) -> np.ndarray:
-    """Cloud-in-cell mass deposit onto a periodic grid (box side 1)."""
-    positions = np.asarray(positions, dtype=np.float64)
-    n = positions.shape[0]
-    if positions.ndim != 2 or positions.shape[1] != 3:
-        raise ValueError("positions must be (N, 3)")
-    if grid < 2:
-        raise ValueError("grid must be >= 2")
-    if weights is None:
-        weights = np.full(n, 1.0)
+def _cic_corners(positions: np.ndarray, grid: int):
+    """Shared CIC geometry: wrapped lower/upper indices and fractions."""
     x = np.mod(positions, 1.0) * grid
     i0 = np.floor(x).astype(np.int64)
     f = x - i0
     i0 = np.mod(i0, grid)
     i1 = np.mod(i0 + 1, grid)
+    return i0, i1, f
+
+
+def _validate_deposit(positions: np.ndarray, grid: int) -> np.ndarray:
+    positions = np.asarray(positions, dtype=np.float64)
+    if positions.ndim != 2 or positions.shape[1] != 3:
+        raise ValueError("positions must be (N, 3)")
+    if grid < 2:
+        raise ValueError("grid must be >= 2")
+    return positions
+
+
+def cic_deposit_reference(
+    positions: np.ndarray, grid: int, weights: np.ndarray | None = None
+) -> np.ndarray:
+    """Cloud-in-cell deposit via eight ``np.add.at`` corner scatters.
+
+    The historical implementation, kept as the differential-test anchor
+    for :func:`cic_deposit`.
+    """
+    positions = _validate_deposit(positions, grid)
+    n = positions.shape[0]
+    if weights is None:
+        weights = np.full(n, 1.0)
+    i0, i1, f = _cic_corners(positions, grid)
     rho = np.zeros((grid, grid, grid))
     for dx, wx in ((i0[:, 0], 1 - f[:, 0]), (i1[:, 0], f[:, 0])):
         for dy, wy in ((i0[:, 1], 1 - f[:, 1]), (i1[:, 1], f[:, 1])):
@@ -44,19 +80,48 @@ def cic_deposit(positions: np.ndarray, grid: int, weights: np.ndarray | None = N
     return rho
 
 
-def cic_interpolate(field: np.ndarray, positions: np.ndarray) -> np.ndarray:
-    """CIC interpolation of a grid field (or stacked fields) to points.
+def cic_deposit(
+    positions: np.ndarray,
+    grid: int,
+    weights: np.ndarray | None = None,
+    *,
+    backend=None,
+) -> np.ndarray:
+    """Cloud-in-cell mass deposit onto a periodic grid (box side 1).
 
-    ``field`` has shape (grid, grid, grid) or (k, grid, grid, grid).
+    Batched: the eight corner scatters are concatenated, corner-major,
+    into one backend ``bincount_sum`` — bit-identical to
+    :func:`cic_deposit_reference` because both accumulate the same
+    addend sequence in the same order per cell.
+    """
+    positions = _validate_deposit(positions, grid)
+    n = positions.shape[0]
+    if weights is None:
+        weights = np.full(n, 1.0)
+    kb = get_backend(backend)
+    i0, i1, f = _cic_corners(positions, grid)
+    idx_parts = []
+    w_parts = []
+    # Same corner-major order as the reference loop: x outer, z inner.
+    for dx, wx in ((i0[:, 0], 1 - f[:, 0]), (i1[:, 0], f[:, 0])):
+        for dy, wy in ((i0[:, 1], 1 - f[:, 1]), (i1[:, 1], f[:, 1])):
+            for dz, wz in ((i0[:, 2], 1 - f[:, 2]), (i1[:, 2], f[:, 2])):
+                idx_parts.append((dx * grid + dy) * grid + dz)
+                w_parts.append(weights * wx * wy * wz)
+    flat = kb.bincount_sum(np.concatenate(idx_parts), np.concatenate(w_parts), grid**3)
+    return flat.reshape(grid, grid, grid)
+
+
+def cic_interpolate_reference(field: np.ndarray, positions: np.ndarray) -> np.ndarray:
+    """CIC interpolation via per-corner 3-axis fancy gathers.
+
+    The historical implementation, kept as the anchor for
+    :func:`cic_interpolate`.
     """
     single = field.ndim == 3
     fields = field[None] if single else field
     grid = fields.shape[1]
-    x = np.mod(np.asarray(positions, dtype=np.float64), 1.0) * grid
-    i0 = np.floor(x).astype(np.int64)
-    f = x - i0
-    i0 = np.mod(i0, grid)
-    i1 = np.mod(i0 + 1, grid)
+    i0, i1, f = _cic_corners(np.asarray(positions, dtype=np.float64), grid)
     out = np.zeros((fields.shape[0], positions.shape[0]))
     for dx, wx in ((i0[:, 0], 1 - f[:, 0]), (i1[:, 0], f[:, 0])):
         for dy, wy in ((i0[:, 1], 1 - f[:, 1]), (i1[:, 1], f[:, 1])):
@@ -66,13 +131,40 @@ def cic_interpolate(field: np.ndarray, positions: np.ndarray) -> np.ndarray:
     return out[0] if single else out
 
 
+def cic_interpolate(
+    field: np.ndarray, positions: np.ndarray, *, backend=None
+) -> np.ndarray:
+    """CIC interpolation of a grid field (or stacked fields) to points.
+
+    ``field`` has shape (grid, grid, grid) or (k, grid, grid, grid).
+    Batched: one flat-index gather per corner instead of a 3-axis fancy
+    gather, accumulated in the reference corner order — bit-identical
+    to :func:`cic_interpolate_reference`.  (``backend`` is accepted for
+    interface symmetry; a gather has no scatter step to route.)
+    """
+    del backend  # gathers have no backend-routed op; kwarg kept for symmetry
+    single = field.ndim == 3
+    fields = field[None] if single else field
+    grid = fields.shape[1]
+    flat = fields.reshape(fields.shape[0], -1)
+    i0, i1, f = _cic_corners(np.asarray(positions, dtype=np.float64), grid)
+    out = np.zeros((fields.shape[0], positions.shape[0]))
+    for dx, wx in ((i0[:, 0], 1 - f[:, 0]), (i1[:, 0], f[:, 0])):
+        for dy, wy in ((i0[:, 1], 1 - f[:, 1]), (i1[:, 1], f[:, 1])):
+            for dz, wz in ((i0[:, 2], 1 - f[:, 2]), (i1[:, 2], f[:, 2])):
+                w = wx * wy * wz
+                out += flat[:, (dx * grid + dy) * grid + dz] * w
+    return out[0] if single else out
+
+
 class PMSolver:
     """FFT Poisson solver on a periodic unit box."""
 
-    def __init__(self, grid: int = 64, deconvolve: bool = True):
+    def __init__(self, grid: int = 64, deconvolve: bool = True, backend=None):
         if grid < 4:
             raise ValueError("grid must be >= 4")
         self.grid = grid
+        self.backend = backend
         k1 = 2.0 * np.pi * np.fft.fftfreq(grid) * grid  # integer wavenumbers * 2pi
         kx, ky, kz = np.meshgrid(k1, k1, k1, indexing="ij")
         k2 = kx**2 + ky**2 + kz**2
@@ -96,7 +188,7 @@ class PMSolver:
 
     def density_contrast(self, positions: np.ndarray, weights: np.ndarray | None = None) -> np.ndarray:
         """CIC delta = rho/rho_bar - 1."""
-        rho = cic_deposit(positions, self.grid, weights)
+        rho = cic_deposit(positions, self.grid, weights, backend=self.backend)
         mean = rho.mean()
         if mean == 0:
             raise ValueError("no mass deposited")
@@ -119,5 +211,5 @@ class PMSolver:
         acc_grids = np.empty((3, self.grid, self.grid, self.grid))
         for axis, k in enumerate((kx, ky, kz)):
             acc_grids[axis] = np.real(np.fft.ifftn(-1j * k * phik))
-        acc = cic_interpolate(acc_grids, positions)
+        acc = cic_interpolate(acc_grids, positions, backend=self.backend)
         return acc.T.copy()

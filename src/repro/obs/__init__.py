@@ -72,6 +72,15 @@ from .report import (
     write_fleet_report,
     write_report,
 )
+from .wallclock import (
+    BUCKETS,
+    WallclockReport,
+    WallProfiler,
+    bucket,
+    format_report,
+    profile,
+    replay,
+)
 
 __all__ = [
     "Span",
@@ -112,6 +121,14 @@ __all__ = [
     "format_comparison_report",
     "format_multi_report",
     "parse_gate_spec",
+    # wall-clock attribution
+    "BUCKETS",
+    "WallProfiler",
+    "WallclockReport",
+    "bucket",
+    "profile",
+    "replay",
+    "format_report",
     # report
     "html_report",
     "fleet_report",

@@ -33,6 +33,18 @@ Three subcommands drive the analysis stack from the shell:
     Strict schema check of record files (``benchmarks/baseline.jsonl``,
     ``fleet.jsonl``) against ``benchmarks/schema.json`` — corrupt JSON
     is an error here, unlike the forgiving history reader.
+
+``wallclock``
+    Where did the wall-clock go: runs a small
+    :func:`repro.core.parallel.parallel_nbody_run` under the
+    :mod:`repro.obs.wallclock` profiler with the kernel backend wrapped
+    in :class:`repro.core.backend_wall.WallBackend`, and prints the
+    bucket attribution table (kernel / engine / comm / serialization /
+    other — an exact partition of elapsed wall seconds) followed by the
+    virtual-time critical path of the same run.  ``--json`` saves the
+    raw profiler events; ``--replay EVENTS.json`` re-derives the table
+    from a saved event file instead of running (the deterministic
+    regression path the golden-trace test pins).
 """
 
 from __future__ import annotations
@@ -199,6 +211,48 @@ def _cmd_validate(opts: argparse.Namespace) -> int:
     return 1 if bad else 0
 
 
+def _cmd_wallclock(opts: argparse.Namespace) -> int:
+    from . import wallclock as wc
+
+    if opts.replay:
+        with open(opts.replay) as fh:
+            events = wc.load_events(fh)
+        print(wc.format_report(wc.replay(events).report()))
+        return 0
+
+    import numpy as np
+
+    from ..core.backend import get_backend
+    from ..core.backend_wall import WallBackend
+    from ..core.parallel import ParallelConfig, parallel_nbody_run
+    from .model import Recorder
+
+    rng = np.random.default_rng(opts.seed)
+    pos = rng.random((opts.n, 3))
+    kb = WallBackend(get_backend(opts.backend))
+    cfg = ParallelConfig(backend=kb, eval=opts.eval)
+    rec = Recorder()
+    with wc.profile() as prof:
+        parallel_nbody_run(
+            pos, n_ranks=opts.ranks, n_steps=opts.steps, dt=1e-3,
+            config=cfg, observer=rec,
+        )
+    rep = prof.finalize()
+    print(f"parallel_nbody_run: n={opts.n} ranks={opts.ranks} "
+          f"steps={opts.steps} backend={kb.name} eval={opts.eval}")
+    print()
+    print(wc.format_report(rep))
+    elapsed = max((s.t_end for s in rec.spans), default=0.0)
+    if rec.spans:
+        print()
+        print(format_critical_path(critical_path(rec, elapsed), max_rows=opts.max_rows))
+    if opts.json:
+        with open(opts.json, "w") as fh:
+            wc.save_events(prof, fh)
+        print(f"wrote {opts.json}")
+    return 0
+
+
 def _cmd_compare(opts: argparse.Namespace) -> int:
     entries = load_history(opts.history)
     report = compare_history(
@@ -291,6 +345,23 @@ def main(argv: list[str] | None = None) -> int:
     p_fl.add_argument("--throttle", type=float, default=0.0,
                       help="per-shard pacing delay, for crash drills")
     p_fl.set_defaults(func=_cmd_fleet)
+
+    p_wc = sub.add_parser("wallclock", help="wall-clock bucket attribution report")
+    p_wc.add_argument("--n", type=int, default=4000, help="particles (default 4000)")
+    p_wc.add_argument("--ranks", type=int, default=4, help="simulated ranks (default 4)")
+    p_wc.add_argument("--steps", type=int, default=2, help="leapfrog steps (default 2)")
+    p_wc.add_argument("--backend", default=None,
+                      help="kernel backend to wrap (default: REPRO_BACKEND or numpy)")
+    p_wc.add_argument("--eval", default="batched", choices=("batched", "pergroup"),
+                      help="force evaluation strategy (default batched)")
+    p_wc.add_argument("--seed", type=int, default=11)
+    p_wc.add_argument("--max-rows", type=int, default=10,
+                      help="critical-path rows to print (default 10)")
+    p_wc.add_argument("--json", metavar="EVENTS.json", default=None,
+                      help="save the raw profiler event list")
+    p_wc.add_argument("--replay", metavar="EVENTS.json", default=None,
+                      help="re-derive the table from saved events (no run)")
+    p_wc.set_defaults(func=_cmd_wallclock)
 
     p_val = sub.add_parser("validate", help="strict schema check of record JSONL")
     p_val.add_argument("files", nargs="+", help="baseline.jsonl / fleet.jsonl files")

@@ -52,6 +52,7 @@ from typing import Any, Callable, Generator, Sequence
 
 from ..machine.perfmodel import Workload
 from ..obs import NULL, Recorder
+from ..obs.wallclock import bucket as _wall_bucket
 from .api import (
     ANY_SOURCE,
     ANY_TAG,
@@ -390,17 +391,23 @@ class Engine:
         elif isinstance(op, Now):
             self._schedule(t, rank, t)
         elif isinstance(op, (Send, Isend)):
-            self._post_send(rank, op, t)
+            with _wall_bucket("comm"):
+                self._post_send(rank, op, t)
         elif isinstance(op, (Recv, Irecv)):
-            self._post_recv(rank, op, t)
+            with _wall_bucket("comm"):
+                self._post_recv(rank, op, t)
         elif isinstance(op, Wait):
-            self._post_wait(rank, (op.request,), t, single=True)
+            with _wall_bucket("comm"):
+                self._post_wait(rank, (op.request,), t, single=True)
         elif isinstance(op, Waitall):
-            self._post_wait(rank, op.requests, t, single=False)
+            with _wall_bucket("comm"):
+                self._post_wait(rank, op.requests, t, single=False)
         elif isinstance(op, Probe):
-            self._schedule(t, rank, self._probe(rank, op))
+            with _wall_bucket("comm"):
+                self._schedule(t, rank, self._probe(rank, op))
         elif isinstance(op, CollectiveOp):
-            self._post_collective(rank, op, t)
+            with _wall_bucket("comm"):
+                self._post_collective(rank, op, t)
         else:
             self._throw(rank, TypeError(f"rank {rank} yielded non-operation {op!r}"))
 
@@ -866,22 +873,26 @@ class Engine:
         ranks = self._ranks
         counts = self._resume_counts
         pop = heapq.heappop
-        while events:
-            time, _, rank, value = pop(events)
-            if value is _CRASH:
+        # Everything inside the event loop is charged to the "engine"
+        # wall-clock bucket unless a deeper section (comm dispatch,
+        # kernel backend, serialization) claims it first.
+        with _wall_bucket("engine"):
+            while events:
+                time, _, rank, value = pop(events)
+                if value is _CRASH:
+                    if ranks[rank].done:
+                        continue  # node died after its rank finished: job survives
+                    self.observer.add_span("node crash", time, time, track=rank, cat="failed")
+                    if self.record_trace:
+                        self.trace.append(TraceEvent(rank, time, time, "failed", "node crash"))
+                    raise RankFailedError(rank, time)
                 if ranks[rank].done:
-                    continue  # node died after its rank finished: job survives
-                self.observer.add_span("node crash", time, time, track=rank, cat="failed")
-                if self.record_trace:
-                    self.trace.append(TraceEvent(rank, time, time, "failed", "node crash"))
-                raise RankFailedError(rank, time)
-            if ranks[rank].done:
-                continue
-            self._resume(rank, time, value)
-            counts[rank] += 1
-            processed += 1
-            if processed > cap:
-                raise self._event_budget_error(cap)
+                    continue
+                self._resume(rank, time, value)
+                counts[rank] += 1
+                processed += 1
+                if processed > cap:
+                    raise self._event_budget_error(cap)
         unfinished = [i for i, s in enumerate(ranks) if not s.done]
         if unfinished:
             detail = ", ".join(

@@ -56,7 +56,7 @@ def density_sum(
     """
     kb = get_backend(backend)
     if neighbors is None:
-        neighbors = find_neighbors(tree, SUPPORT_RADIUS * h, observer=observer)
+        neighbors = find_neighbors(tree, SUPPORT_RADIUS * h, backend=kb, observer=observer)
     with observer.span("sph.density", cat="sph", backend=kb.name):
         i_idx = np.repeat(np.arange(tree.n_particles), neighbors.counts())
         j_idx = neighbors.neighbors

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.backend import get_backend
 from ..core.traversal import DEFAULT_PAIR_CHUNK, _csr_by_group, _expand_children
 from ..core.tree import Tree
 from ..obs import NULL
@@ -111,6 +112,7 @@ def find_neighbors(
     radii: np.ndarray,
     *,
     pair_chunk: int = DEFAULT_PAIR_CHUNK,
+    backend=None,
     observer=NULL,
 ) -> NeighborLists:
     """All particles within ``radii[i]`` of particle ``i`` (tree order).
@@ -119,12 +121,16 @@ def find_neighbors(
     the max radius within each leaf group so gather-scatter symmetry at
     equal radii is exact.  The tree is walked for all groups per
     frontier pass, and the candidate distance filter runs over flat
-    (sink, candidate) pair arrays chunked to ``pair_chunk``.
+    (sink, candidate) pair arrays chunked to ``pair_chunk``,
+    evaluated by the selected kernel backend (``pair_within`` +
+    ``bincount_sum`` — exact comparisons and integer counts, so the
+    neighbor sets are backend-independent).
     """
     radii = _validate_radii(tree, radii)
     n = tree.n_particles
     if pair_chunk < 1:
         raise ValueError("pair_chunk must be positive")
+    kb = get_backend(backend)
     with observer.span("sph.neighbors", cat="sph"):
         groups = tree.leaf_ids
         n_groups = groups.shape[0]
@@ -208,10 +214,9 @@ def find_neighbors(
             ci = local - si * nc_p
             i_pair = g_start_s[gp] + si
             j_pair = cand_flat[cand_off_s[gp] + ci]
-            dx = pos[i_pair] - pos[j_pair]
-            within = np.einsum("ij,ij->i", dx, dx) <= r2[i_pair]
+            within = kb.pair_within(pos, i_pair, j_pair, r2[i_pair])
             ik = i_pair[within]
-            neigh_counts += np.bincount(ik, minlength=n)
+            neigh_counts += kb.bincount_sum(ik, None, n)
             kept_j.append(j_pair[within])
             lo = hi
         offsets = np.zeros(n + 1, dtype=np.int64)

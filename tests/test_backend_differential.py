@@ -248,17 +248,34 @@ class TestBatchedNeighborsVsReference:
     def _sets(lists):
         return [np.sort(lists.of(i)).tolist() for i in range(lists.n_particles)]
 
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("n,bucket", [(1, 32), (2, 32), (5, 4), (64, 8), (300, 16)])
-    def test_neighbor_sets_match(self, n, bucket):
+    def test_neighbor_sets_match(self, n, bucket, backend):
         from repro.sph import find_neighbors, find_neighbors_reference
 
         rng = np.random.default_rng(n)
         pos = rng.random((n, 3))
         tree = build_tree(pos, np.full(n, 1.0 / n), bucket_size=bucket)
         radii = rng.uniform(0.08, 0.3, n)
-        batched = find_neighbors(tree, radii)
+        batched = find_neighbors(tree, radii, backend=backend)
         ref = find_neighbors_reference(tree, radii)
         assert self._sets(batched) == self._sets(ref)
+
+    def test_neighbor_lists_backend_exact(self):
+        # pair_within/bincount_sum are exact comparisons and integer
+        # counts, so the CSR arrays (not just the sets) must be
+        # identical across every registered backend.
+        from repro.sph import find_neighbors
+
+        rng = np.random.default_rng(77)
+        pos = rng.random((200, 3))
+        tree = build_tree(pos, np.full(200, 1.0 / 200), bucket_size=8)
+        radii = rng.uniform(0.05, 0.25, 200)
+        ref = find_neighbors(tree, radii, backend=BACKENDS[0])
+        for b in BACKENDS[1:]:
+            got = find_neighbors(tree, radii, backend=b)
+            assert np.array_equal(got.offsets, ref.offsets), b
+            assert np.array_equal(got.neighbors, ref.neighbors), b
 
     def test_pair_chunk_invariance(self):
         from repro.sph import find_neighbors

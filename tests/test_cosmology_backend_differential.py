@@ -1,0 +1,187 @@
+"""Differential suite pinning the cosmology hot paths to their references.
+
+Every batched fast path added for the kernel-backend routing is held to
+its ``*_reference`` twin, per registered backend, across particle
+counts N in {0, 1, 2, 1000} and uniform / clustered / single-cell
+distributions (fixed seeds throughout):
+
+* CIC deposit and interpolation, and the PM mesh forces built on them,
+  are **bit-identical** — the fast deposit is one concatenated
+  ``bincount_sum`` whose input order replays the reference's eight
+  sequential ``np.add.at`` corner scatters exactly.
+* Friends-of-friends catalogs are **bit-identical** — the
+  min-label-propagation solver converges to the same component roots
+  (the component-minimum index) the reference union-find produces.
+* Pair-count histograms are **bit-identical** integers, including
+  ``np.histogram``'s closed last bin.
+* Power-spectrum bins select identical mode sets; values carry a
+  documented ~1e-12 relative tolerance because the reference reduces
+  each bin with pairwise-summing ``np.mean`` while the fast path uses
+  the sequential ``bincount_sum`` (see ``repro/cosmology/correlation.py``).
+
+Deliberately numpy+pytest only (no hypothesis) so the suite also runs
+in the CI ``backends`` matrix leg.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.backend import available_backends
+from repro.core.procpool import MultiprocessBackend
+from repro.cosmology import (
+    PMSolver,
+    cic_deposit,
+    cic_deposit_reference,
+    cic_interpolate,
+    cic_interpolate_reference,
+    friends_of_friends,
+    friends_of_friends_reference,
+    measured_power_spectrum,
+    measured_power_spectrum_reference,
+    pair_counts_periodic,
+    pair_counts_periodic_reference,
+)
+
+#: Registered backends plus a multiprocess instance forced to shard
+#: (min_pairs=0) with two workers, so the pool path is exercised even
+#: though cosmology's routed ops all run inline by design.
+BACKENDS = list(available_backends()) + [
+    MultiprocessBackend(workers=2, min_pairs=0),
+]
+
+SIZES = [0, 1, 2, 1000]
+
+
+def _uniform(n, seed=0):
+    return np.random.default_rng(seed).random((n, 3))
+
+
+def _clustered(n, seed=0):
+    """A few tight gaussian blobs, wrapped onto the unit torus."""
+    rng = np.random.default_rng(seed)
+    centers = rng.random((max(1, n // 64), 3))
+    which = rng.integers(0, centers.shape[0], n)
+    return np.mod(centers[which] + 0.01 * rng.standard_normal((n, 3)), 1.0)
+
+
+def _single_cell(n, seed=0):
+    """All particles inside one CIC/hash cell."""
+    rng = np.random.default_rng(seed)
+    return 0.503 + 1e-4 * rng.random((n, 3))
+
+
+DISTRIBUTIONS = {
+    "uniform": _uniform,
+    "clustered": _clustered,
+    "single_cell": _single_cell,
+}
+
+
+def _bname(b):
+    return getattr(b, "name", str(b))
+
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=_bname)
+@pytest.mark.parametrize("dist", sorted(DISTRIBUTIONS))
+@pytest.mark.parametrize("n", SIZES)
+class TestCicBitIdentical:
+    def test_deposit(self, backend, dist, n):
+        pos = DISTRIBUTIONS[dist](n, seed=n + 1)
+        ref = cic_deposit_reference(pos, grid=16)
+        got = cic_deposit(pos, grid=16, backend=backend)
+        assert np.array_equal(got, ref)
+
+    def test_deposit_weighted(self, backend, dist, n):
+        pos = DISTRIBUTIONS[dist](n, seed=n + 2)
+        w = np.random.default_rng(n).uniform(0.5, 2.0, n)
+        ref = cic_deposit_reference(pos, grid=8, weights=w)
+        got = cic_deposit(pos, grid=8, weights=w, backend=backend)
+        assert np.array_equal(got, ref)
+
+    def test_interpolate(self, backend, dist, n):
+        pos = DISTRIBUTIONS[dist](n, seed=n + 3)
+        field = np.random.default_rng(9).standard_normal((8, 8, 8))
+        ref = cic_interpolate_reference(field, pos)
+        got = cic_interpolate(field, pos, backend=backend)
+        assert np.array_equal(got, ref)
+
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=_bname)
+@pytest.mark.parametrize("dist", sorted(DISTRIBUTIONS))
+def test_pm_mesh_forces_bit_identical(backend, dist):
+    """Deposit is the only routed op in the PM pipeline, so the mesh
+    accelerations must be bit-identical across backends."""
+    pos = DISTRIBUTIONS[dist](500, seed=31)
+    ref = PMSolver(grid=16).accelerations(pos)
+    got = PMSolver(grid=16, backend=backend).accelerations(pos)
+    assert np.array_equal(got, ref)
+
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=_bname)
+@pytest.mark.parametrize("dist", sorted(DISTRIBUTIONS))
+@pytest.mark.parametrize("n", SIZES)
+def test_fof_catalogs_bit_identical(backend, dist, n):
+    pos = DISTRIBUTIONS[dist](n, seed=n + 5)
+    ref = friends_of_friends_reference(pos, linking_length=0.2, min_members=2)
+    got = friends_of_friends(pos, linking_length=0.2, min_members=2, backend=backend)
+    assert np.array_equal(got.group_id, ref.group_id)
+    assert got.n_halos == ref.n_halos
+    for h_got, h_ref in zip(got.halos, ref.halos):
+        assert np.array_equal(h_got.members, h_ref.members)
+        assert h_got.mass == h_ref.mass
+        assert np.array_equal(h_got.center, h_ref.center)
+
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=_bname)
+@pytest.mark.parametrize("dist", sorted(DISTRIBUTIONS))
+@pytest.mark.parametrize("n", SIZES)
+def test_pair_counts_bit_identical(backend, dist, n):
+    pos = DISTRIBUTIONS[dist](n, seed=n + 7)
+    edges = np.array([0.0, 0.02, 0.05, 0.1, 0.25])
+    ref = pair_counts_periodic_reference(pos, edges)
+    got = pair_counts_periodic(pos, edges, backend=backend)
+    assert got.dtype == ref.dtype
+    assert np.array_equal(got, ref)
+
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=_bname)
+def test_pair_counts_closed_last_bin(backend):
+    # Separation exactly on the last edge: np.histogram closes that
+    # bin, and the searchsorted fast path must replicate it.
+    pos = np.array([[0.0, 0.5, 0.5], [0.25, 0.5, 0.5]])
+    edges = np.array([0.0, 0.1, 0.25])
+    ref = pair_counts_periodic_reference(pos, edges)
+    got = pair_counts_periodic(pos, edges, backend=backend)
+    assert ref[-1] == 1  # the fixture really is on the edge
+    assert np.array_equal(got, ref)
+
+
+@pytest.mark.parametrize("backend", BACKENDS, ids=_bname)
+@pytest.mark.parametrize("dist", sorted(DISTRIBUTIONS))
+@pytest.mark.parametrize("n", [1, 2, 1000])
+def test_power_spectrum_tolerance(backend, dist, n):
+    """Same mode sets; values to the documented ~1e-12 summation-order
+    tolerance (np.mean is pairwise, bincount_sum is sequential)."""
+    pos = DISTRIBUTIONS[dist](n, seed=n + 9)
+    k_ref, p_ref = measured_power_spectrum_reference(pos, grid=16, n_bins=8)
+    k_got, p_got = measured_power_spectrum(pos, grid=16, n_bins=8, backend=backend)
+    assert k_got.shape == k_ref.shape  # identical surviving-bin sets
+    assert np.allclose(k_got, k_ref, rtol=1e-12, atol=0.0)
+    assert np.allclose(p_got, p_ref, rtol=1e-12, atol=1e-12)
+
+
+@pytest.mark.parametrize("fn", [measured_power_spectrum,
+                                measured_power_spectrum_reference])
+def test_power_spectrum_empty_raises(fn):
+    with pytest.raises(ValueError, match="no particles"):
+        fn(np.empty((0, 3)), grid=16, n_bins=8)
+
+
+def test_fof_empty_input():
+    for res in (
+        friends_of_friends_reference(np.empty((0, 3)), linking_length=0.2),
+        friends_of_friends(np.empty((0, 3)), linking_length=0.2),
+    ):
+        assert res.n_halos == 0
+        assert res.group_id.shape == (0,)
+        assert res.group_id.dtype == np.int64

@@ -1,0 +1,156 @@
+"""Wall-clock attribution unit + golden-trace regression tests.
+
+The profiler is event-sourced, so a saved trace is a complete
+regression fixture: replaying ``tests/golden/wallclock_events.json``
+(recorded from ``python -m repro.obs wallclock --n 1200 --ranks 4
+--steps 2 --seed 11``) must reproduce the pinned bucket totals to the
+bit, and on every trace — golden or synthetic — the bucket totals must
+partition ``[t0, t_final]`` exactly.
+"""
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import wallclock as wc
+
+GOLDEN = Path(__file__).parent / "golden" / "wallclock_events.json"
+
+#: Bit-exact bucket totals for the golden trace (float.hex form — any
+#: change to the attribution arithmetic shows up as a one-ulp diff).
+GOLDEN_BUCKETS = {
+    "engine": float.fromhex("0x1.96f7deb860000p-4"),
+    "kernel": float.fromhex("0x1.2be4690f60000p-4"),
+    "serialization": float.fromhex("0x1.290456e180000p-6"),
+    "comm": float.fromhex("0x1.0d5d582000000p-9"),
+    "other": float.fromhex("0x1.1ddcdfb000000p-11"),
+}
+GOLDEN_ELAPSED = float.fromhex("0x1.8be2010040000p-3")
+
+
+def _fake_clock(times):
+    it = iter(times)
+    return lambda: next(it)
+
+
+class TestProfilerUnit:
+    def test_innermost_bucket_charging(self):
+        prof = wc.WallProfiler(clock=_fake_clock([0.0]))
+        prof.enter("engine", now=1.0)      # other: 0..1
+        prof.enter("kernel", now=3.0)      # engine: 1..3
+        prof.exit(now=6.0)                 # kernel: 3..6
+        prof.exit(now=7.0)                 # engine: 6..7
+        rep = prof.finalize(now=10.0)      # other: 7..10
+        assert rep.buckets == {"other": 4.0, "engine": 3.0, "kernel": 3.0}
+        assert rep.elapsed == 10.0
+
+    def test_finalize_unwinds_open_buckets(self):
+        prof = wc.WallProfiler(clock=_fake_clock([0.0]))
+        prof.enter("engine", now=1.0)
+        prof.enter("comm", now=2.0)
+        rep = prof.finalize(now=5.0)
+        assert rep.buckets["comm"] == 3.0   # 2..5, innermost at finalize
+        assert rep.buckets["engine"] == 1.0  # 1..2, before comm entered
+        assert prof.events[-1] == ("final", "", 5.0)
+
+    def test_exit_without_enter_raises(self):
+        prof = wc.WallProfiler(clock=_fake_clock([0.0, 1.0]))
+        with pytest.raises(RuntimeError, match="without a matching enter"):
+            prof.exit()
+
+    def test_bucket_noop_when_inactive(self):
+        assert wc.ACTIVE is None
+        with wc.bucket("kernel"):
+            pass  # must not raise or record anything
+
+    def test_profile_installs_and_restores_active(self):
+        assert wc.ACTIVE is None
+        with wc.profile() as prof:
+            assert wc.ACTIVE is prof
+            with wc.bucket("kernel"):
+                pass
+        assert wc.ACTIVE is None
+        rep = prof.report()
+        assert "kernel" in rep.buckets
+
+
+class TestExactPartition:
+    def test_buckets_sum_exactly_to_elapsed_synthetic(self):
+        times = [0.0, 0.125, 0.25, 1.0, 1.5, 2.25, 4.0, 4.125]
+        prof = wc.WallProfiler(clock=_fake_clock([times[0]]))
+        prof.enter("engine", now=times[1])
+        prof.enter("kernel", now=times[2])
+        prof.exit(now=times[3])
+        prof.enter("comm", now=times[4])
+        prof.exit(now=times[5])
+        prof.exit(now=times[6])
+        rep = prof.finalize(now=times[7])
+        assert sum(rep.buckets.values()) == rep.elapsed == times[-1] - times[0]
+
+    def test_replay_roundtrip_is_bit_exact(self):
+        prof = wc.WallProfiler(clock=_fake_clock([0.5]))
+        prof.enter("kernel", now=0.75)
+        prof.exit(now=1.9375)
+        prof.finalize(now=2.5)
+        again = wc.replay(prof.events)
+        assert again.report() == prof.report()
+        assert again.events == prof.events  # replay of a replay is stable
+
+    def test_save_load_roundtrip(self):
+        prof = wc.WallProfiler(clock=_fake_clock([0.0, 1.0, 2.0, 3.0]))
+        with prof.bucket("serialization"):
+            pass
+        prof.finalize()
+        fh = io.StringIO()
+        wc.save_events(prof, fh)
+        fh.seek(0)
+        assert wc.load_events(fh) == prof.events
+
+    def test_replay_rejects_garbage(self):
+        with pytest.raises(ValueError, match="empty event list"):
+            wc.replay([])
+        with pytest.raises(ValueError, match="unknown wallclock event op"):
+            wc.replay([("init", "", 0.0), ("warp", "x", 1.0)])
+
+
+class TestGoldenTrace:
+    """Regression pin on a recorded end-to-end parallel run trace."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        with GOLDEN.open() as fh:
+            events = wc.load_events(fh)
+        return wc.replay(events).report()
+
+    def test_fixture_schema(self):
+        doc = json.loads(GOLDEN.read_text())
+        assert doc["schema"] == 1
+        assert doc["events"][0][0] == "init"
+        assert doc["events"][-1][0] == "final"
+
+    def test_bucket_attribution_pinned(self, report):
+        assert set(report.buckets) == set(wc.BUCKETS)
+        for name, expected in GOLDEN_BUCKETS.items():
+            assert report.buckets[name] == expected, name
+        assert report.elapsed == GOLDEN_ELAPSED
+
+    def test_buckets_sum_exactly_to_elapsed(self, report):
+        assert sum(report.buckets.values()) == report.elapsed
+
+    def test_every_instrumented_bucket_charged(self, report):
+        # The trace comes from a real multi-rank run: every hot-path
+        # bucket must have seen wall-clock, with the engine loop and
+        # kernels carrying the bulk of it.
+        for name in wc.BUCKETS:
+            assert report.buckets[name] > 0.0, name
+        assert report.fraction("engine") + report.fraction("kernel") > 0.5
+
+    def test_replay_is_idempotent(self):
+        with GOLDEN.open() as fh:
+            events = wc.load_events(fh)
+        once = wc.replay(events)
+        twice = wc.replay(once.events)
+        assert twice.report() == once.report()
+        assert twice.events == once.events

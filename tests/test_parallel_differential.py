@@ -85,6 +85,61 @@ class TestAsyncVsBlockingBitIdentity:
         assert np.median(err / scale) < 2e-3
 
 
+class TestBatchedVsPergroupEval:
+    """The CSR-pooled evaluator vs the kept per-group reference.
+
+    Batching reorders nothing physical — same interaction counts, same
+    virtual time — but it fuses per-group kernel calls into one call
+    per ready-batch, so float sums associate differently.  Documented
+    tolerance: ~1e-12 relative (fixed seeds); counts and the virtual
+    clock must still match exactly, and the multiprocess backend on the
+    batched path must be bit-identical to serial batched.
+    """
+
+    @pytest.mark.parametrize("ranks", [2, 4, 7])
+    @pytest.mark.parametrize("dist", sorted(DISTRIBUTIONS))
+    def test_batched_matches_pergroup_reference(self, ranks, dist):
+        pos, m = DISTRIBUTIONS[dist](700)
+        bat = _run(pos, m, ranks, eval="batched")
+        ref = _run(pos, m, ranks, eval="pergroup")
+        assert (bat.counts.p2p, bat.counts.p2c, bat.counts.groups) == (
+            ref.counts.p2p, ref.counts.p2c, ref.counts.groups)
+        assert bat.sim.elapsed == ref.sim.elapsed
+        assert np.allclose(bat.accelerations, ref.accelerations,
+                           rtol=1e-11, atol=1e-14)
+        assert np.allclose(bat.potentials, ref.potentials,
+                           rtol=1e-12, atol=0.0)
+
+    @pytest.mark.parametrize("ranks", [2, 4])
+    def test_multiprocess_batched_bit_identical_to_serial(self, ranks):
+        from repro.core.procpool import MultiprocessBackend
+
+        pos, m = clustered_sphere(600)
+        serial = _run(pos, m, ranks, eval="batched", backend="numpy")
+        mp = MultiprocessBackend(workers=2, min_pairs=0)
+        try:
+            sharded = _run(pos, m, ranks, eval="batched", backend=mp)
+        finally:
+            mp.close()
+        assert np.array_equal(sharded.accelerations, serial.accelerations)
+        assert np.array_equal(sharded.potentials, serial.potentials)
+        assert (sharded.counts.p2p, sharded.counts.p2c) == (
+            serial.counts.p2p, serial.counts.p2c)
+
+    def test_multistep_run_batched_vs_pergroup(self):
+        pos, m = clustered_sphere(400, seed=41)
+        kwargs = dict(n_ranks=4, n_steps=2, dt=1e-3)
+        bat = parallel_nbody_run(
+            pos, m, config=ParallelConfig(theta=0.7, eps=0.02, eval="batched"),
+            **kwargs)
+        ref = parallel_nbody_run(
+            pos, m, config=ParallelConfig(theta=0.7, eps=0.02, eval="pergroup"),
+            **kwargs)
+        assert np.allclose(bat.positions, ref.positions, rtol=1e-10, atol=1e-13)
+        assert np.allclose(bat.velocities, ref.velocities, rtol=1e-10, atol=1e-13)
+        assert bat.sim.elapsed == ref.sim.elapsed
+
+
 class TestCrossTimestepConsistency:
     """A warm cross-step cache must be invisible in the physics."""
 
