@@ -27,8 +27,10 @@ from .fingerprint import (
 from .runner import CampaignReport, run_campaign
 from .spec import (
     SPEC_KINDS,
+    BenchSpec,
     ClusterSpec,
     CosmologySpec,
+    PipelineSpec,
     ScenarioSpec,
     SupernovaSpec,
     load_catalog,
@@ -45,6 +47,8 @@ __all__ = [
     "CosmologySpec",
     "SupernovaSpec",
     "ClusterSpec",
+    "BenchSpec",
+    "PipelineSpec",
     "SPEC_KINDS",
     "spec_from_dict",
     "load_catalog",

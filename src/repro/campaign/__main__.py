@@ -23,7 +23,15 @@ import json
 import sys
 
 from .runner import run_campaign
-from .spec import ClusterSpec, CosmologySpec, SupernovaSpec, load_catalog, save_catalog, sweep
+from .spec import (
+    ClusterSpec,
+    CosmologySpec,
+    PipelineSpec,
+    SupernovaSpec,
+    load_catalog,
+    save_catalog,
+    sweep,
+)
 from .store import ResultStore
 
 
@@ -32,6 +40,9 @@ def _cmd_example(args: argparse.Namespace) -> int:
         *sweep(ClusterSpec(work_hours=24.0), n_nodes=[64, 128, 294]),
         *sweep(CosmologySpec(n_side=4, a_final=0.15), seed=[1, 2]),
         SupernovaSpec(n_particles=40, n_steps=2),
+        # one fast end-to-end pipeline scenario (ICs -> ... -> collapse)
+        PipelineSpec(n_side=4, a_final=0.2, sn_particles=16, sn_steps=2,
+                     with_neutrinos=False),
         ClusterSpec(n_nodes=294),  # duplicate of the sweep: a dedupe hit
     ]
     if args.out:

@@ -21,6 +21,13 @@ A fourth kind makes the benchmark suite itself campaign work:
 runner (`python -m repro.obs fleet`) inherits dedupe, crash-safe
 resume, and the worker pool for free.
 
+A fifth kind chains the workload families end to end:
+:class:`PipelineSpec` parameterizes the full "supernovae to cosmology"
+observable pipeline (ICs → structure formation → FoF halos → P(k) →
+SPH core collapse) and is executed by
+:func:`repro.pipeline.driver.run_campaign_scenario`, emitting the
+typed products of :mod:`repro.pipeline.products`.
+
 Every spec round-trips through plain JSON dicts (``to_dict`` /
 :func:`spec_from_dict`), which is what makes scenarios
 content-addressable: the canonical encoding of that dict *is* the
@@ -49,6 +56,7 @@ __all__ = [
     "SupernovaSpec",
     "ClusterSpec",
     "BenchSpec",
+    "PipelineSpec",
     "SPEC_KINDS",
     "spec_from_dict",
     "load_catalog",
@@ -213,8 +221,86 @@ class BenchSpec(ScenarioSpec):
         return run_bench_scenario
 
 
+@dataclass(frozen=True)
+class PipelineSpec(ScenarioSpec):
+    """One end-to-end pipeline scenario: ICs → structure → halos →
+    P(k) → core collapse, in a single campaign shard.
+
+    The cosmology half defaults to the cheapest box that actually
+    forms FoF halos under Zel'dovich + PM (``n_side=12`` to ``a=0.77``
+    — smaller lattices stay too coherent to shell-cross); the
+    supernova half matches :class:`SupernovaSpec`'s small rotating
+    progenitor, its seed chained from the upstream halo catalog (see
+    :func:`repro.pipeline.stages.chain_seed`).  Executed by
+    :func:`repro.pipeline.driver.run_campaign_scenario`; the result
+    payload carries a flat ``summary`` plus the nested ``products``.
+
+    >>> PipelineSpec().to_dict()["kind"]
+    'pipeline'
+    >>> PipelineSpec(n_side=8, a_final=0.3).n_side
+    8
+    """
+
+    kind = "pipeline"
+
+    # -- cosmology box (Fig-7 workload) ---------------------------------
+    n_side: int = 12
+    box_mpc_h: float = 125.0
+    a_start: float = 0.1
+    a_final: float = 0.77
+    dlna: float = 0.1
+    k_cut_fraction: float = 1.0
+    seed: int = 20031115
+    h: float = 0.7
+    omega_m: float = 0.3
+    omega_l: float = 0.7
+    omega_b: float = 0.045
+    n_s: float = 1.0
+    sigma8: float = 0.9
+    # -- halo catalog / power spectrum ----------------------------------
+    linking_length: float = 0.25
+    min_members: int = 2
+    pk_bins: int = 6
+    # -- supernova progenitor (Fig-8 workload) --------------------------
+    sn_particles: int = 32
+    sn_steps: int = 3
+    n_poly: float = 3.0
+    omega0: float = 0.3
+    r0: float = 0.3
+    pressure_deficit: float = 0.55
+    n_target_neighbors: int = 12
+    with_neutrinos: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_side < 4:
+            raise ValueError("n_side must be >= 4 (the IC grid floor)")
+        if not 0 < self.a_start < self.a_final:
+            raise ValueError("need 0 < a_start < a_final")
+        if self.dlna <= 0:
+            raise ValueError("dlna must be positive")
+        if not 0 < self.k_cut_fraction <= 1:
+            raise ValueError("k_cut_fraction must be in (0, 1]")
+        if self.linking_length <= 0 or self.min_members < 1:
+            raise ValueError("need linking_length > 0 and min_members >= 1")
+        if self.pk_bins < 2:
+            raise ValueError("pk_bins must be >= 2")
+        if self.sn_particles < 8:
+            raise ValueError("sn_particles must be >= 8")
+        if self.sn_steps < 1:
+            raise ValueError("sn_steps must be >= 1")
+        if not 0 < self.pressure_deficit <= 1:
+            raise ValueError("pressure_deficit must be in (0, 1]")
+
+    @staticmethod
+    def _entry_point():
+        from ..pipeline.driver import run_campaign_scenario
+
+        return run_campaign_scenario
+
+
 SPEC_KINDS: dict[str, type[ScenarioSpec]] = {
-    cls.kind: cls for cls in (CosmologySpec, SupernovaSpec, ClusterSpec, BenchSpec)
+    cls.kind: cls
+    for cls in (CosmologySpec, SupernovaSpec, ClusterSpec, BenchSpec, PipelineSpec)
 }
 
 

@@ -36,6 +36,20 @@ report (the golden-fixture regression in
 pattern of :data:`repro.obs.NULL` — :func:`profile` installs a
 profiler as :data:`ACTIVE`, and :func:`bucket` is a zero-cost no-op
 context when none is installed.
+
+With no profiler installed, instrumented code pays nothing:
+
+>>> with bucket("kernel"):      # no ACTIVE profiler: a no-op context
+...     pass
+
+Install one (an injected fake clock makes the charges exact):
+
+>>> t = iter([0.0, 1.0, 4.0, 5.0])
+>>> with profile(clock=lambda: next(t)) as prof:
+...     with bucket("kernel"):
+...         pass
+>>> prof.report().buckets["kernel"]
+3.0
 """
 
 from __future__ import annotations
@@ -85,7 +99,16 @@ class WallProfiler:
     the span since the previous call to the bucket that was innermost
     during it.  The charges telescope over ``[t0, t_final]``, so the
     bucket totals are an exact partition of elapsed time — nothing
-    counted twice, nothing dropped.
+    counted twice, nothing dropped:
+
+    >>> t = iter([0.0, 1.0, 3.0, 4.0])
+    >>> p = WallProfiler(clock=lambda: next(t))
+    >>> p.enter("kernel"); p.exit()
+    >>> report = p.finalize()
+    >>> report.buckets == {"other": 2.0, "kernel": 2.0}
+    True
+    >>> report.elapsed
+    4.0
     """
 
     def __init__(self, clock=time.perf_counter):
@@ -182,6 +205,12 @@ def replay(events: Iterable[tuple[str, str, float]]) -> WallProfiler:
 
     Deterministic: the same events produce the same bucket totals, so
     a saved trace is a regression fixture for the attribution logic.
+
+    >>> t = iter([0.0, 2.0, 5.0, 6.0])
+    >>> p = WallProfiler(clock=lambda: next(t))
+    >>> with p.bucket("comm"): pass
+    >>> p.finalize().buckets == replay(p.events).report().buckets
+    True
     """
     events = list(events)
     if not events:

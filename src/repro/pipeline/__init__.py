@@ -1,0 +1,97 @@
+"""repro.pipeline — the simulator as a product, "supernovae to cosmology".
+
+One call, :func:`run_pipeline`, chains everything the repo can do into
+the paper's end-to-end story: Zel'dovich ICs → PM structure formation
+→ FoF halo finding → P(k) → rotating SPH core collapse, emitting typed
+observable products (halo mass function, matter power spectrum,
+neutrino light curve).  One more call, :func:`run_ensemble`, scales it
+to thousands of scenarios drawn from per-parameter
+:mod:`~repro.pipeline.distributions`, riding the campaign engine's
+worker pool, dedupe, and crash-safe resume.
+
+Quickstart (a deliberately tiny box so the example itself is fast —
+the default :class:`~repro.campaign.spec.PipelineSpec` is the
+smallest halo-forming one):
+
+>>> from repro.campaign import PipelineSpec
+>>> from repro.pipeline import run_pipeline
+>>> spec = PipelineSpec(n_side=4, a_final=0.2, sn_particles=16,
+...                     sn_steps=2, with_neutrinos=False)
+>>> products = run_pipeline(spec)
+>>> sorted(products.summary())[:4]
+['a_final', 'bounced', 'density_rms', 'largest_halo']
+>>> len(products.light_curve.times)
+2
+
+Ensemble::
+
+    from repro.pipeline import Uniform, run_ensemble
+    ens = run_ensemble(PipelineSpec(), {"omega0": Uniform(low=0.1, high=0.5)},
+                       n=100, store_dir="pipeline_out", workers=4)
+    print(ens.statistics["time_to_peak"])
+
+See ``docs/USER_GUIDE.md`` for the walkthrough and
+``docs/COOKBOOK.md`` for recipes.
+"""
+
+from ..campaign.spec import PipelineSpec
+from .distributions import (
+    DISTRIBUTION_KINDS,
+    Distribution,
+    Fixed,
+    Grid,
+    Normal,
+    Uniform,
+    as_distribution,
+    distribution_from_dict,
+)
+from .driver import (
+    EnsembleResult,
+    draw_specs,
+    ensemble_statistics,
+    run_campaign_scenario,
+    run_ensemble,
+    run_pipeline,
+)
+from .products import (
+    HMF_BIN_EDGES,
+    HaloMassFunction,
+    LightCurve,
+    MatterPowerSpectrum,
+    PipelineProducts,
+    summaries_of,
+)
+from .stages import PIPELINE_STAGES, STAGE_NAMES, Stage, chain_seed
+
+__all__ = [
+    # driver
+    "run_pipeline",
+    "run_campaign_scenario",
+    "draw_specs",
+    "run_ensemble",
+    "ensemble_statistics",
+    "EnsembleResult",
+    # spec (registered with the campaign engine)
+    "PipelineSpec",
+    # stages
+    "Stage",
+    "PIPELINE_STAGES",
+    "STAGE_NAMES",
+    "chain_seed",
+    # products
+    "HMF_BIN_EDGES",
+    "HaloMassFunction",
+    "MatterPowerSpectrum",
+    "LightCurve",
+    "PipelineProducts",
+    "summaries_of",
+    # distributions
+    "Distribution",
+    "Fixed",
+    "Uniform",
+    "Normal",
+    "Grid",
+    "DISTRIBUTION_KINDS",
+    "distribution_from_dict",
+    "as_distribution",
+]

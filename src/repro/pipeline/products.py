@@ -1,0 +1,205 @@
+"""Typed observable products: what a pipeline run is *for*.
+
+The paper's two science figures are the targets: Figure 7's 125-Mpc
+LCDM box is summarized by a halo mass function and a matter power
+spectrum, Figure 8's rotating core collapse by a neutrino light curve.
+:func:`repro.pipeline.run_pipeline` emits all three as one
+:class:`PipelineProducts` value.
+
+Products are frozen dataclasses of plain JSON scalars and tuples —
+like scenario specs, they round-trip through ``to_dict`` /
+``from_dict`` so a campaign's result store holds them verbatim and
+results are bit-comparable across processes.  :meth:`PipelineProducts.summary`
+flattens each product to named scalars (``n_halos``, ``pk_total``,
+``time_to_peak`` ...), which is the unit of *distribution validation*:
+an ensemble of summaries feeds
+:func:`repro.pipeline.ensemble_statistics`, and ``bench_pipeline.py``
+gates the resulting moments and quantiles against committed envelopes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "HMF_BIN_EDGES",
+    "HaloMassFunction",
+    "MatterPowerSpectrum",
+    "LightCurve",
+    "PipelineProducts",
+    "summaries_of",
+]
+
+#: Halo membership-count bin edges for the mass function (log-2 bins,
+#: the N(M) diagnostic of the Fig-7 workload at campaign scale).
+HMF_BIN_EDGES = (2, 4, 8, 16, 32, 64, 128, 256)
+
+
+@dataclass(frozen=True)
+class HaloMassFunction:
+    """FoF halo counts per membership bin (Fig-7 N(M) analogue).
+
+    ``counts[i]`` is the number of halos with
+    ``bin_edges[i] <= members < bin_edges[i+1]``.
+    """
+
+    bin_edges: tuple
+    counts: tuple
+    n_halos: int
+    largest: int
+
+    def to_dict(self) -> dict:
+        return {
+            "bin_edges": list(self.bin_edges),
+            "counts": list(self.counts),
+            "n_halos": self.n_halos,
+            "largest": self.largest,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "HaloMassFunction":
+        return cls(
+            bin_edges=tuple(d["bin_edges"]),
+            counts=tuple(d["counts"]),
+            n_halos=int(d["n_halos"]),
+            largest=int(d["largest"]),
+        )
+
+
+@dataclass(frozen=True)
+class MatterPowerSpectrum:
+    """Binned P(k) measured from the evolved particle load (Fig-7)."""
+
+    k: tuple
+    power: tuple
+
+    def to_dict(self) -> dict:
+        return {"k": list(self.k), "power": list(self.power)}
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "MatterPowerSpectrum":
+        return cls(k=tuple(d["k"]), power=tuple(d["power"]))
+
+    @property
+    def total(self) -> float:
+        """Sum of binned power — the scalar the envelopes gate."""
+        return float(sum(self.power))
+
+
+@dataclass(frozen=True)
+class LightCurve:
+    """Neutrino light curve of the core collapse (Fig-8 analogue).
+
+    ``time_to_peak`` and ``peak_luminosity`` locate the burst;
+    ``bounced`` records whether the core reached nuclear density and
+    rebounded (the Fig-8 qualitative outcome).
+    """
+
+    times: tuple
+    luminosity: tuple
+    central_density: tuple
+    bounced: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "times": list(self.times),
+            "luminosity": list(self.luminosity),
+            "central_density": list(self.central_density),
+            "bounced": self.bounced,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "LightCurve":
+        return cls(
+            times=tuple(d["times"]),
+            luminosity=tuple(d["luminosity"]),
+            central_density=tuple(d["central_density"]),
+            bounced=bool(d["bounced"]),
+        )
+
+    @property
+    def peak_luminosity(self) -> float:
+        return float(max(self.luminosity)) if self.luminosity else 0.0
+
+    @property
+    def time_to_peak(self) -> float:
+        """Time of the luminosity maximum (0.0 for an empty curve)."""
+        if not self.luminosity:
+            return 0.0
+        return float(self.times[int(np.argmax(self.luminosity))])
+
+    @property
+    def max_density(self) -> float:
+        return float(max(self.central_density)) if self.central_density else 0.0
+
+
+@dataclass(frozen=True)
+class PipelineProducts:
+    """Everything one pipeline scenario emits, as pure data.
+
+    ``fingerprint`` is the scenario's campaign identity (blake2b of the
+    canonical spec dict), so a product can always be traced back to the
+    exact spec that produced it.
+    """
+
+    fingerprint: str
+    mass_function: HaloMassFunction
+    power_spectrum: MatterPowerSpectrum
+    light_curve: LightCurve
+    a_final: float
+    density_rms: float
+    rms_displacement: float
+    structure_steps: int
+    sn_seed: int
+
+    def to_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "mass_function": self.mass_function.to_dict(),
+            "power_spectrum": self.power_spectrum.to_dict(),
+            "light_curve": self.light_curve.to_dict(),
+            "a_final": self.a_final,
+            "density_rms": self.density_rms,
+            "rms_displacement": self.rms_displacement,
+            "structure_steps": self.structure_steps,
+            "sn_seed": self.sn_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "PipelineProducts":
+        return cls(
+            fingerprint=str(d["fingerprint"]),
+            mass_function=HaloMassFunction.from_dict(d["mass_function"]),
+            power_spectrum=MatterPowerSpectrum.from_dict(d["power_spectrum"]),
+            light_curve=LightCurve.from_dict(d["light_curve"]),
+            a_final=float(d["a_final"]),
+            density_rms=float(d["density_rms"]),
+            rms_displacement=float(d["rms_displacement"]),
+            structure_steps=int(d["structure_steps"]),
+            sn_seed=int(d["sn_seed"]),
+        )
+
+    def summary(self) -> dict:
+        """Flat JSON scalars — the unit of distribution validation."""
+        lc = self.light_curve
+        return {
+            "a_final": self.a_final,
+            "density_rms": self.density_rms,
+            "rms_displacement": self.rms_displacement,
+            "structure_steps": self.structure_steps,
+            "n_halos": self.mass_function.n_halos,
+            "largest_halo": self.mass_function.largest,
+            "pk_total": self.power_spectrum.total,
+            "peak_luminosity": lc.peak_luminosity,
+            "time_to_peak": lc.time_to_peak,
+            "max_density": lc.max_density,
+            "bounced": int(lc.bounced),
+        }
+
+
+def summaries_of(results: Sequence[Mapping]) -> list[dict]:
+    """Pull the ``summary`` dicts out of campaign result payloads."""
+    return [dict(r["summary"]) for r in results]

@@ -5,7 +5,7 @@ Every ``benchmarks/bench_*.py`` must expose ``main() -> dict`` built on
 against ``benchmarks/schema.json``.  The cheap shape checks (module
 exposes a callable ``main``, the schema file itself is well-formed, the
 subset validator works, history appends are atomic) run in the default
-suite; actually executing all 27 payloads is marked slow.
+suite; actually executing all 28 payloads is marked slow.
 """
 
 import importlib.util
@@ -41,7 +41,7 @@ def harness():
 
 
 def test_bench_files_found():
-    assert len(BENCH_FILES) == 27
+    assert len(BENCH_FILES) == 28
 
 
 @pytest.mark.parametrize("filename", BENCH_FILES)

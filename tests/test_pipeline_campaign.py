@@ -1,0 +1,133 @@
+"""The pipeline at campaign scale: a 100+-scenario drawn ensemble
+through the worker pool with dedupe, plus the SIGKILL drill.
+
+Pipeline scenarios are just one more campaign spec kind, so they must
+inherit everything the campaign engine guarantees: content-fingerprint
+dedupe of repeated draws, wallclock-bounded worker-pool execution,
+crash-safe resume with zero recompute after SIGKILL, and a result
+store byte-identical to an uninterrupted run.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.campaign import (
+    PipelineSpec,
+    run_campaign,
+    save_catalog,
+    scenario_fingerprint_hex,
+)
+from repro.campaign.runner import CHECKPOINT_SUBDIR, _load_ledger
+from repro.pipeline import Grid, Uniform, draw_specs, run_ensemble
+from repro.resilience.checkpoint import CheckpointStore
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+#: Smallest legal box + tiny progenitor: ~tens of ms per scenario, so
+#: a 100+-scenario campaign stays inside the default tier's budget.
+FAST = PipelineSpec(n_side=4, a_final=0.2, sn_particles=16, sn_steps=2,
+                    with_neutrinos=False)
+DISTS = {"seed": Grid(values=tuple(range(1, 25))),
+         "omega0": Uniform(low=0.1, high=0.5)}
+
+
+def _subprocess_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _committed_count(ckpt: CheckpointStore) -> int:
+    try:
+        epoch = ckpt.latest_committed()
+        if epoch is None:
+            return 0
+        return int(ckpt.commit_meta(epoch)["completed"])
+    except (OSError, json.JSONDecodeError, KeyError):
+        return 0  # coordinator mid-commit or mid-prune; poll again
+
+
+@pytest.mark.slow
+class TestHundredScenarioEnsemble:
+    def test_ensemble_through_worker_pool_with_dedupe(self, tmp_path):
+        # 96 drawn scenarios + 8 repeated draws = a 104-shard catalog
+        # with exactly 96 unique fingerprints.
+        drawn = draw_specs(FAST, DISTS, 96, seed=11)
+        catalog = drawn + drawn[:8]
+        assert len(catalog) >= 100
+
+        report = run_campaign(catalog, str(tmp_path / "store"), workers=2)
+        assert report.total_shards == len(catalog)
+        assert report.unique == 96
+        assert report.computed == 96
+        assert report.dedupe_hits == 8
+        assert report.failed == 0, report.errors
+
+        # the same ensemble drawn again is pure cache, one call deep
+        ens = run_ensemble(FAST, DISTS, 96, str(tmp_path / "store"), seed=11)
+        assert ens.report.computed == 0
+        assert ens.report.cache_hits == 96
+        assert len(ens.results) == 96
+
+        # every scenario produced the three product families
+        for result in ens.results:
+            products = result["products"]
+            assert set(products) >= {"mass_function", "power_spectrum", "light_curve"}
+            assert len(products["light_curve"]["times"]) == FAST.sn_steps
+
+        # and the ensemble statistics summarize all 96 draws
+        assert ens.statistics["max_density"]["n"] == 96
+        assert ens.statistics["density_rms"]["std"] > 0
+
+
+@pytest.mark.slow
+class TestSigkillResume:
+    CATALOG = draw_specs(FAST, DISTS, 16, seed=5)
+
+    def test_killed_pipeline_campaign_resumes_without_recompute(self, tmp_path):
+        catalog_path = tmp_path / "catalog.jsonl"
+        save_catalog(self.CATALOG, str(catalog_path))
+        crash_dir = tmp_path / "crashed"
+        ckpt = CheckpointStore(str(crash_dir / CHECKPOINT_SUBDIR))
+
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.campaign", "run", str(catalog_path),
+             "--dir", str(crash_dir), "--workers", "2", "--throttle", "0.1"],
+            env=_subprocess_env(),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.time() + 120.0
+            while _committed_count(ckpt) < 3:
+                assert proc.poll() is None, "campaign finished before we could kill it"
+                assert time.time() < deadline, "no progress within 120 s"
+                time.sleep(0.02)
+            os.kill(proc.pid, signal.SIGKILL)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait(timeout=30)
+        assert proc.returncode == -signal.SIGKILL
+
+        survivors = set(_load_ledger(ckpt))
+        assert 3 <= len(survivors) < 16, "kill landed mid-campaign"
+
+        report = run_campaign(self.CATALOG, str(crash_dir), workers=1)
+        assert set(report.computed_fingerprints) & survivors == set()
+        assert report.resume_hits == len(survivors)
+        assert report.computed == 16 - len(survivors)
+        assert report.failed == 0, report.errors
+        expected = {scenario_fingerprint_hex(s) for s in self.CATALOG}
+        assert set(report.computed_fingerprints) | survivors == expected
+
+        clean_dir = tmp_path / "clean"
+        clean = run_campaign(self.CATALOG, str(clean_dir), workers=1)
+        assert clean.computed == 16
+        assert (crash_dir / "results.jsonl").read_bytes() == \
+            (clean_dir / "results.jsonl").read_bytes()
